@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate each table/figure of the paper at a reduced scale (the
+``--benchmark-only`` run must finish in minutes, not the paper's 50-hour
+cluster budget).  The scale can be raised through the ``BAYESLSH_BENCH_SCALE``
+environment variable to push the measurements closer to the paper's regime.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import load_experiment_dataset
+
+#: dataset scale used by the benchmark harness (override via environment)
+BENCH_SCALE = float(os.environ.get("BAYESLSH_BENCH_SCALE", "0.25"))
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def wikiwords_dataset():
+    return load_experiment_dataset("wikiwords100k", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def rcv1_dataset():
+    return load_experiment_dataset("rcv1", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def wikilinks_dataset():
+    return load_experiment_dataset("wikilinks", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def binary_wikiwords_dataset():
+    return load_experiment_dataset(
+        "wikiwords500k", scale=BENCH_SCALE, seed=BENCH_SEED, binary=True
+    )

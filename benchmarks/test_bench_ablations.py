@@ -1,0 +1,78 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the effect of the Section 4.3
+optimisations and of the quantised projection storage:
+
+* ``minMatches`` pre-computation versus direct posterior inference per pair;
+* the concentration cache versus recomputing Equation 6 for every pair;
+* 2-byte quantised Gaussian projections versus full float64 projections.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.concentration_cache import ConcentrationCache
+from repro.core.min_matches import MinMatchesTable
+from repro.core.posteriors import TruncatedCollisionPosterior
+from repro.hashing.simhash import SimHashFamily
+
+
+@pytest.fixture(scope="module")
+def match_samples():
+    rng = np.random.default_rng(0)
+    n = 128
+    return [(int(m), n) for m in rng.integers(60, 129, size=2000)]
+
+
+class TestPruningTestAblation:
+    def test_bench_minmatches_table_lookup(self, benchmark, match_samples):
+        posterior = TruncatedCollisionPosterior()
+        table = MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=32, max_hashes=128)
+
+        def run():
+            return sum(table.passes(m, n) for m, n in match_samples)
+
+        benchmark(run)
+
+    def test_bench_direct_posterior_inference(self, benchmark, match_samples):
+        posterior = TruncatedCollisionPosterior()
+
+        def run():
+            return sum(
+                posterior.prob_above_threshold(m, n, 0.7) >= 0.03 for m, n in match_samples
+            )
+
+        benchmark(run)
+
+
+class TestConcentrationCacheAblation:
+    def test_bench_with_cache(self, benchmark, match_samples):
+        cache = ConcentrationCache(TruncatedCollisionPosterior(), delta=0.05, gamma=0.03)
+
+        def run():
+            return sum(cache.is_concentrated(m, n) for m, n in match_samples)
+
+        benchmark(run)
+
+    def test_bench_without_cache(self, benchmark, match_samples):
+        posterior = TruncatedCollisionPosterior()
+
+        def run():
+            return sum(
+                posterior.concentration_probability(m, n, 0.05) >= 0.97
+                for m, n in match_samples[:400]
+            )
+
+        benchmark(run)
+
+
+class TestQuantizationAblation:
+    @pytest.mark.parametrize("quantize", [True, False], ids=["2-byte", "float64"])
+    def test_bench_hashing_with_and_without_quantization(
+        self, benchmark, rcv1_dataset, quantize
+    ):
+        def run():
+            family = SimHashFamily(rcv1_dataset.collection, seed=3, quantize=quantize)
+            return family.signatures(512).n_hashes
+
+        benchmark.pedantic(run, rounds=2, iterations=1)

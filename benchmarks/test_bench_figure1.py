@@ -1,0 +1,15 @@
+"""Benchmark for Figure 1: required-hash-count curve of the fixed-budget estimator."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1_required_hashes(benchmark):
+    """Time the exact binomial computation behind Figure 1 and check its shape."""
+    result = benchmark.pedantic(
+        lambda: figure1.run(similarities=[0.1, 0.3, 0.5, 0.7, 0.9], max_hashes=2000),
+        rounds=3,
+        iterations=1,
+    )
+    values = {row[0]: row[1] for row in result.tables["required_hashes"].rows}
+    assert values[0.5] > values[0.9]
+    assert values[0.5] > values[0.1]

@@ -1,0 +1,31 @@
+"""Benchmark for Figure 4: BayesLSH pruning of AllPairs- and LSH-generated candidates."""
+
+import pytest
+
+from repro.experiments.figure4 import prune_trace_for
+
+
+@pytest.mark.parametrize("generator", ["allpairs", "lsh"])
+def test_bench_figure4_pruning_trace(benchmark, wikiwords_dataset, generator):
+    """Time candidate generation + BayesLSH pruning and check the Figure-4 shape."""
+    trace_info = benchmark.pedantic(
+        lambda: prune_trace_for(
+            wikiwords_dataset, "cosine", 0.7, generator, seed=1, max_hashes=256
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    counts = [alive for _, alive in trace_info["trace"]]
+    # the candidate count must shrink substantially within the hash budget
+    assert counts[-1] < trace_info["n_candidates"]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_figure4_most_pruning_happens_early(wikiwords_dataset):
+    """Shape check (not timed): a large share of pruned pairs go in the first rounds."""
+    trace_info = prune_trace_for(wikiwords_dataset, "cosine", 0.7, "allpairs", max_hashes=256)
+    trace = dict(trace_info["trace"])
+    total_pruned = trace_info["n_candidates"] - trace[256]
+    pruned_by_96 = trace_info["n_candidates"] - trace[96]
+    assert total_pruned > 0
+    assert pruned_by_96 / total_pruned > 0.5

@@ -1,0 +1,10 @@
+"""Benchmark for Figure 5 (appendix): posterior convergence from different priors."""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5_posterior_convergence(benchmark):
+    result = benchmark.pedantic(lambda: figure5.run(grid_size=2049), rounds=3, iterations=1)
+    rows = result.tables["posteriors"].rows
+    tv = {(row[0], row[1]): row[4] for row in rows}
+    assert tv[("96/128", "x^3")] < tv[("24/32", "x^3")]

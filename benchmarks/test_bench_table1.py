@@ -1,0 +1,12 @@
+"""Benchmark for Table 1: dataset generation and statistics."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1_dataset_statistics(benchmark, bench_scale):
+    result = benchmark.pedantic(lambda: table1.run(scale=bench_scale, seed=7), rounds=1, iterations=1)
+    rows = result.tables["datasets"].rows
+    assert len(rows) == 6
+    ours = {row[0]: row[6] for row in rows}  # avg len (ours)
+    # relative ordering of average lengths mirrors Table 1
+    assert ours["wikiwords100k"] > ours["rcv1"] > ours["wikilinks"]

@@ -1,0 +1,25 @@
+"""Benchmark for Table 2: total-time aggregation and speedups over baselines."""
+
+from repro.experiments import figure3, table2
+
+
+def test_bench_table2_speedup_aggregation(benchmark, bench_scale):
+    """Run a reduced sweep (2 datasets x 2 thresholds) and aggregate it into Table 2."""
+
+    def run():
+        sweep = figure3.run(
+            scale=bench_scale,
+            seed=7,
+            repeats=1,
+            timeout=None,
+            groups=["weighted_cosine"],
+            datasets=["rcv1", "wikilinks"],
+            thresholds=[0.6, 0.8],
+        )
+        return table2.run(figure3_result=sweep)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result.tables["speedups"].rows
+    assert len(rows) == 2
+    for row in rows:
+        assert row[2] in ("ap_bayeslsh", "ap_bayeslsh_lite", "lsh_bayeslsh", "lsh_bayeslsh_lite")

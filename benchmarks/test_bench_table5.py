@@ -1,0 +1,17 @@
+"""Benchmark for Table 5: output quality while varying gamma, delta, epsilon."""
+
+from repro.experiments import table5
+
+
+def test_bench_table5_quality_sweep(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: table5.run(scale=bench_scale, values=(0.01, 0.05, 0.09), seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.tables["quality"].rows
+    by_value = {row[0]: row for row in rows}
+    # mean error shrinks when delta shrinks (column 2 is the delta metric)
+    assert by_value[0.01][2] <= by_value[0.09][2] + 1e-9
+    # recall does not increase when epsilon grows (column 3 is the epsilon metric)
+    assert by_value[0.01][3] >= by_value[0.09][3] - 1.0

@@ -1,0 +1,81 @@
+"""Near-duplicate detection on a text corpus (the paper's motivating workload).
+
+A corpus with planted near-duplicate clusters is searched at a high cosine
+threshold with two pipelines — plain AllPairs (exact) and
+AllPairs + BayesLSH-Lite — to show that the Bayesian pruning recovers the
+same duplicate groups while examining far fewer exact similarities.  The
+duplicate pairs are then grouped into connected components ("duplicate
+clusters"), which is how near-duplicate detection is used for web crawling
+and index deduplication.
+
+Run with:  python examples/near_duplicate_detection.py
+"""
+
+from collections import defaultdict
+
+from repro.datasets import synthetic_text_corpus
+from repro.search import make_pipeline
+from repro.similarity import tfidf_weighting
+
+THRESHOLD = 0.8
+
+
+def connected_components(pairs):
+    """Group pairs into duplicate clusters with a tiny union-find."""
+    parent: dict[int, int] = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, j, _ in pairs:
+        root_i, root_j = find(i), find(j)
+        if root_i != root_j:
+            parent[root_i] = root_j
+    clusters = defaultdict(list)
+    for node in parent:
+        clusters[find(node)].append(node)
+    return [sorted(members) for members in clusters.values() if len(members) > 1]
+
+
+def main() -> None:
+    corpus = synthetic_text_corpus(
+        n_documents=1000,
+        vocabulary_size=5000,
+        average_length=70,
+        duplicate_fraction=0.25,
+        cluster_size=4,
+        mutation_rate=0.08,
+        seed=7,
+    )
+    vectors = tfidf_weighting(corpus.collection)
+    print(f"corpus: {vectors.n_vectors} documents, threshold {THRESHOLD} (cosine)\n")
+
+    results = {}
+    for pipeline_name in ("allpairs", "ap_bayeslsh_lite"):
+        engine = make_pipeline(
+            pipeline_name, vectors, measure="cosine", threshold=THRESHOLD, seed=1
+        )
+        result = engine.run(vectors)
+        results[pipeline_name] = result
+        clusters = connected_components(result.pairs())
+        print(f"[{pipeline_name}]")
+        print(f"  candidate pairs          : {result.n_candidates}")
+        print(f"  exact similarity checks  : {result.metadata['exact_computations']}")
+        print(f"  duplicate pairs reported : {len(result)}")
+        print(f"  duplicate clusters       : {len(clusters)}")
+        print(f"  total time               : {result.total_time:.2f}s\n")
+
+    exact_pairs = results["allpairs"].pair_set()
+    bayes_pairs = results["ap_bayeslsh_lite"].pair_set()
+    agreement = len(exact_pairs & bayes_pairs) / max(1, len(exact_pairs))
+    print(f"BayesLSH-Lite recovered {100 * agreement:.1f}% of the exact duplicate pairs")
+    planted = (corpus.metadata["cluster_labels"] >= 0).sum()
+    print(f"(the corpus contains {planted} documents planted in near-duplicate clusters)")
+
+
+if __name__ == "__main__":
+    main()

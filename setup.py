@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works in offline environments whose pip cannot
+build editable wheels (no ``wheel`` package available) and has to fall back
+to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

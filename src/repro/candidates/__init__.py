@@ -1,0 +1,37 @@
+"""Candidate generation algorithms (phase 1 of all-pairs similarity search).
+
+The paper combines BayesLSH with two state-of-the-art candidate generators
+and compares against a third:
+
+* :class:`~repro.candidates.allpairs.AllPairsGenerator` — the exact
+  inverted-index algorithm of Bayardo, Ma and Srikant (WWW 2007), strongest
+  on datasets with short vectors and high length variance;
+* :class:`~repro.candidates.lsh_index.LSHGenerator` — classic LSH banding:
+  ``l`` signatures of ``k`` hashes each, pairs sharing any signature become
+  candidates, with ``l`` chosen for a target false-negative rate;
+* :class:`~repro.candidates.ppjoin.PPJoinGenerator` — prefix / length /
+  positional filtering for binary vectors (Xiao et al., WWW 2008), used as
+  the PPJoin+ baseline;
+* :class:`~repro.candidates.brute_force.BruteForceGenerator` — every pair
+  (optionally restricted to pairs sharing a feature); the ground-truth
+  reference.
+
+Every generator returns a :class:`~repro.candidates.base.CandidateSet`, a
+deduplicated collection of ``(i, j)`` index pairs with ``i < j``.
+"""
+
+from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.candidates.brute_force import BruteForceGenerator
+from repro.candidates.lsh_index import LSHGenerator, signatures_for_false_negative_rate
+from repro.candidates.allpairs import AllPairsGenerator
+from repro.candidates.ppjoin import PPJoinGenerator
+
+__all__ = [
+    "AllPairsGenerator",
+    "BruteForceGenerator",
+    "CandidateGenerator",
+    "CandidateSet",
+    "LSHGenerator",
+    "PPJoinGenerator",
+    "signatures_for_false_negative_rate",
+]

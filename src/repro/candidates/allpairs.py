@@ -1,0 +1,136 @@
+"""AllPairs candidate generation (Bayardo, Ma & Srikant, WWW 2007).
+
+AllPairs is an exact inverted-index algorithm for cosine similarity over
+non-negative vectors.  The key ideas reproduced here:
+
+* vectors are L2-normalised and processed in **decreasing order of their
+  maximum weight**;
+* features (dimensions) are processed in **decreasing order of density**
+  (number of vectors containing the feature), which concentrates the
+  "unindexed" portion of each vector on the densest dimensions and keeps the
+  inverted index small;
+* while indexing a vector, features are added to the inverted index only once
+  the accumulated upper bound ``b = sum x[f] * min(maxweight_dim(f),
+  maxweight(x))`` reaches the threshold — the prefix of the vector before
+  that point can never by itself push a similarity above ``t`` against
+  *later* (smaller max-weight) vectors, so it is left unindexed;
+* candidate generation for a new vector scans the inverted lists of its
+  features, accumulating partial dot products; every vector with a non-zero
+  accumulated score becomes a candidate.
+
+The partial-indexing bound is the part of AllPairs that matters for this
+reproduction: it is what keeps the candidate set complete (no true pair is
+missed) while still producing the large false-positive counts the paper
+reports (e.g. 5e9 candidates versus a 2.2e5-pair result set on
+WikiWords100K).  The further Find-Matches heuristics of All-Pairs-1/2
+(remscore, minsize) only shave constants off candidate generation and are
+not reproduced.  Combined with
+:class:`~repro.verification.exact.ExactVerifier` this generator gives the
+exact AllPairs baseline; combined with BayesLSH it gives ``AP+BayesLSH``.
+
+Only the cosine measures are supported — the algorithm's bounds rely on the
+dot-product form of the similarity.  For binary cosine the binary view of the
+data is used, matching the paper's binary-cosine experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["AllPairsGenerator"]
+
+
+class AllPairsGenerator(CandidateGenerator):
+    """Inverted-index candidate generation with AllPairs' indexing bounds.
+
+    Parameters
+    ----------
+    measure:
+        ``"cosine"`` or ``"binary_cosine"`` (Jaccard search uses PPJoin or
+        LSH in the paper).
+    threshold:
+        Cosine similarity threshold ``t``.
+    """
+
+    name = "allpairs"
+
+    def __init__(self, measure="cosine", threshold: float = 0.5):
+        super().__init__(measure, threshold)
+        if self.measure.name not in ("cosine", "binary_cosine"):
+            raise ValueError(
+                "AllPairs supports cosine and binary_cosine only; "
+                f"got {self.measure.name!r}"
+            )
+
+    def generate(self, collection: VectorCollection) -> CandidateSet:
+        prepared = self.measure.prepare(collection).normalized()
+        n_vectors = prepared.n_vectors
+        if n_vectors < 2:
+            return CandidateSet.from_pairs([], generator=self.name)
+
+        matrix = prepared.matrix
+        n_features = prepared.n_features
+        threshold = self._threshold
+
+        # Feature order: decreasing density.  feature_rank[f] = position in order.
+        feature_counts = np.asarray((matrix != 0).sum(axis=0)).ravel()
+        feature_order = np.argsort(-feature_counts, kind="stable")
+        feature_rank = np.empty(n_features, dtype=np.int64)
+        feature_rank[feature_order] = np.arange(n_features)
+
+        # Per-dimension maximum weight over the whole dataset.
+        max_weight_dim = np.zeros(n_features, dtype=np.float64)
+        coo = matrix.tocoo()
+        np.maximum.at(max_weight_dim, coo.col, coo.data)
+
+        # Vector order: decreasing maximum weight.
+        vector_order = np.argsort(-prepared.max_weights, kind="stable")
+
+        # Inverted index: for each feature, parallel lists of (vector id, weight).
+        index_rows: list[list[int]] = [[] for _ in range(n_features)]
+        index_weights: list[list[float]] = [[] for _ in range(n_features)]
+
+        pairs: list[tuple[int, int]] = []
+        n_score_accumulations = 0
+
+        for x in vector_order:
+            x = int(x)
+            features = prepared.row_features(x)
+            weights = prepared.row_values(x)
+            if len(features) == 0:
+                continue
+            # Sort this vector's features by the global feature order.
+            order = np.argsort(feature_rank[features], kind="stable")
+            features = features[order]
+            weights = weights[order]
+
+            # ---------------- candidate generation (Find-Matches) ----------
+            scores: dict[int, float] = {}
+            for feature, weight in zip(features, weights):
+                rows = index_rows[feature]
+                if rows:
+                    row_weights = index_weights[feature]
+                    for y, y_weight in zip(rows, row_weights):
+                        scores[y] = scores.get(y, 0.0) + weight * y_weight
+                        n_score_accumulations += 1
+            for y in scores:
+                pairs.append((x, y) if x < y else (y, x))
+
+            # ---------------- partial indexing of x -----------------------
+            bound = 0.0
+            x_max_weight = float(prepared.max_weights[x])
+            for feature, weight in zip(features, weights):
+                bound += float(weight) * min(float(max_weight_dim[feature]), x_max_weight)
+                if bound >= threshold:
+                    index_rows[feature].append(x)
+                    index_weights[feature].append(float(weight))
+
+        return CandidateSet.from_pairs(
+            pairs,
+            generator=self.name,
+            n_score_accumulations=n_score_accumulations,
+            index_entries=int(sum(len(rows) for rows in index_rows)),
+        )

@@ -1,0 +1,124 @@
+"""Candidate generator interface and the candidate-set container."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.similarity.measures import SimilarityMeasure, get_measure
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["CandidateGenerator", "CandidateSet"]
+
+
+@dataclass
+class CandidateSet:
+    """A deduplicated set of candidate pairs ``(i, j)`` with ``i < j``.
+
+    Attributes
+    ----------
+    left, right:
+        Parallel index arrays; ``left[k] < right[k]`` for every ``k``.
+    metadata:
+        Free-form statistics recorded by the generator (index size, number of
+        raw collisions before deduplication, and so on).
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]], **metadata) -> "CandidateSet":
+        """Build a candidate set from an iterable of ``(i, j)`` pairs.
+
+        Pairs are canonicalised to ``i < j``, self-pairs are dropped and
+        duplicates removed.
+        """
+        unique: set[tuple[int, int]] = set()
+        for i, j in pairs:
+            if i == j:
+                continue
+            unique.add((int(i), int(j)) if i < j else (int(j), int(i)))
+        if unique:
+            ordered = sorted(unique)
+            left = np.array([p[0] for p in ordered], dtype=np.int64)
+            right = np.array([p[1] for p in ordered], dtype=np.int64)
+        else:
+            left = np.zeros(0, dtype=np.int64)
+            right = np.zeros(0, dtype=np.int64)
+        return cls(left=left, right=right, metadata=dict(metadata))
+
+    @classmethod
+    def from_arrays(cls, left, right, **metadata) -> "CandidateSet":
+        """Build a candidate set from parallel index arrays (canonicalising/deduplicating)."""
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        if left.shape != right.shape:
+            raise ValueError("left and right must have the same shape")
+        keep = left != right
+        low = np.minimum(left[keep], right[keep])
+        high = np.maximum(left[keep], right[keep])
+        if len(low):
+            stacked = np.unique(np.stack([low, high], axis=1), axis=0)
+            return cls(left=stacked[:, 0], right=stacked[:, 1], metadata=dict(metadata))
+        return cls(
+            left=np.zeros(0, dtype=np.int64),
+            right=np.zeros(0, dtype=np.int64),
+            metadata=dict(metadata),
+        )
+
+    def __len__(self) -> int:
+        return len(self.left)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for i, j in zip(self.left, self.right):
+            yield int(i), int(j)
+
+    def as_set(self) -> set[tuple[int, int]]:
+        """The candidate pairs as a Python set of ``(i, j)`` tuples."""
+        return {(int(i), int(j)) for i, j in zip(self.left, self.right)}
+
+    def __repr__(self) -> str:
+        return f"CandidateSet(n_pairs={len(self)})"
+
+
+class CandidateGenerator(ABC):
+    """Base class of all candidate generation algorithms.
+
+    A generator is constructed with a similarity measure and a threshold and
+    produces a :class:`CandidateSet` from a vector collection.  Generators
+    are free to miss pairs (LSH misses with a controlled false-negative rate)
+    or to produce false positives (all of them do); the verification phase is
+    responsible for the final answer.
+    """
+
+    #: machine-readable name used by pipelines and reports
+    name: str = ""
+
+    def __init__(self, measure: str | SimilarityMeasure, threshold: float):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        self._measure = get_measure(measure)
+        self._threshold = float(threshold)
+
+    @property
+    def measure(self) -> SimilarityMeasure:
+        return self._measure
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @abstractmethod
+    def generate(self, collection: VectorCollection) -> CandidateSet:
+        """Produce candidate pairs for the given collection."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(measure={self._measure.name!r}, "
+            f"threshold={self._threshold})"
+        )

@@ -1,0 +1,182 @@
+"""LSH banding index for candidate generation (Section 2 of the paper).
+
+Each vector receives ``l`` signatures, each the concatenation of ``k`` hashes
+from the measure's LSH family; every pair of vectors sharing at least one
+signature becomes a candidate.  For a signature width ``k``, a similarity
+threshold ``t`` and a target false-negative rate ``fn`` the number of
+signatures is
+
+    l = ceil( log(fn) / log(1 - p_t ** k) )
+
+where ``p_t`` is the *collision probability* at the threshold — ``t`` itself
+for Jaccard, ``1 - arccos(t)/pi`` for cosine (the paper's formula is stated
+for the Jaccard case where the two coincide).
+
+The hash family object is exposed so the verification phase can reuse the
+very same hashes — the amortisation the paper highlights as advantage 3 of
+BayesLSH.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+import numpy as np
+
+from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.hashing.base import HashFamily, get_hash_family
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["LSHGenerator", "signatures_for_false_negative_rate"]
+
+#: default signature widths (number of hashes concatenated per signature)
+_DEFAULT_WIDTH = {"simhash": 8, "minhash": 4}
+#: safety cap on the number of signatures
+_MAX_SIGNATURES = 2000
+
+
+def signatures_for_false_negative_rate(
+    collision_probability: float, signature_width: int, false_negative_rate: float
+) -> int:
+    """Number of length-``k`` signatures needed for an expected false-negative rate.
+
+    Implements ``l = ceil(log(fn) / log(1 - p ** k))`` with ``p`` the collision
+    probability at the similarity threshold.
+    """
+    if not 0.0 < collision_probability < 1.0:
+        raise ValueError(
+            f"collision probability must lie in (0, 1), got {collision_probability}"
+        )
+    if signature_width <= 0:
+        raise ValueError(f"signature_width must be positive, got {signature_width}")
+    if not 0.0 < false_negative_rate < 1.0:
+        raise ValueError(
+            f"false_negative_rate must lie in (0, 1), got {false_negative_rate}"
+        )
+    miss_probability = 1.0 - collision_probability**signature_width
+    if miss_probability <= 0.0:
+        return 1
+    if miss_probability >= 1.0:
+        # Collisions at the threshold are so unlikely that no realistic number
+        # of signatures reaches the target recall; return the cap.
+        return _MAX_SIGNATURES
+    needed = math.ceil(math.log(false_negative_rate) / math.log(miss_probability))
+    return max(1, min(needed, _MAX_SIGNATURES))
+
+
+class LSHGenerator(CandidateGenerator):
+    """Banded LSH candidate generation.
+
+    Parameters
+    ----------
+    measure:
+        ``"cosine"``, ``"jaccard"`` or ``"binary_cosine"``.
+    threshold:
+        Similarity threshold ``t``.
+    false_negative_rate:
+        Target probability of missing a pair exactly at the threshold
+        (0.03 in the paper's experiments).
+    signature_width:
+        Hashes per signature (``k`` in Section 2).  Defaults to 8 bits for
+        the cosine family and 4 minhashes for Jaccard.
+    seed:
+        Seed for the hash family (ignored if ``family`` is supplied).
+    family:
+        Optionally, an existing :class:`HashFamily` to draw hashes from; this
+        is how a BayesLSH verifier and the generator share signatures.
+    """
+
+    name = "lsh"
+
+    def __init__(
+        self,
+        measure="cosine",
+        threshold: float = 0.5,
+        false_negative_rate: float = 0.03,
+        signature_width: int | None = None,
+        seed: int = 0,
+        family: HashFamily | None = None,
+    ):
+        super().__init__(measure, threshold)
+        if not 0.0 < false_negative_rate < 1.0:
+            raise ValueError(
+                f"false_negative_rate must lie in (0, 1), got {false_negative_rate}"
+            )
+        self._false_negative_rate = float(false_negative_rate)
+        family_name = self.measure.lsh_family
+        if signature_width is None:
+            signature_width = _DEFAULT_WIDTH[family_name]
+        if signature_width <= 0:
+            raise ValueError(f"signature_width must be positive, got {signature_width}")
+        self._signature_width = int(signature_width)
+        self._seed = int(seed)
+        self._family = family
+        self._last_family: HashFamily | None = family
+
+    @property
+    def signature_width(self) -> int:
+        return self._signature_width
+
+    @property
+    def n_signatures(self) -> int:
+        """Number of signatures ``l`` implied by the threshold and target recall."""
+        collision = self.measure_collision_probability()
+        return signatures_for_false_negative_rate(
+            collision, self._signature_width, self._false_negative_rate
+        )
+
+    @property
+    def family(self) -> HashFamily | None:
+        """The hash family used in the most recent :meth:`generate` call."""
+        return self._last_family
+
+    def measure_collision_probability(self) -> float:
+        """Collision probability of a single hash at the similarity threshold."""
+        if self.measure.lsh_family == "minhash":
+            return self._threshold
+        from repro.hashing.simhash import cosine_to_collision
+
+        return float(cosine_to_collision(self._threshold))
+
+    def generate(self, collection: VectorCollection) -> CandidateSet:
+        prepared = self.measure.prepare(collection)
+        family = self._family
+        if family is None or family.collection is not prepared:
+            family = (
+                self._family
+                if self._family is not None
+                else get_hash_family(self.measure.lsh_family, prepared, seed=self._seed)
+            )
+        self._last_family = family
+
+        n_signatures = self.n_signatures
+        width = self._signature_width
+        store = family.signatures(n_signatures * width)
+
+        pairs: set[tuple[int, int]] = set()
+        n_raw_collisions = 0
+        n_vectors = prepared.n_vectors
+        # Skip empty vectors: they share no features with anything.
+        non_empty = np.flatnonzero(prepared.row_nnz > 0)
+        for band in range(n_signatures):
+            buckets: dict[bytes, list[int]] = defaultdict(list)
+            for row in non_empty:
+                buckets[store.band_key(int(row), band, width)].append(int(row))
+            for bucket_rows in buckets.values():
+                if len(bucket_rows) < 2:
+                    continue
+                for a_index in range(len(bucket_rows)):
+                    for b_index in range(a_index + 1, len(bucket_rows)):
+                        i, j = bucket_rows[a_index], bucket_rows[b_index]
+                        n_raw_collisions += 1
+                        pairs.add((i, j) if i < j else (j, i))
+        candidate_set = CandidateSet.from_pairs(
+            pairs,
+            generator=self.name,
+            n_signatures=n_signatures,
+            signature_width=width,
+            n_raw_collisions=n_raw_collisions,
+            n_vectors=n_vectors,
+        )
+        return candidate_set

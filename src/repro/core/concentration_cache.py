@@ -1,0 +1,85 @@
+"""Cache of concentration-test outcomes (Section 4.3).
+
+Line 15 of Algorithm 1 stops comparing hashes for a pair once the similarity
+estimate is sufficiently concentrated:
+``Pr[|S - S_hat| < delta | M(m, n)] >= 1 - gamma``.  The outcome depends only
+on the pair's match counts ``(m, n)``, never on the pair itself, so the result
+of each inference is cached and shared across all pairs.  As the paper notes,
+only ``m >= minMatches(n)`` can ever be queried (smaller ``m`` is pruned
+first), which keeps the cache small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.posteriors import PosteriorModel
+
+__all__ = ["ConcentrationCache"]
+
+
+class ConcentrationCache:
+    """Memoised "is the estimate concentrated enough?" test keyed by ``(m, n)``.
+
+    Parameters
+    ----------
+    posterior:
+        Posterior model providing :meth:`concentration_probability`.
+    delta, gamma:
+        Accuracy parameters: the test passes when the posterior places at
+        least ``1 - gamma`` probability within ``delta`` of the MAP estimate.
+    """
+
+    def __init__(self, posterior: PosteriorModel, delta: float, gamma: float):
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must lie in (0, 1), got {delta}")
+        if not 0.0 < gamma < 1.0:
+            raise ValueError(f"gamma must lie in (0, 1), got {gamma}")
+        self._posterior = posterior
+        self._delta = float(delta)
+        self._gamma = float(gamma)
+        self._cache: dict[tuple[int, int], bool] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    @property
+    def gamma(self) -> float:
+        return self._gamma
+
+    @property
+    def hits(self) -> int:
+        """Number of queries answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of queries that required fresh inference."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def is_concentrated(self, m: int, n: int) -> bool:
+        """Whether the estimate after ``m`` of ``n`` matches meets the accuracy target."""
+        key = (int(m), int(n))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        result = (
+            self._posterior.concentration_probability(key[0], key[1], self._delta)
+            >= 1.0 - self._gamma
+        )
+        self._cache[key] = result
+        return result
+
+    def is_concentrated_many(self, matches: np.ndarray, n: int) -> np.ndarray:
+        """Vectorised :meth:`is_concentrated` for an array of match counts at one ``n``."""
+        return np.array(
+            [self.is_concentrated(int(m), int(n)) for m in np.asarray(matches)], dtype=bool
+        )

@@ -1,0 +1,113 @@
+"""Pre-computation of the minimum-matches pruning table (Section 4.3).
+
+Line 10 of Algorithm 1 prunes a pair when ``Pr[S >= t | M(m, n)] < epsilon``.
+Because that probability is monotone non-decreasing in ``m`` for fixed ``n``,
+the test is equivalent to ``m < minMatches(n)`` where
+
+    minMatches(n) = min { m : Pr[S >= t | M(m, n)] >= epsilon }
+
+The table is computed once per (posterior, threshold, epsilon) by binary
+search over ``m`` for every ``n`` that the algorithm will actually encounter
+(multiples of the batch size ``k`` up to the hash budget), removing all
+per-pair inference from the pruning step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.posteriors import PosteriorModel
+
+__all__ = ["MinMatchesTable"]
+
+
+class MinMatchesTable:
+    """Pre-computed ``minMatches(n)`` for all the ``n`` values a run will see.
+
+    Parameters
+    ----------
+    posterior:
+        The posterior model (Beta for Jaccard, truncated collision posterior
+        for cosine).
+    threshold:
+        Similarity threshold ``t``.
+    epsilon:
+        Recall parameter.
+    k:
+        Hash batch size; the table holds entries for ``n = k, 2k, ...``.
+    max_hashes:
+        Largest ``n`` in the table.
+    """
+
+    def __init__(
+        self,
+        posterior: PosteriorModel,
+        threshold: float,
+        epsilon: float,
+        k: int,
+        max_hashes: int,
+    ):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if max_hashes < k:
+            raise ValueError(f"max_hashes ({max_hashes}) must be at least k ({k})")
+        self._posterior = posterior
+        self._threshold = float(threshold)
+        self._epsilon = float(epsilon)
+        self._k = int(k)
+        self._max_hashes = int(max_hashes)
+        self._ns = np.arange(k, max_hashes + 1, k, dtype=np.int64)
+        self._table = {int(n): self._compute_min_matches(int(n)) for n in self._ns}
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def checkpoints(self) -> np.ndarray:
+        """The ``n`` values for which the table holds entries."""
+        return self._ns
+
+    def _compute_min_matches(self, n: int) -> int:
+        """Binary search for the smallest ``m`` with Pr[S >= t | M(m, n)] >= epsilon.
+
+        Returns ``n + 1`` when even ``m = n`` cannot reach the target, which
+        makes ``passes()`` False for every possible match count.
+        """
+        posterior = self._posterior
+        if posterior.prob_above_threshold(n, n, self._threshold) < self._epsilon:
+            return n + 1
+        if posterior.prob_above_threshold(0, n, self._threshold) >= self._epsilon:
+            return 0
+        low, high = 0, n  # invariant: prob(low) < eps <= prob(high)
+        while high - low > 1:
+            mid = (low + high) // 2
+            if posterior.prob_above_threshold(mid, n, self._threshold) >= self._epsilon:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def min_matches(self, n: int) -> int:
+        """``minMatches(n)``; computed on demand for ``n`` outside the table."""
+        entry = self._table.get(int(n))
+        if entry is None:
+            entry = self._compute_min_matches(int(n))
+            self._table[int(n)] = entry
+        return entry
+
+    def passes(self, m: int, n: int) -> bool:
+        """True when a pair with ``m`` of ``n`` matches survives the pruning test."""
+        return m >= self.min_matches(n)
+
+    def passes_many(self, matches: np.ndarray, n: int) -> np.ndarray:
+        """Vectorised :meth:`passes` for an array of match counts at one ``n``."""
+        return np.asarray(matches) >= self.min_matches(n)
+
+    def as_array(self) -> np.ndarray:
+        """The table as an ``(n, minMatches(n))`` array over the checkpoints."""
+        return np.array([[int(n), self._table[int(n)]] for n in self._ns], dtype=np.int64)

@@ -1,0 +1,126 @@
+"""User-facing parameter objects for BayesLSH and BayesLSH-Lite.
+
+The paper's headline usability claim is that its three parameters map
+directly onto output-quality guarantees:
+
+* ``epsilon`` — recall knob: every pair whose posterior probability of being
+  a true positive exceeds ``epsilon`` is kept (guarantee 1);
+* ``delta`` and ``gamma`` — accuracy knobs: every reported similarity
+  estimate is within ``delta`` of the truth with probability at least
+  ``1 - gamma`` (guarantee 2).
+
+BayesLSH-Lite computes exact similarities for unpruned pairs, so it drops
+``delta``/``gamma`` and instead takes ``h``, the maximum number of hashes
+spent on pruning before falling back to an exact computation.
+
+Both parameter objects also carry the batch size ``k`` (the number of hashes
+compared per round, 32 in the paper because a cosine hash is one bit and 32
+of them fill a machine word) and a cap on the total number of hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["BayesLSHParams", "BayesLSHLiteParams"]
+
+
+def _check_unit_interval(name: str, value: float, *, open_left: bool = True) -> None:
+    low_ok = value > 0.0 if open_left else value >= 0.0
+    if not (low_ok and value < 1.0):
+        bracket = "(0, 1)" if open_left else "[0, 1)"
+        raise ValueError(f"{name} must lie in {bracket}, got {value}")
+
+
+@dataclass(frozen=True)
+class BayesLSHParams:
+    """Parameters of Algorithm 1 (BayesLSH).
+
+    Attributes
+    ----------
+    threshold:
+        Similarity threshold ``t``; only pairs with similarity ``>= t`` are
+        of interest.
+    epsilon:
+        Recall parameter: prune a pair as soon as
+        ``Pr[S >= t | M(m, n)] < epsilon``.  Smaller values mean higher
+        recall (fewer false negatives) at the cost of weaker pruning.
+    delta, gamma:
+        Accuracy parameters: keep comparing hashes until the similarity
+        estimate satisfies ``Pr[|S - S_hat| < delta] >= 1 - gamma``.
+    k:
+        Number of hashes compared per round (32 in the paper).
+    max_hashes:
+        Upper bound on the number of hashes examined per pair.  If a pair is
+        neither pruned nor concentrated by then, the current MAP estimate is
+        emitted.  2048 matches the paper's LSH-Approx budget for cosine.
+    """
+
+    threshold: float
+    epsilon: float = 0.03
+    delta: float = 0.05
+    gamma: float = 0.03
+    k: int = 32
+    max_hashes: int = 2048
+
+    def __post_init__(self):
+        _check_unit_interval("threshold", self.threshold)
+        _check_unit_interval("epsilon", self.epsilon)
+        _check_unit_interval("delta", self.delta)
+        _check_unit_interval("gamma", self.gamma)
+        if self.k <= 0:
+            raise ValueError(f"k must be a positive integer, got {self.k}")
+        if self.max_hashes < self.k:
+            raise ValueError(
+                f"max_hashes ({self.max_hashes}) must be at least k ({self.k})"
+            )
+
+    def with_threshold(self, threshold: float) -> "BayesLSHParams":
+        """A copy of these parameters with a different similarity threshold."""
+        return replace(self, threshold=threshold)
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of comparison rounds implied by ``max_hashes`` and ``k``."""
+        return self.max_hashes // self.k
+
+
+@dataclass(frozen=True)
+class BayesLSHLiteParams:
+    """Parameters of Algorithm 2 (BayesLSH-Lite).
+
+    Attributes
+    ----------
+    threshold:
+        Similarity threshold ``t``.
+    epsilon:
+        Recall parameter, as in :class:`BayesLSHParams`.
+    h:
+        Maximum number of hashes examined for pruning; pairs that survive all
+        ``h`` hashes have their similarity computed exactly.  The paper uses
+        128 for cosine and 64 for Jaccard.
+    k:
+        Number of hashes compared per round.
+    """
+
+    threshold: float
+    epsilon: float = 0.03
+    h: int = 128
+    k: int = 32
+
+    def __post_init__(self):
+        _check_unit_interval("threshold", self.threshold)
+        _check_unit_interval("epsilon", self.epsilon)
+        if self.k <= 0:
+            raise ValueError(f"k must be a positive integer, got {self.k}")
+        if self.h < self.k:
+            raise ValueError(f"h ({self.h}) must be at least k ({self.k})")
+
+    def with_threshold(self, threshold: float) -> "BayesLSHLiteParams":
+        """A copy of these parameters with a different similarity threshold."""
+        return replace(self, threshold=threshold)
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of comparison rounds implied by ``h`` and ``k``."""
+        return self.h // self.k

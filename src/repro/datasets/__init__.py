@@ -1,0 +1,37 @@
+"""Datasets: the :class:`Dataset` container, synthetic generators and the registry.
+
+The paper evaluates on six real corpora (RCV1, two Wikipedia text corpora,
+the Wikipedia link graph, Orkut and Twitter follower graphs) totalling
+hundreds of millions of non-zeros.  Those corpora are not redistributable
+and far exceed a laptop-scale reproduction, so this package provides
+synthetic generators that reproduce the *relevant characteristics* of each:
+Zipf-distributed feature frequencies, TF-IDF weighting, matched
+average-length / length-variance regimes, and planted groups of similar
+vectors so that every threshold in the evaluation has true positives.
+
+``registry.load_dataset("rcv1")`` and friends return scaled-down synthetic
+stand-ins configured to mirror each paper dataset's shape (see
+``registry.PAPER_STATISTICS`` for the original numbers reported in Table 1).
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import synthetic_text_corpus, synthetic_graph
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_STATISTICS,
+    dataset_spec,
+    load_dataset,
+)
+from repro.datasets.io import save_collection, load_collection
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "PAPER_STATISTICS",
+    "dataset_spec",
+    "load_collection",
+    "load_dataset",
+    "save_collection",
+    "synthetic_graph",
+    "synthetic_text_corpus",
+]

@@ -1,0 +1,139 @@
+"""The :class:`Dataset` container: a named vector collection plus metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["Dataset", "DatasetStatistics"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The per-dataset statistics reported in Table 1 of the paper."""
+
+    n_vectors: int
+    n_features: int
+    average_length: float
+    nnz: int
+
+    def as_row(self) -> tuple[int, int, float, int]:
+        return (self.n_vectors, self.n_features, self.average_length, self.nnz)
+
+
+@dataclass
+class Dataset:
+    """A named collection of vectors, the unit every algorithm operates on.
+
+    Attributes
+    ----------
+    collection:
+        The underlying :class:`VectorCollection` (weighted view).
+    name:
+        Human-readable name (used in reports and benchmark output).
+    description:
+        Free-form description, e.g. which paper dataset this stands in for.
+    metadata:
+        Generator parameters and other provenance.
+    """
+
+    collection: VectorCollection
+    name: str = "dataset"
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, array, name: str = "dataset", **metadata) -> "Dataset":
+        """Build a dataset from a dense 2-D array."""
+        return cls(VectorCollection.from_dense(array), name=name, metadata=metadata)
+
+    @classmethod
+    def from_sparse(cls, matrix, name: str = "dataset", **metadata) -> "Dataset":
+        """Build a dataset from any scipy sparse matrix."""
+        return cls(VectorCollection(matrix), name=name, metadata=metadata)
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Iterable[Iterable[int]],
+        n_features: int | None = None,
+        name: str = "dataset",
+        **metadata,
+    ) -> "Dataset":
+        """Build a binary dataset from an iterable of token-id sets."""
+        return cls(
+            VectorCollection.from_sets(sets, n_features=n_features),
+            name=name,
+            metadata=metadata,
+        )
+
+    @classmethod
+    def from_dicts(
+        cls,
+        dicts: Iterable[Mapping[int, float]],
+        n_features: int | None = None,
+        name: str = "dataset",
+        **metadata,
+    ) -> "Dataset":
+        """Build a weighted dataset from ``{feature: weight}`` mappings."""
+        return cls(
+            VectorCollection.from_dicts(dicts, n_features=n_features),
+            name=name,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # views and statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vectors(self) -> int:
+        return self.collection.n_vectors
+
+    @property
+    def n_features(self) -> int:
+        return self.collection.n_features
+
+    @property
+    def nnz(self) -> int:
+        return self.collection.nnz
+
+    def __len__(self) -> int:
+        return self.n_vectors
+
+    def statistics(self) -> DatasetStatistics:
+        """Table-1 style statistics of this dataset."""
+        return DatasetStatistics(
+            n_vectors=self.n_vectors,
+            n_features=self.n_features,
+            average_length=round(self.collection.average_length, 1),
+            nnz=self.nnz,
+        )
+
+    def binarized(self) -> "Dataset":
+        """A binary view of this dataset (for the Jaccard / binary-cosine experiments)."""
+        return Dataset(
+            self.collection.binarized(),
+            name=f"{self.name} (binary)",
+            description=self.description,
+            metadata=dict(self.metadata, binary=True),
+        )
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """A dataset restricted to the given row indices."""
+        return Dataset(
+            self.collection.subset(indices),
+            name=f"{self.name} (subset)",
+            description=self.description,
+            metadata=dict(self.metadata, subset_size=len(list(indices))),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n_vectors={self.n_vectors}, "
+            f"n_features={self.n_features}, nnz={self.nnz})"
+        )

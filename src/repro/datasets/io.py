@@ -1,0 +1,49 @@
+"""Saving and loading vector collections to ``.npz`` files.
+
+The synthetic generators are fast enough that persistence is rarely needed,
+but the benchmark harness caches generated datasets between runs and users
+may want to run the library on their own data exported from another system;
+the CSR components are stored directly so round-trips are loss-less.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["save_collection", "load_collection"]
+
+
+def save_collection(collection: VectorCollection, path: str | Path) -> Path:
+    """Save a collection to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    matrix = collection.matrix
+    np.savez_compressed(
+        path,
+        data=matrix.data,
+        indices=matrix.indices,
+        indptr=matrix.indptr,
+        shape=np.asarray(matrix.shape, dtype=np.int64),
+        ids=collection.ids,
+    )
+    return path
+
+
+def load_collection(path: str | Path) -> VectorCollection:
+    """Load a collection previously written by :func:`save_collection`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        matrix = sp.csr_matrix(
+            (archive["data"], archive["indices"], archive["indptr"]),
+            shape=tuple(archive["shape"]),
+        )
+        ids = archive["ids"]
+    return VectorCollection(matrix, ids=ids)

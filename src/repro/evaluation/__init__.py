@@ -1,0 +1,32 @@
+"""Evaluation harness: ground truth, quality metrics, timing and reporting.
+
+This package produces the numbers behind every table and figure in the
+paper's evaluation: exact ground-truth pair sets, recall and similarity-error
+statistics, repeated-run timing with timeouts, and plain-text table /
+series rendering for terminal output.
+"""
+
+from repro.evaluation.ground_truth import exact_all_pairs, GroundTruth
+from repro.evaluation.metrics import (
+    error_statistics,
+    false_negative_rate,
+    precision,
+    recall,
+    ErrorStatistics,
+)
+from repro.evaluation.timing import TimedRun, time_pipeline
+from repro.evaluation.reporting import format_table, format_series
+
+__all__ = [
+    "ErrorStatistics",
+    "GroundTruth",
+    "TimedRun",
+    "error_statistics",
+    "exact_all_pairs",
+    "false_negative_rate",
+    "format_series",
+    "format_table",
+    "precision",
+    "recall",
+    "time_pipeline",
+]

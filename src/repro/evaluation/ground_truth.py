@@ -1,0 +1,101 @@
+"""Exact ground truth for all-pairs similarity search.
+
+Computes, by exhaustive (but vectorised) comparison, the set of all pairs
+with similarity above a threshold together with their exact similarities.
+Quadratic in the number of vectors; intended for the evaluation harness and
+for tests, not for production search (that is what the library itself is
+for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.engine import as_collection
+from repro.similarity.measures import get_measure
+from repro.verification.base import exact_similarities_for_pairs
+
+__all__ = ["GroundTruth", "exact_all_pairs"]
+
+
+@dataclass
+class GroundTruth:
+    """The exact answer to an all-pairs similarity query.
+
+    Attributes
+    ----------
+    left, right, similarities:
+        Parallel arrays describing every pair with similarity strictly above
+        the threshold (``left < right``).
+    threshold, measure:
+        The query parameters.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    similarities: np.ndarray
+    threshold: float
+    measure: str
+
+    def __len__(self) -> int:
+        return len(self.left)
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        return {(int(i), int(j)) for i, j in zip(self.left, self.right)}
+
+    def similarity_map(self) -> dict[tuple[int, int], float]:
+        return {
+            (int(i), int(j)): float(s)
+            for i, j, s in zip(self.left, self.right, self.similarities)
+        }
+
+
+def exact_all_pairs(
+    data,
+    threshold: float,
+    measure: str = "cosine",
+    block_size: int = 512,
+) -> GroundTruth:
+    """Compute every pair with similarity above ``threshold`` exhaustively.
+
+    Only pairs of vectors sharing at least one feature are examined (pairs
+    with disjoint supports have similarity zero under all supported
+    measures), in blocks so memory use stays bounded.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+    measure_obj = get_measure(measure)
+    collection = as_collection(data)
+    prepared = measure_obj.prepare(collection)
+    binary = prepared.binarized().matrix
+    n = prepared.n_vectors
+
+    lefts: list[np.ndarray] = []
+    rights: list[np.ndarray] = []
+    for start in range(0, n, block_size):
+        end = min(start + block_size, n)
+        # Pairs (i in block, j anywhere) sharing a feature.
+        overlap = (binary[start:end] @ binary.T).tocoo()
+        rows = overlap.row + start
+        cols = overlap.col
+        mask = rows < cols
+        lefts.append(rows[mask].astype(np.int64))
+        rights.append(cols[mask].astype(np.int64))
+    if lefts:
+        left = np.concatenate(lefts)
+        right = np.concatenate(rights)
+    else:
+        left = np.zeros(0, dtype=np.int64)
+        right = np.zeros(0, dtype=np.int64)
+
+    similarities = exact_similarities_for_pairs(prepared, measure_obj, left, right)
+    above = similarities > threshold
+    return GroundTruth(
+        left=left[above],
+        right=right[above],
+        similarities=similarities[above],
+        threshold=float(threshold),
+        measure=measure_obj.name,
+    )

@@ -1,0 +1,115 @@
+"""Output-quality metrics: recall, precision and similarity-error statistics.
+
+These are the quantities the paper reports:
+
+* **recall** (Tables 3 and 5) — the fraction of true pairs (similarity above
+  the threshold) present in a method's output;
+* **error statistics** (Tables 4 and 5, Figure 2's discussion) — for methods
+  that report similarity *estimates*, the fraction of output pairs whose
+  estimate is off by more than 0.05 and the mean absolute error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.ground_truth import GroundTruth
+from repro.search.results import SearchResult
+
+__all__ = [
+    "recall",
+    "precision",
+    "false_negative_rate",
+    "error_statistics",
+    "ErrorStatistics",
+]
+
+
+def recall(result: SearchResult, truth: GroundTruth) -> float:
+    """Fraction of true pairs present in the result (1.0 when there are no true pairs)."""
+    true_pairs = truth.pair_set()
+    if not true_pairs:
+        return 1.0
+    found = result.pair_set()
+    return len(true_pairs & found) / len(true_pairs)
+
+
+def false_negative_rate(result: SearchResult, truth: GroundTruth) -> float:
+    """``1 - recall``: the fraction of true pairs the method missed."""
+    return 1.0 - recall(result, truth)
+
+
+def precision(result: SearchResult, truth: GroundTruth) -> float:
+    """Fraction of reported pairs that are true pairs (1.0 for an empty result)."""
+    found = result.pair_set()
+    if not found:
+        return 1.0
+    true_pairs = truth.pair_set()
+    return len(true_pairs & found) / len(found)
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Similarity-estimate accuracy over the pairs a method reported.
+
+    Attributes
+    ----------
+    n_pairs:
+        Number of reported pairs whose true similarity was available.
+    mean_error:
+        Mean absolute estimation error.
+    max_error:
+        Largest absolute estimation error.
+    fraction_above:
+        Fraction of estimates whose absolute error exceeds ``error_bound``.
+    error_bound:
+        The error bound used for ``fraction_above`` (0.05 in the paper).
+    """
+
+    n_pairs: int
+    mean_error: float
+    max_error: float
+    fraction_above: float
+    error_bound: float
+
+    @property
+    def percent_above(self) -> float:
+        """``fraction_above`` expressed as a percentage (as in Table 4)."""
+        return 100.0 * self.fraction_above
+
+
+def error_statistics(
+    result: SearchResult,
+    truth: GroundTruth | None = None,
+    exact_similarities: dict[tuple[int, int], float] | None = None,
+    error_bound: float = 0.05,
+) -> ErrorStatistics:
+    """Accuracy of a result's similarity estimates against exact values.
+
+    Exact similarities are taken from ``exact_similarities`` when given,
+    otherwise from the ground truth's similarity map; reported pairs whose
+    exact similarity is unknown (below-threshold false positives when only a
+    ground truth is available) are skipped.
+    """
+    if exact_similarities is None:
+        if truth is None:
+            raise ValueError("provide either a ground truth or an exact similarity map")
+        exact_similarities = truth.similarity_map()
+    errors = []
+    for pair, estimate in result.similarity_map().items():
+        exact = exact_similarities.get(pair)
+        if exact is None:
+            continue
+        errors.append(abs(estimate - exact))
+    if not errors:
+        return ErrorStatistics(0, 0.0, 0.0, 0.0, error_bound)
+    errors_array = np.asarray(errors, dtype=np.float64)
+    return ErrorStatistics(
+        n_pairs=len(errors_array),
+        mean_error=float(errors_array.mean()),
+        max_error=float(errors_array.max()),
+        fraction_above=float(np.mean(errors_array > error_bound)),
+        error_bound=error_bound,
+    )

@@ -1,0 +1,84 @@
+"""Plain-text rendering of tables and series for experiment output.
+
+The experiment modules print the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-friendly rendering of one cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "timeout"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "  ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(headers))
+    lines.append(render_line(["-" * width for width in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render named series sharing an x-axis as a table (one column per series).
+
+    This is how the figure experiments print their data: the same points the
+    paper plots, as numbers.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)

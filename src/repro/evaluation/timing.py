@@ -1,0 +1,104 @@
+"""Timing harness: repeated runs, averaging and timeouts.
+
+The paper runs every randomised algorithm three times and reports the mean
+full execution time, and kills any algorithm exceeding a 50-hour budget
+(reporting only a lower bound on the speedups over it).  This module
+reproduces that protocol at laptop scale: ``time_pipeline`` runs a pipeline
+``repeats`` times with different seeds, and a per-run ``timeout`` marks the
+measurement as censored rather than waiting forever.
+
+The timeout is cooperative (checked between runs), because the algorithms
+are pure Python/numpy and cannot be safely interrupted mid-run; the runs
+themselves are sized so that a single run never dominates the budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.search.pipelines import make_pipeline
+from repro.search.results import SearchResult
+
+__all__ = ["TimedRun", "time_pipeline"]
+
+
+@dataclass
+class TimedRun:
+    """Aggregate of repeated timed executions of one pipeline.
+
+    Attributes
+    ----------
+    pipeline:
+        Pipeline name.
+    times:
+        Wall-clock seconds of each completed run.
+    result:
+        The :class:`SearchResult` of the last completed run (None when every
+        run timed out).
+    timed_out:
+        True when the measurement was censored by the timeout.
+    """
+
+    pipeline: str
+    times: list[float] = field(default_factory=list)
+    result: SearchResult | None = None
+    timed_out: bool = False
+
+    @property
+    def mean_time(self) -> float:
+        """Mean wall-clock seconds over completed runs (``inf`` when censored with no runs)."""
+        if not self.times:
+            return float("inf")
+        return float(sum(self.times) / len(self.times))
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.times) and not self.timed_out
+
+
+def time_pipeline(
+    name: str,
+    data,
+    measure: str,
+    threshold: float,
+    repeats: int = 3,
+    timeout: float | None = None,
+    seed: int = 0,
+    **pipeline_kwargs,
+) -> TimedRun:
+    """Run a pipeline ``repeats`` times and aggregate the wall-clock times.
+
+    Parameters
+    ----------
+    name, data, measure, threshold, pipeline_kwargs:
+        Forwarded to :func:`repro.search.pipelines.make_pipeline`.
+    repeats:
+        Number of runs; randomised pipelines get a different seed per run
+        (``seed``, ``seed + 1``, ...), deterministic ones simply repeat.
+    timeout:
+        Total wall-clock budget in seconds across all runs; when exceeded the
+        remaining runs are skipped and the measurement is marked
+        ``timed_out`` (mirroring the paper's 50-hour kill rule).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    run = TimedRun(pipeline=name)
+    budget_start = time.perf_counter()
+    for attempt in range(repeats):
+        if timeout is not None and (time.perf_counter() - budget_start) > timeout:
+            run.timed_out = True
+            break
+        engine = make_pipeline(
+            name, data, measure=measure, threshold=threshold, seed=seed + attempt, **pipeline_kwargs
+        )
+        result = engine.run(data)
+        run.times.append(result.total_time)
+        run.result = result
+        if timeout is not None and (time.perf_counter() - budget_start) > timeout:
+            # Budget exhausted after this run: keep the measurement but note
+            # that later repetitions were skipped.
+            if attempt + 1 < repeats:
+                run.timed_out = True
+            break
+    return run

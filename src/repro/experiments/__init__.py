@@ -1,0 +1,47 @@
+"""Experiments reproducing every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult`` and can be executed from
+the command line through :mod:`repro.experiments.runner`:
+
+.. code-block:: console
+
+   bayeslsh-experiments figure4 --scale 0.5
+   bayeslsh-experiments all --quick
+
+=============  =====================================================================
+experiment     paper content
+=============  =====================================================================
+``figure1``    hashes needed for a fixed accuracy as a function of the similarity
+``figure2``    running time while varying gamma, delta, epsilon one at a time
+``figure3``    timing comparison of all pipelines across datasets and thresholds
+``figure4``    candidates surviving BayesLSH pruning vs number of hashes examined
+``figure5``    posterior convergence from very different priors (appendix)
+``table1``     dataset statistics
+``table2``     fastest BayesLSH variant per dataset and speedups over baselines
+``table3``     recall of AP+BayesLSH and AP+BayesLSH-Lite
+``table4``     % of similarity estimates with error > 0.05 (LSH Approx vs BayesLSH)
+``table5``     output quality while varying gamma, delta, epsilon
+=============  =====================================================================
+
+The runs operate on the synthetic stand-in datasets from
+:mod:`repro.datasets.registry`; shapes and orderings are expected to match
+the paper, absolute seconds are not (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENT_IDS"]
+
+#: the experiments the runner knows about, in presentation order
+EXPERIMENT_IDS: tuple[str, ...] = (
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+)

@@ -1,0 +1,72 @@
+"""Figure 1: hashes required for a fixed accuracy vs the true similarity.
+
+The paper's motivating plot: with the standard fixed-``n`` maximum likelihood
+estimator, the number of hashes needed for
+``Pr[|s_hat - s| < delta] >= 1 - gamma`` depends strongly on the (unknown)
+similarity ``s`` — about 350 hashes at ``s = 0.5`` versus about 16 at
+``s = 0.95`` for ``delta = gamma = 0.05``.  This experiment regenerates the
+curve from the exact binomial computation of Section 3.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import minimum_hashes_for_accuracy
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    delta: float = 0.05,
+    gamma: float = 0.05,
+    similarities: np.ndarray | None = None,
+    max_hashes: int = 5000,
+) -> ExperimentResult:
+    """Compute the required-hash-count curve.
+
+    Parameters
+    ----------
+    delta, gamma:
+        Accuracy requirement (the paper uses 0.05 for both).
+    similarities:
+        Similarity grid; defaults to 0.05 .. 0.95 in steps of 0.05.
+    max_hashes:
+        Search budget per similarity value.
+    """
+    if similarities is None:
+        similarities = np.round(np.arange(0.05, 0.96, 0.05), 2)
+    similarities = np.asarray(similarities, dtype=np.float64)
+
+    rows = []
+    for similarity in similarities:
+        required = minimum_hashes_for_accuracy(
+            float(similarity), delta=delta, gamma=gamma, max_hashes=max_hashes, boundary="strict"
+        )
+        rows.append([float(similarity), int(required)])
+
+    result = ExperimentResult(
+        experiment_id="figure1",
+        title="Hashes required for |s_hat - s| < delta with probability 1 - gamma, "
+        "as a function of the true similarity",
+        parameters={"delta": delta, "gamma": gamma, "max_hashes": max_hashes},
+    )
+    result.add_table(
+        "required_hashes",
+        headers=["similarity", "hashes_required"],
+        rows=rows,
+        caption=f"Figure 1 (delta={delta}, gamma={gamma})",
+    )
+    peak = max(rows, key=lambda row: row[1])
+    result.notes.append(
+        "the curve peaks near similarity 0.5 and falls towards 0 and 1 "
+        f"(peak here: {peak[1]} hashes at s={peak[0]}); the paper quotes ~350 at 0.5 and 16 at "
+        "0.95 — the value at the extremes depends on how the interval endpoints are rounded "
+        "(see repro.core.estimators.probability_within_delta's boundary parameter)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    print(run().render())

@@ -1,0 +1,92 @@
+"""Figure 5 (appendix): posterior convergence from very different priors.
+
+The appendix shows that for the cosine collision probability ``r`` on
+``[0.5, 1]``, three very different priors — proportional to ``r^-3``,
+uniform, and ``r^3`` — produce nearly identical posteriors after a small
+number of hash observations (32, 64, 128 hashes with 75% agreement,
+corresponding to a cosine similarity of about 0.70).
+
+Rather than plotting densities, this experiment reports for each prior and
+each observation count the posterior MAP (mapped to cosine), the posterior
+mean of ``r``, and the total-variation distance to the uniform-prior
+posterior — the numbers behind the "posteriors become very similar" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.posteriors import GridCollisionPosterior
+from repro.experiments.common import ExperimentResult
+from repro.hashing.simhash import collision_to_cosine
+
+__all__ = ["run", "PRIORS"]
+
+#: the three priors of Figure 5 (unnormalised densities on [0.5, 1])
+PRIORS = {
+    "x^-3": lambda r: r**-3.0,
+    "uniform": lambda r: np.ones_like(r),
+    "x^3": lambda r: r**3.0,
+}
+
+#: the observation checkpoints of Figure 5: (n hashes, m agreements)
+OBSERVATIONS: tuple[tuple[int, int], ...] = ((32, 24), (64, 48), (128, 96))
+
+
+def _total_variation(grid: np.ndarray, p: np.ndarray, q: np.ndarray) -> float:
+    return 0.5 * float(np.trapezoid(np.abs(p - q), grid))
+
+
+def run(grid_size: int = 2049) -> ExperimentResult:
+    """Compare posteriors under the three priors at each observation checkpoint."""
+    posteriors = {
+        name: GridCollisionPosterior(density, grid_size=grid_size)
+        for name, density in PRIORS.items()
+    }
+    grid = posteriors["uniform"].grid
+
+    rows = []
+    for n, m in OBSERVATIONS:
+        densities = {name: post.posterior_density_r(m, n) for name, post in posteriors.items()}
+        for name, post in posteriors.items():
+            density = densities[name]
+            map_cosine = post.map_estimate(m, n)
+            mean_r = float(np.trapezoid(grid * density, grid))
+            tv_to_uniform = _total_variation(grid, density, densities["uniform"])
+            rows.append(
+                [
+                    f"{m}/{n}",
+                    name,
+                    round(map_cosine, 4),
+                    round(float(collision_to_cosine(mean_r)), 4),
+                    round(tv_to_uniform, 4),
+                ]
+            )
+
+    result = ExperimentResult(
+        experiment_id="figure5",
+        title="Posterior convergence from different priors (appendix, Figure 5)",
+        parameters={"grid_size": grid_size, "observations": list(OBSERVATIONS)},
+    )
+    result.add_table(
+        "posteriors",
+        headers=[
+            "matches/hashes",
+            "prior",
+            "MAP cosine estimate",
+            "posterior-mean cosine",
+            "TV distance to uniform-prior posterior",
+        ],
+        rows=rows,
+        caption="Figure 5: posteriors after observing ~75% hash agreement",
+    )
+    result.notes.append(
+        "the total-variation distance between posteriors from the extreme priors and the "
+        "uniform prior shrinks quickly with the number of observed hashes, which is the "
+        "paper's justification for the simple uniform prior"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    print(run().render())

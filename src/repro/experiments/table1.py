@@ -1,0 +1,65 @@
+"""Table 1: dataset statistics (vectors, dimensions, average length, non-zeros).
+
+The reproduction uses synthetic stand-ins, so this table reports both the
+paper's original statistics and those of the stand-ins actually used in the
+experiments, side by side.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_NAMES, PAPER_STATISTICS
+from repro.experiments.common import ExperimentResult, load_experiment_dataset
+
+__all__ = ["run"]
+
+
+def run(scale: float = 0.5, seed: int = 0) -> ExperimentResult:
+    """Tabulate paper-vs-reproduction dataset statistics."""
+    rows = []
+    for name in DATASET_NAMES:
+        paper = PAPER_STATISTICS[name]
+        dataset = load_experiment_dataset(name, scale=scale, seed=seed)
+        ours = dataset.statistics()
+        rows.append(
+            [
+                name,
+                paper.n_vectors,
+                ours.n_vectors,
+                paper.n_features,
+                ours.n_features,
+                paper.average_length,
+                ours.average_length,
+                paper.nnz,
+                ours.nnz,
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Dataset details (paper corpora vs synthetic stand-ins)",
+        parameters={"scale": scale, "seed": seed},
+    )
+    result.add_table(
+        "datasets",
+        headers=[
+            "dataset",
+            "vectors (paper)",
+            "vectors (ours)",
+            "dims (paper)",
+            "dims (ours)",
+            "avg len (paper)",
+            "avg len (ours)",
+            "nnz (paper)",
+            "nnz (ours)",
+        ],
+        rows=rows,
+        caption="Table 1: dataset details",
+    )
+    result.notes.append(
+        "stand-ins are scaled down uniformly; the preserved properties are the relative "
+        "average lengths and length-variance regimes across datasets, not the absolute sizes"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    print(run().render())

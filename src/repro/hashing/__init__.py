@@ -1,0 +1,39 @@
+"""Locality-sensitive hash families and signature storage.
+
+Two LSH families from the paper are implemented:
+
+* :class:`~repro.hashing.minhash.MinHashFamily` — minwise hashing for Jaccard
+  similarity.  Each hash is an integer (the minimum element of the row's
+  support under a random universal-hash "permutation").
+* :class:`~repro.hashing.simhash.SimHashFamily` — signed random projections
+  for cosine similarity.  Each hash is a single bit, and the collision
+  probability is ``r(x, y) = 1 - theta(x, y) / pi``.
+
+Signatures are stored in compact stores (:mod:`repro.hashing.signatures`)
+that support the two operations every algorithm needs: counting hash
+agreements over a prefix range ``[start, end)`` of hash indices (BayesLSH's
+incremental comparison), and extracting banded signatures for the LSH
+candidate-generation index.
+
+The 2-byte quantisation scheme for storing random Gaussian projections
+(Section 4.3 of the paper) lives in :mod:`repro.hashing.quantization`.
+"""
+
+from repro.hashing.base import HashFamily, get_hash_family
+from repro.hashing.minhash import MinHashFamily
+from repro.hashing.simhash import SimHashFamily
+from repro.hashing.quantization import QuantizedGaussian, quantize_floats, dequantize_floats
+from repro.hashing.signatures import BitSignatures, IntSignatures, SignatureStore
+
+__all__ = [
+    "BitSignatures",
+    "HashFamily",
+    "IntSignatures",
+    "MinHashFamily",
+    "QuantizedGaussian",
+    "SignatureStore",
+    "SimHashFamily",
+    "dequantize_floats",
+    "get_hash_family",
+    "quantize_floats",
+]

@@ -1,0 +1,108 @@
+"""Abstract interface of an LSH family.
+
+A :class:`HashFamily` turns a :class:`~repro.similarity.vectors.VectorCollection`
+into a growable :class:`~repro.hashing.signatures.SignatureStore`.  The key
+property (Equation 1 of the paper) is that for a random hash function drawn
+from the family,
+
+    Pr[h(x) == h(y)] = sim(x, y)
+
+where ``sim`` is the family's *collision similarity*.  For minwise hashing
+that collision similarity is exactly the Jaccard similarity; for signed
+random projections it is ``r(x, y) = 1 - theta(x, y) / pi``, which BayesLSH
+maps back to cosine similarity in the posterior layer.
+
+Families are deterministic given their seed: requesting hashes
+``0 .. n-1`` twice produces the same values, and requesting more hashes
+extends the store without changing hashes already produced.  That determinism
+is what allows candidate generation and candidate verification to share one
+set of signatures (advantage 3 in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.hashing.signatures import SignatureStore
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["HashFamily", "get_hash_family"]
+
+
+class HashFamily(ABC):
+    """A seeded LSH family bound to a particular vector collection."""
+
+    #: machine readable family name ("minhash" or "simhash")
+    name: str = ""
+    #: True when each hash is a single bit (packed storage, cheap to compare)
+    produces_bits: bool = False
+
+    def __init__(self, collection: VectorCollection, seed: int = 0):
+        self._collection = collection
+        self._seed = int(seed)
+        self._store: SignatureStore | None = None
+
+    @property
+    def collection(self) -> VectorCollection:
+        return self._collection
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def n_hashes(self) -> int:
+        """Number of hash functions materialised so far."""
+        return 0 if self._store is None else self._store.n_hashes
+
+    @abstractmethod
+    def _make_store(self) -> SignatureStore:
+        """Create an empty store of the right concrete type."""
+
+    @abstractmethod
+    def _extend(self, store: SignatureStore, n_new: int) -> None:
+        """Append ``n_new`` freshly generated hashes to ``store``."""
+
+    def signatures(self, n_hashes: int) -> SignatureStore:
+        """Return a store holding *at least* ``n_hashes`` hashes per vector.
+
+        Hashes are generated lazily and cached, so repeated calls with
+        growing ``n_hashes`` only pay for the new hash functions.
+        """
+        if n_hashes < 0:
+            raise ValueError(f"n_hashes must be non-negative, got {n_hashes}")
+        if self._store is None:
+            self._store = self._make_store()
+        missing = n_hashes - self._store.n_hashes
+        if missing > 0:
+            self._extend(self._store, missing)
+        return self._store
+
+    @abstractmethod
+    def collision_similarity(self, exact_similarity: float) -> float:
+        """Map an exact similarity value to the family's collision probability."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_vectors={self._collection.n_vectors}, "
+            f"seed={self._seed}, n_hashes={self.n_hashes})"
+        )
+
+
+def get_hash_family(
+    name: str, collection: VectorCollection, seed: int = 0, **kwargs
+) -> HashFamily:
+    """Instantiate a hash family by name (``"minhash"`` or ``"simhash"``)."""
+    from repro.hashing.minhash import MinHashFamily
+    from repro.hashing.simhash import SimHashFamily
+
+    families: dict[str, type[HashFamily]] = {
+        "minhash": MinHashFamily,
+        "simhash": SimHashFamily,
+    }
+    try:
+        factory = families[name]
+    except KeyError:
+        known = ", ".join(sorted(families))
+        raise ValueError(f"unknown hash family {name!r}; expected one of: {known}") from None
+    return factory(collection, seed=seed, **kwargs)

@@ -1,0 +1,241 @@
+"""Compact signature stores with prefix agreement counting.
+
+BayesLSH repeatedly asks one question of the hashes: *how many of hashes
+``start .. end-1`` agree between rows* ``i`` *and* ``j``?  The LSH candidate
+generation index asks a second question: *give me the bytes of band* ``b``
+*(hashes ``b*k .. (b+1)*k - 1``) of row* ``i`` so it can be used as a
+hash-table key.
+
+Two stores implement these operations:
+
+* :class:`BitSignatures` — packed bit signatures (one bit per hash) for the
+  signed-random-projection family, stored as ``uint32`` words so that the
+  paper's batch size ``k = 32`` aligns with whole words.
+* :class:`IntSignatures` — integer signatures (one ``int64`` per hash) for
+  minwise hashing.
+
+Both stores are append-only: more hash functions can be added later, which is
+how the library reproduces the paper's "each point is hashed only as many
+times as necessary" behaviour without re-hashing from scratch.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["SignatureStore", "BitSignatures", "IntSignatures"]
+
+_WORD_BITS = 32
+
+
+class SignatureStore(ABC):
+    """Common interface of the two signature containers."""
+
+    @property
+    @abstractmethod
+    def n_vectors(self) -> int:
+        """Number of rows stored."""
+
+    @property
+    @abstractmethod
+    def n_hashes(self) -> int:
+        """Number of hash functions currently materialised."""
+
+    @abstractmethod
+    def count_matches(self, i: int, j: int, start: int, end: int) -> int:
+        """Number of agreeing hashes between rows ``i`` and ``j`` in ``[start, end)``."""
+
+    @abstractmethod
+    def band_key(self, i: int, band: int, band_width: int) -> bytes:
+        """Hashable key for the ``band``-th group of ``band_width`` hashes of row ``i``."""
+
+    def agreement_fraction(self, i: int, j: int, n: int) -> float:
+        """Fraction of the first ``n`` hashes that agree (the MLE estimator)."""
+        if n <= 0:
+            return 0.0
+        return self.count_matches(i, j, 0, n) / n
+
+
+class BitSignatures(SignatureStore):
+    """Packed one-bit-per-hash signatures (signed random projections).
+
+    Bits are stored LSB-first inside ``uint32`` words: hash index ``h`` of row
+    ``i`` lives at word ``h // 32``, bit ``h % 32``.
+    """
+
+    def __init__(self, n_vectors: int):
+        self._n_vectors = int(n_vectors)
+        self._words = np.zeros((self._n_vectors, 0), dtype=np.uint32)
+        self._n_hashes = 0
+
+    @property
+    def n_vectors(self) -> int:
+        return self._n_vectors
+
+    @property
+    def n_hashes(self) -> int:
+        return self._n_hashes
+
+    @property
+    def words(self) -> np.ndarray:
+        """The raw packed words, shape ``(n_vectors, n_words)``."""
+        return self._words
+
+    def append_bits(self, bits: np.ndarray) -> None:
+        """Append a block of new hash bits.
+
+        Parameters
+        ----------
+        bits:
+            Array of shape ``(n_vectors, n_new)`` with values in {0, 1}.  The
+            number of already-stored hashes plus ``n_new`` must stay a
+            multiple of 32 *unless* this is the final block; in practice every
+            caller appends multiples of 32 which keeps words dense.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim != 2 or bits.shape[0] != self._n_vectors:
+            raise ValueError(
+                f"expected bits of shape ({self._n_vectors}, n_new), got {bits.shape}"
+            )
+        n_new = bits.shape[1]
+        if n_new == 0:
+            return
+        if self._n_hashes % _WORD_BITS != 0:
+            raise ValueError(
+                "cannot append to a store whose current size is not a multiple of 32"
+            )
+        bits = bits.astype(np.uint8)
+        # Pack LSB-first into uint32 words.
+        n_words_new = -(-n_new // _WORD_BITS)
+        padded = np.zeros((self._n_vectors, n_words_new * _WORD_BITS), dtype=np.uint8)
+        padded[:, :n_new] = bits
+        shaped = padded.reshape(self._n_vectors, n_words_new, _WORD_BITS)
+        weights = (1 << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
+        new_words = (shaped.astype(np.uint64) * weights).sum(axis=2).astype(np.uint32)
+        self._words = np.hstack([self._words, new_words]) if self._words.size else new_words
+        self._n_hashes += n_new
+
+    def get_bits(self, i: int, start: int, end: int) -> np.ndarray:
+        """Bits of row ``i`` for hash indices ``[start, end)`` as a uint8 array."""
+        if end > self._n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
+        word_start = start // _WORD_BITS
+        word_end = -(-end // _WORD_BITS)
+        words = self._words[i, word_start:word_end]
+        bits = np.unpackbits(
+            words.view(np.uint8).reshape(-1, 4), axis=1, bitorder="little"
+        ).ravel()
+        offset = start - word_start * _WORD_BITS
+        return bits[offset : offset + (end - start)]
+
+    def count_matches(self, i: int, j: int, start: int, end: int) -> int:
+        if end > self._n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
+        if end <= start:
+            return 0
+        if start % _WORD_BITS == 0 and end % _WORD_BITS == 0:
+            word_start = start // _WORD_BITS
+            word_end = end // _WORD_BITS
+            xor = np.bitwise_xor(
+                self._words[i, word_start:word_end], self._words[j, word_start:word_end]
+            )
+            disagreements = int(np.bitwise_count(xor).sum())
+            return (end - start) - disagreements
+        bits_i = self.get_bits(i, start, end)
+        bits_j = self.get_bits(j, start, end)
+        return int(np.sum(bits_i == bits_j))
+
+    def count_matches_many(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`count_matches` over parallel arrays of row indices."""
+        if end > self._n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
+        if end <= start:
+            return np.zeros(len(left), dtype=np.int64)
+        if start % _WORD_BITS or end % _WORD_BITS:
+            return np.array(
+                [self.count_matches(i, j, start, end) for i, j in zip(left, right)],
+                dtype=np.int64,
+            )
+        word_start = start // _WORD_BITS
+        word_end = end // _WORD_BITS
+        xor = np.bitwise_xor(
+            self._words[np.asarray(left), word_start:word_end],
+            self._words[np.asarray(right), word_start:word_end],
+        )
+        disagreements = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
+        return (end - start) - disagreements
+
+    def band_key(self, i: int, band: int, band_width: int) -> bytes:
+        start = band * band_width
+        end = start + band_width
+        if start % _WORD_BITS == 0 and end % _WORD_BITS == 0:
+            word_start = start // _WORD_BITS
+            word_end = end // _WORD_BITS
+            return self._words[i, word_start:word_end].tobytes()
+        return self.get_bits(i, start, end).tobytes()
+
+
+class IntSignatures(SignatureStore):
+    """Integer signatures (minwise hashing), one ``int64`` per hash."""
+
+    def __init__(self, n_vectors: int):
+        self._n_vectors = int(n_vectors)
+        self._values = np.zeros((self._n_vectors, 0), dtype=np.int64)
+
+    @property
+    def n_vectors(self) -> int:
+        return self._n_vectors
+
+    @property
+    def n_hashes(self) -> int:
+        return self._values.shape[1]
+
+    @property
+    def values(self) -> np.ndarray:
+        """The raw signature matrix, shape ``(n_vectors, n_hashes)``."""
+        return self._values
+
+    def append_values(self, values: np.ndarray) -> None:
+        """Append a block of new integer hashes of shape ``(n_vectors, n_new)``."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 2 or values.shape[0] != self._n_vectors:
+            raise ValueError(
+                f"expected values of shape ({self._n_vectors}, n_new), got {values.shape}"
+            )
+        if values.shape[1] == 0:
+            return
+        self._values = (
+            np.hstack([self._values, values]) if self._values.size else values
+        )
+
+    def count_matches(self, i: int, j: int, start: int, end: int) -> int:
+        if end > self.n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
+        if end <= start:
+            return 0
+        return int(np.sum(self._values[i, start:end] == self._values[j, start:end]))
+
+    def count_matches_many(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`count_matches` over parallel arrays of row indices."""
+        if end > self.n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
+        if end <= start:
+            return np.zeros(len(left), dtype=np.int64)
+        equal = (
+            self._values[np.asarray(left), start:end]
+            == self._values[np.asarray(right), start:end]
+        )
+        return equal.sum(axis=1).astype(np.int64)
+
+    def band_key(self, i: int, band: int, band_width: int) -> bytes:
+        start = band * band_width
+        end = start + band_width
+        if end > self.n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
+        return self._values[i, start:end].tobytes()

@@ -1,0 +1,111 @@
+"""Signed random projections (SimHash) — the LSH family for cosine similarity.
+
+Each hash function ``h_i`` is associated with a random vector ``r_i`` whose
+components are standard normal samples; ``h_i(x) = 1`` if ``dot(r_i, x) >= 0``
+and 0 otherwise (Charikar, STOC 2002).  For two vectors ``x, y`` the collision
+probability is
+
+    Pr[h_i(x) == h_i(y)] = 1 - theta(x, y) / pi = r(x, y)
+
+where ``theta`` is the angle between the vectors.  Note that this is *not*
+the cosine similarity itself; the conversion functions
+:func:`cosine_to_collision` (``c2r`` in the paper) and
+:func:`collision_to_cosine` (``r2c``) translate between the two, and the
+BayesLSH posterior for cosine similarity is expressed in terms of ``r`` and
+mapped back to cosine at the end.
+
+The projection vectors are stored with the paper's 2-byte quantisation scheme
+(:mod:`repro.hashing.quantization`) by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import HashFamily
+from repro.hashing.quantization import QuantizedGaussian
+from repro.hashing.signatures import BitSignatures
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["SimHashFamily", "cosine_to_collision", "collision_to_cosine"]
+
+#: number of hash functions generated per lazy extension request
+_BLOCK = 256
+
+
+def cosine_to_collision(cosine: float | np.ndarray) -> float | np.ndarray:
+    """``c2r`` from the paper: map cosine similarity to collision probability.
+
+    ``c2r(c) = 1 - arccos(c) / pi``; for non-negative data (cosine in [0, 1])
+    the result lies in ``[0.5, 1]``.
+    """
+    clipped = np.clip(cosine, -1.0, 1.0)
+    return 1.0 - np.arccos(clipped) / np.pi
+
+
+def collision_to_cosine(collision: float | np.ndarray) -> float | np.ndarray:
+    """``r2c`` from the paper: map collision probability back to cosine.
+
+    ``r2c(r) = cos(pi * (1 - r))``.
+    """
+    return np.cos(np.pi * (1.0 - np.asarray(collision, dtype=np.float64)))
+
+
+class SimHashFamily(HashFamily):
+    """Signed-random-projection hash family producing one bit per hash.
+
+    Parameters
+    ----------
+    collection:
+        The vectors to hash.  Cosine similarity is scale-invariant so the
+        collection does not need to be normalised first.
+    seed:
+        Seed for the random projection directions.
+    quantize:
+        Store projections with the 2-byte scheme of Section 4.3 (default
+        True, the paper's setting).
+    block_size:
+        How many new hash functions to materialise per extension request;
+        purely a performance knob.
+    """
+
+    name = "simhash"
+    produces_bits = True
+
+    def __init__(
+        self,
+        collection: VectorCollection,
+        seed: int = 0,
+        quantize: bool = True,
+        block_size: int = _BLOCK,
+    ):
+        super().__init__(collection, seed=seed)
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self._block_size = int(block_size)
+        self._projections = QuantizedGaussian(
+            collection.n_features, seed=seed, quantize=quantize
+        )
+
+    @property
+    def projections(self) -> QuantizedGaussian:
+        """The (quantised) random projection matrix."""
+        return self._projections
+
+    def _make_store(self) -> BitSignatures:
+        return BitSignatures(self._collection.n_vectors)
+
+    def _extend(self, store: BitSignatures, n_new: int) -> None:
+        # Round the request up to a multiple of the block size so the packed
+        # word storage stays aligned (block sizes are multiples of 32).
+        n_new = -(-n_new // self._block_size) * self._block_size
+        start = store.n_hashes
+        end = start + n_new
+        directions = self._projections.columns(start, end)
+        products = self._collection.matrix @ directions
+        bits = (np.asarray(products) >= 0.0).astype(np.uint8)
+        store.append_bits(bits)
+
+    def collision_similarity(self, exact_similarity: float) -> float:
+        """Collision probability for a pair with the given *cosine* similarity."""
+        return float(cosine_to_collision(exact_similarity))

@@ -1,0 +1,267 @@
+"""Query-centric similarity search: one query object against an indexed collection.
+
+The paper focuses on the *all-pairs* problem, but its introduction frames the
+general similarity-search problem ("given a query q, retrieve all objects
+with s(x, q) > t"), and BayesLSH applies to that setting unchanged: the
+candidate generation index is built once over the collection, and each query
+is verified against its candidates with the same Bayesian pruning.
+
+:class:`QueryIndex` packages that workflow:
+
+* at build time the collection is hashed and an LSH banding index is built
+  (the same signatures are reused for verification, as in the all-pairs
+  pipelines);
+* ``query(vector, ...)`` hashes the query, collects the rows sharing at least
+  one signature band, and verifies them either exactly or with BayesLSH-style
+  pruning depending on ``verification``;
+* ``top_k(vector, k)`` returns the ``k`` most similar objects among the
+  pairs that pass a (low) threshold — the paper's suggested future-work
+  direction of nearest-neighbour retrieval, implemented on top of the
+  threshold machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.candidates.lsh_index import signatures_for_false_negative_rate
+from repro.core.concentration_cache import ConcentrationCache
+from repro.core.min_matches import MinMatchesTable
+from repro.core.params import BayesLSHParams
+from repro.core.posteriors import make_posterior
+from repro.hashing.base import get_hash_family
+from repro.search.engine import as_collection
+from repro.search.results import ScoredPair
+from repro.similarity.measures import get_measure
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["QueryIndex"]
+
+
+class QueryIndex:
+    """An LSH index over a collection supporting threshold and top-k queries.
+
+    Parameters
+    ----------
+    data:
+        The collection to index (anything ``as_collection`` accepts).
+    measure:
+        ``"cosine"``, ``"jaccard"`` or ``"binary_cosine"``.
+    threshold:
+        Default similarity threshold for queries (also controls how many
+        signatures the index builds for the target recall).
+    false_negative_rate:
+        Target probability of missing an object exactly at the threshold.
+    signature_width:
+        Hashes per signature band; defaults to the measure's standard width.
+    verification:
+        ``"bayes"`` (default) verifies candidates with BayesLSH pruning and
+        returns similarity estimates; ``"exact"`` computes exact similarities
+        for every candidate.
+    epsilon, delta, gamma, k, max_hashes:
+        BayesLSH parameters used when ``verification="bayes"``.
+    seed:
+        Seed for the hash family.
+    """
+
+    def __init__(
+        self,
+        data,
+        measure: str = "cosine",
+        threshold: float = 0.7,
+        false_negative_rate: float = 0.03,
+        signature_width: int | None = None,
+        verification: str = "bayes",
+        epsilon: float = 0.03,
+        delta: float = 0.05,
+        gamma: float = 0.03,
+        k: int = 32,
+        max_hashes: int = 2048,
+        seed: int = 0,
+    ):
+        if verification not in ("bayes", "exact"):
+            raise ValueError(f"verification must be 'bayes' or 'exact', got {verification!r}")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        self._measure = get_measure(measure)
+        self._collection = as_collection(data)
+        self._prepared = self._measure.prepare(self._collection)
+        self._threshold = float(threshold)
+        self._verification = verification
+        self._params = BayesLSHParams(
+            threshold=threshold, epsilon=epsilon, delta=delta, gamma=gamma, k=k, max_hashes=max_hashes
+        )
+        self._seed = int(seed)
+        self._family = get_hash_family(self._measure.lsh_family, self._prepared, seed=seed)
+
+        if signature_width is None:
+            signature_width = 8 if self._measure.lsh_family == "simhash" else 4
+        self._signature_width = int(signature_width)
+        collision = (
+            self._threshold
+            if self._measure.lsh_family == "minhash"
+            else self._family.collision_similarity(self._threshold)
+        )
+        self._n_signatures = signatures_for_false_negative_rate(
+            collision, self._signature_width, false_negative_rate
+        )
+        self._store = self._family.signatures(self._n_signatures * self._signature_width)
+
+        # band key -> list of row ids
+        self._buckets: list[dict[bytes, list[int]]] = []
+        non_empty = np.flatnonzero(self._prepared.row_nnz > 0)
+        for band in range(self._n_signatures):
+            bucket: dict[bytes, list[int]] = {}
+            for row in non_empty:
+                key = self._store.band_key(int(row), band, self._signature_width)
+                bucket.setdefault(key, []).append(int(row))
+            self._buckets.append(bucket)
+
+        # BayesLSH machinery shared across queries.
+        self._posterior = make_posterior(self._measure.name)
+        self._min_matches = MinMatchesTable(
+            self._posterior, self._threshold, epsilon, k, max_hashes
+        )
+        self._concentration = ConcentrationCache(self._posterior, delta, gamma)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_indexed(self) -> int:
+        """Number of vectors in the indexed collection."""
+        return self._prepared.n_vectors
+
+    @property
+    def n_signatures(self) -> int:
+        return self._n_signatures
+
+    def _query_collection(self, vector) -> VectorCollection:
+        """Wrap a raw query vector as a 1-row collection aligned with the index."""
+        if isinstance(vector, (set, frozenset)) or (
+            isinstance(vector, (list, tuple)) and vector and isinstance(vector[0], (int, np.integer))
+            and not isinstance(vector, np.ndarray)
+        ):
+            collection = VectorCollection.from_sets([vector], n_features=self._prepared.n_features)
+        elif isinstance(vector, dict):
+            collection = VectorCollection.from_dicts([vector], n_features=self._prepared.n_features)
+        elif sp.issparse(vector):
+            collection = VectorCollection(sp.csr_matrix(vector))
+        else:
+            collection = VectorCollection.from_dense(np.atleast_2d(np.asarray(vector, dtype=np.float64)))
+        if collection.n_features != self._prepared.n_features:
+            raise ValueError(
+                f"query has {collection.n_features} features, index expects {self._prepared.n_features}"
+            )
+        return self._measure.prepare(collection)
+
+    def _candidate_rows(self, query_prepared: VectorCollection) -> np.ndarray:
+        """Rows of the indexed collection sharing at least one band with the query."""
+        query_family = get_hash_family(
+            self._measure.lsh_family, query_prepared, seed=self._seed
+        )
+        query_store = query_family.signatures(self._n_signatures * self._signature_width)
+        rows: set[int] = set()
+        for band in range(self._n_signatures):
+            key = query_store.band_key(0, band, self._signature_width)
+            rows.update(self._buckets[band].get(key, ()))
+        self._last_query_store = query_store
+        return np.array(sorted(rows), dtype=np.int64)
+
+    def _exact_similarity_to_query(self, query_prepared: VectorCollection, row: int) -> float:
+        joint = VectorCollection(
+            sp.vstack([query_prepared.matrix, self._prepared.row(row)])
+        )
+        return self._measure.exact(self._measure.prepare(joint), 0, 1)
+
+    # ------------------------------------------------------------------ #
+    def query(self, vector, threshold: float | None = None) -> list[ScoredPair]:
+        """All indexed objects with similarity to ``vector`` above the threshold.
+
+        Returns :class:`ScoredPair` entries whose ``i`` field is always -1
+        (the query is not part of the collection) and whose ``j`` field is the
+        index of the matching row.  Similarities are estimates under
+        ``verification="bayes"`` and exact values under ``"exact"``.
+        """
+        threshold = self._threshold if threshold is None else float(threshold)
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        query_prepared = self._query_collection(vector)
+        if query_prepared.row_nnz[0] == 0:
+            return []
+        candidates = self._candidate_rows(query_prepared)
+        if len(candidates) == 0:
+            return []
+
+        if self._verification == "exact":
+            scored = [
+                (row, self._exact_similarity_to_query(query_prepared, int(row)))
+                for row in candidates
+            ]
+            return [
+                ScoredPair(-1, int(row), float(sim)) for row, sim in scored if sim > threshold
+            ]
+
+        # Bayesian verification: compare the query's hashes to each candidate's.
+        # The query is hashed with a family built on the same seed and feature
+        # space as the collection's, so hash function i agrees on both sides.
+        params = self._params
+        query_family = get_hash_family(self._measure.lsh_family, query_prepared, seed=self._seed)
+        query_store = query_family.signatures(params.max_hashes)
+        collection_store = self._family.signatures(params.max_hashes)
+
+        def block_matches(row: int, start: int, end: int) -> int:
+            if hasattr(query_store, "get_bits"):
+                return int(
+                    np.sum(
+                        query_store.get_bits(0, start, end)
+                        == collection_store.get_bits(row, start, end)
+                    )
+                )
+            return int(
+                np.sum(
+                    query_store.values[0, start:end] == collection_store.values[row, start:end]
+                )
+            )
+
+        results: list[ScoredPair] = []
+        for row in candidates:
+            row = int(row)
+            matches = 0
+            n_seen = 0
+            pruned = False
+            while n_seen < params.max_hashes:
+                matches += block_matches(row, n_seen, n_seen + params.k)
+                n_seen += params.k
+                if not self._min_matches.passes(matches, n_seen):
+                    pruned = True
+                    break
+                if self._concentration.is_concentrated(matches, n_seen):
+                    break
+            if pruned:
+                continue
+            estimate = self._posterior.map_estimate(matches, n_seen)
+            results.append(ScoredPair(-1, row, float(estimate)))
+        return results
+
+    def top_k(self, vector, k: int = 10, floor_threshold: float = 0.1) -> list[ScoredPair]:
+        """The ``k`` indexed objects most similar to ``vector``.
+
+        Candidates are collected from the LSH index and verified exactly, then
+        the best ``k`` above ``floor_threshold`` are returned in decreasing
+        order of similarity.  With an LSH index tuned for ``threshold`` the
+        result is approximate in the same sense as the underlying index:
+        objects the index misses cannot be returned.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query_prepared = self._query_collection(vector)
+        if query_prepared.row_nnz[0] == 0:
+            return []
+        candidates = self._candidate_rows(query_prepared)
+        scored = [
+            ScoredPair(-1, int(row), self._exact_similarity_to_query(query_prepared, int(row)))
+            for row in candidates
+        ]
+        scored = [pair for pair in scored if pair.similarity > floor_threshold]
+        scored.sort(key=lambda pair: pair.similarity, reverse=True)
+        return scored[:k]

@@ -1,0 +1,41 @@
+"""Similarity measures and sparse-vector utilities.
+
+This subpackage is the substrate shared by every algorithm in the library:
+it owns the canonical in-memory representation of a vector collection
+(:class:`repro.similarity.vectors.VectorCollection`), the similarity
+measures the paper evaluates (cosine, Jaccard, binary cosine), and the
+pre-processing transforms the paper applies to its datasets (TF-IDF
+weighting, binarisation, L2 normalisation).
+"""
+
+from repro.similarity.measures import (
+    SimilarityMeasure,
+    CosineSimilarity,
+    JaccardSimilarity,
+    BinaryCosineSimilarity,
+    get_measure,
+    cosine_similarity,
+    jaccard_similarity,
+    binary_cosine_similarity,
+)
+from repro.similarity.transforms import (
+    tfidf_weighting,
+    binarize,
+    l2_normalize,
+)
+from repro.similarity.vectors import VectorCollection
+
+__all__ = [
+    "BinaryCosineSimilarity",
+    "CosineSimilarity",
+    "JaccardSimilarity",
+    "SimilarityMeasure",
+    "VectorCollection",
+    "binarize",
+    "binary_cosine_similarity",
+    "cosine_similarity",
+    "get_measure",
+    "jaccard_similarity",
+    "l2_normalize",
+    "tfidf_weighting",
+]

@@ -1,0 +1,65 @@
+"""Dataset pre-processing transforms used by the paper.
+
+The paper pre-processes every corpus the same way: TF-IDF weighting for the
+weighted experiments, plain binarisation for the binary (Jaccard / binary
+cosine) experiments, and L2 normalisation before cosine similarity search.
+These transforms are pure functions from :class:`VectorCollection` to
+:class:`VectorCollection`; they never mutate their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["tfidf_weighting", "binarize", "l2_normalize", "document_frequencies"]
+
+
+def document_frequencies(collection: VectorCollection) -> np.ndarray:
+    """Number of vectors in which each feature occurs (length ``n_features``)."""
+    binary = collection.binarized()
+    return np.asarray(binary.matrix.sum(axis=0)).ravel().astype(np.int64)
+
+
+def tfidf_weighting(
+    collection: VectorCollection,
+    smooth: bool = True,
+    sublinear_tf: bool = False,
+) -> VectorCollection:
+    """Apply TF-IDF weighting, mirroring the paper's corpus preparation.
+
+    Parameters
+    ----------
+    collection:
+        Raw term-frequency (or adjacency) vectors.
+    smooth:
+        Use the smoothed inverse document frequency
+        ``log((1 + n) / (1 + df)) + 1`` which avoids division by zero for
+        features that appear in every vector.
+    sublinear_tf:
+        Replace raw term frequency ``tf`` with ``1 + log(tf)``.
+    """
+    matrix = collection.matrix.copy().astype(np.float64)
+    n_vectors = collection.n_vectors
+    df = document_frequencies(collection).astype(np.float64)
+    if smooth:
+        idf = np.log((1.0 + n_vectors) / (1.0 + df)) + 1.0
+    else:
+        with np.errstate(divide="ignore"):
+            idf = np.log(np.where(df > 0, n_vectors / np.maximum(df, 1), 1.0)) + 1.0
+    if sublinear_tf and matrix.nnz:
+        matrix.data = 1.0 + np.log(matrix.data)
+    weighted = matrix @ sp.diags(idf)
+    return VectorCollection(weighted, ids=collection.ids)
+
+
+def binarize(collection: VectorCollection) -> VectorCollection:
+    """Binary view: every non-zero weight becomes 1."""
+    return collection.binarized()
+
+
+def l2_normalize(collection: VectorCollection) -> VectorCollection:
+    """L2-normalised view (unit-norm rows; empty rows stay empty)."""
+    return collection.normalized()

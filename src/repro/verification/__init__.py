@@ -1,0 +1,29 @@
+"""Candidate verification algorithms (phase 2 of all-pairs similarity search).
+
+Four verifiers are implemented, matching the paper's experimental matrix:
+
+* :class:`~repro.verification.exact.ExactVerifier` — compute each candidate's
+  similarity exactly (the verification used by plain AllPairs, plain LSH and
+  PPJoin+);
+* :class:`~repro.verification.lsh_approx.LSHApproxVerifier` — the standard
+  maximum-likelihood LSH estimate with a fixed number of hashes
+  (Section 3, the "LSH Approx" baseline);
+* :class:`~repro.verification.bayes.BayesLSHVerifier` — Algorithm 1;
+* :class:`~repro.verification.bayes.BayesLSHLiteVerifier` — Algorithm 2.
+
+Every verifier is bound to a vector collection and a similarity measure at
+construction time and exposes ``verify(candidates) -> VerificationOutput``.
+"""
+
+from repro.verification.base import Verifier
+from repro.verification.exact import ExactVerifier
+from repro.verification.lsh_approx import LSHApproxVerifier
+from repro.verification.bayes import BayesLSHVerifier, BayesLSHLiteVerifier
+
+__all__ = [
+    "BayesLSHLiteVerifier",
+    "BayesLSHVerifier",
+    "ExactVerifier",
+    "LSHApproxVerifier",
+    "Verifier",
+]

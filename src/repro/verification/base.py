@@ -1,0 +1,111 @@
+"""Common interface of candidate verifiers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.candidates.base import CandidateSet
+from repro.core.bayeslsh import VerificationOutput
+from repro.similarity.measures import SimilarityMeasure, get_measure
+from repro.similarity.vectors import VectorCollection
+
+__all__ = ["Verifier", "exact_similarities_for_pairs"]
+
+
+def exact_similarities_for_pairs(
+    prepared: VectorCollection,
+    measure: SimilarityMeasure,
+    left: np.ndarray,
+    right: np.ndarray,
+    chunk_size: int = 8192,
+) -> np.ndarray:
+    """Exact similarities for parallel index arrays, computed in vectorised chunks.
+
+    ``prepared`` must already be the measure's preferred view
+    (``measure.prepare(collection)``).
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    n_pairs = len(left)
+    result = np.empty(n_pairs, dtype=np.float64)
+    matrix = prepared.matrix
+    row_nnz = prepared.row_nnz
+    norms = prepared.norms
+    name = measure.name
+    for start in range(0, n_pairs, chunk_size):
+        end = min(start + chunk_size, n_pairs)
+        rows_l = matrix[left[start:end]]
+        rows_r = matrix[right[start:end]]
+        inner = np.asarray(rows_l.multiply(rows_r).sum(axis=1)).ravel()
+        if name == "cosine":
+            denom = norms[left[start:end]] * norms[right[start:end]]
+            values = np.divide(inner, denom, out=np.zeros_like(inner), where=denom > 0)
+        elif name == "jaccard":
+            union = row_nnz[left[start:end]] + row_nnz[right[start:end]] - inner
+            values = np.divide(inner, union, out=np.zeros_like(inner), where=union > 0)
+        elif name == "binary_cosine":
+            denom = np.sqrt(
+                row_nnz[left[start:end]].astype(np.float64)
+                * row_nnz[right[start:end]].astype(np.float64)
+            )
+            values = np.divide(inner, denom, out=np.zeros_like(inner), where=denom > 0)
+        else:  # fall back to the measure's scalar implementation
+            values = np.array(
+                [
+                    measure.exact(prepared, int(i), int(j))
+                    for i, j in zip(left[start:end], right[start:end])
+                ]
+            )
+        result[start:end] = np.minimum(values, 1.0)
+    return result
+
+
+class Verifier(ABC):
+    """A candidate verifier bound to a vector collection and a measure.
+
+    Subclasses turn a :class:`CandidateSet` into a
+    :class:`~repro.core.bayeslsh.VerificationOutput`: the pairs they consider
+    part of the answer, together with exact or estimated similarities.
+    """
+
+    #: machine-readable name used by pipelines and reports
+    name: str = ""
+    #: whether the reported similarities are exact (True) or estimates (False)
+    exact_output: bool = True
+
+    def __init__(self, collection: VectorCollection, measure, threshold: float):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        self._measure = get_measure(measure)
+        self._collection = collection
+        self._prepared = self._measure.prepare(collection)
+        self._threshold = float(threshold)
+
+    @property
+    def measure(self) -> SimilarityMeasure:
+        return self._measure
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def prepared(self) -> VectorCollection:
+        """The measure-specific view of the collection the verifier works on."""
+        return self._prepared
+
+    def exact_similarity(self, i: int, j: int) -> float:
+        """Exact similarity of one pair (used by BayesLSH-Lite and tests)."""
+        return self._measure.exact(self._prepared, i, j)
+
+    @abstractmethod
+    def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        """Verify a candidate set."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(measure={self._measure.name!r}, "
+            f"threshold={self._threshold})"
+        )

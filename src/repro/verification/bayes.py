@@ -1,0 +1,200 @@
+"""BayesLSH and BayesLSH-Lite verifiers.
+
+Thin adapters binding the core algorithms (:class:`repro.core.bayeslsh.BayesLSH`
+and :class:`repro.core.lite.BayesLSHLite`) to the verifier interface used by
+the search pipelines.  The adapters take care of three practical matters the
+core algorithms leave to the caller:
+
+* choosing the posterior model for the measure (Beta posterior for Jaccard,
+  truncated collision posterior for the cosine measures);
+* for Jaccard, optionally fitting the Beta prior by the method of moments to
+  a random sample of candidate-pair similarities (Section 4.1);
+* sharing the hash family with the candidate generation phase when possible
+  so hashes are computed once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.candidates.base import CandidateSet
+from repro.core.bayeslsh import BayesLSH, VerificationOutput
+from repro.core.lite import BayesLSHLite
+from repro.core.params import BayesLSHLiteParams, BayesLSHParams
+from repro.core.posteriors import BetaPosterior, PosteriorModel, make_posterior
+from repro.core.priors import fit_beta_prior, sample_pair_similarities
+from repro.hashing.base import HashFamily, get_hash_family
+from repro.verification.base import Verifier, exact_similarities_for_pairs
+
+__all__ = ["BayesLSHVerifier", "BayesLSHLiteVerifier"]
+
+#: paper defaults for BayesLSH-Lite's pruning-hash budget, per measure
+DEFAULT_LITE_HASHES = {"cosine": 128, "binary_cosine": 128, "jaccard": 64}
+
+
+class _BayesVerifierBase(Verifier):
+    """Shared plumbing of the two Bayesian verifiers."""
+
+    def __init__(
+        self,
+        collection,
+        measure,
+        threshold: float,
+        family: HashFamily | None = None,
+        seed: int = 0,
+        fit_prior: bool = True,
+        prior_sample_size: int = 1000,
+    ):
+        super().__init__(collection, measure, threshold)
+        if family is None:
+            family = get_hash_family(self._measure.lsh_family, self._prepared, seed=seed)
+        self._family = family
+        self._fit_prior = bool(fit_prior)
+        self._prior_sample_size = int(prior_sample_size)
+        self._seed = int(seed)
+
+    @property
+    def family(self) -> HashFamily:
+        return self._family
+
+    def _posterior_for(self, candidates: CandidateSet) -> PosteriorModel:
+        """Posterior model, fitting the Jaccard Beta prior to the candidates if asked."""
+        if self._measure.name != "jaccard" or not self._fit_prior or len(candidates) == 0:
+            return make_posterior(self._measure.name)
+        pairs = list(zip(candidates.left.tolist(), candidates.right.tolist()))
+        samples = sample_pair_similarities(
+            pairs,
+            self.exact_similarity,
+            sample_size=min(self._prior_sample_size, len(pairs)),
+            seed=self._seed,
+        )
+        return BetaPosterior(fit_beta_prior(samples))
+
+
+class BayesLSHVerifier(_BayesVerifierBase):
+    """Algorithm 1 as a verifier: prune early, estimate to the requested accuracy.
+
+    Parameters
+    ----------
+    collection, measure, threshold:
+        As for every verifier.
+    params:
+        Optional :class:`BayesLSHParams`; built from ``threshold`` plus the
+        keyword arguments ``epsilon``/``delta``/``gamma``/``k``/``max_hashes``
+        otherwise.
+    family:
+        Optional hash family shared with candidate generation.
+    fit_prior / prior_sample_size:
+        Fit the Jaccard Beta prior by method of moments on a random sample of
+        candidate similarities (ignored for cosine, which uses the uniform
+        collision prior).
+    """
+
+    name = "bayeslsh"
+    exact_output = False
+
+    def __init__(
+        self,
+        collection,
+        measure,
+        threshold: float,
+        params: BayesLSHParams | None = None,
+        family: HashFamily | None = None,
+        seed: int = 0,
+        fit_prior: bool = True,
+        prior_sample_size: int = 1000,
+        epsilon: float = 0.03,
+        delta: float = 0.05,
+        gamma: float = 0.03,
+        k: int = 32,
+        max_hashes: int = 2048,
+    ):
+        super().__init__(
+            collection,
+            measure,
+            threshold,
+            family=family,
+            seed=seed,
+            fit_prior=fit_prior,
+            prior_sample_size=prior_sample_size,
+        )
+        if params is None:
+            params = BayesLSHParams(
+                threshold=threshold,
+                epsilon=epsilon,
+                delta=delta,
+                gamma=gamma,
+                k=k,
+                max_hashes=max_hashes,
+            )
+        elif params.threshold != threshold:
+            params = params.with_threshold(threshold)
+        self._params = params
+        self._last_algorithm: BayesLSH | None = None
+
+    @property
+    def params(self) -> BayesLSHParams:
+        return self._params
+
+    @property
+    def last_algorithm(self) -> BayesLSH | None:
+        """The core algorithm instance used by the most recent verify() call."""
+        return self._last_algorithm
+
+    def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        posterior = self._posterior_for(candidates)
+        algorithm = BayesLSH(self._family, posterior, self._params)
+        self._last_algorithm = algorithm
+        return algorithm.verify(candidates.left, candidates.right)
+
+
+class BayesLSHLiteVerifier(_BayesVerifierBase):
+    """Algorithm 2 as a verifier: prune early, verify survivors exactly."""
+
+    name = "bayeslsh_lite"
+    exact_output = True
+
+    def __init__(
+        self,
+        collection,
+        measure,
+        threshold: float,
+        params: BayesLSHLiteParams | None = None,
+        family: HashFamily | None = None,
+        seed: int = 0,
+        fit_prior: bool = True,
+        prior_sample_size: int = 1000,
+        epsilon: float = 0.03,
+        h: int | None = None,
+        k: int = 32,
+    ):
+        super().__init__(
+            collection,
+            measure,
+            threshold,
+            family=family,
+            seed=seed,
+            fit_prior=fit_prior,
+            prior_sample_size=prior_sample_size,
+        )
+        if params is None:
+            if h is None:
+                h = DEFAULT_LITE_HASHES[self._measure.name]
+            params = BayesLSHLiteParams(threshold=threshold, epsilon=epsilon, h=h, k=k)
+        elif params.threshold != threshold:
+            params = params.with_threshold(threshold)
+        self._params = params
+
+    @property
+    def params(self) -> BayesLSHLiteParams:
+        return self._params
+
+    def _exact_many(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return exact_similarities_for_pairs(self._prepared, self._measure, left, right)
+
+    def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        posterior = self._posterior_for(candidates)
+        algorithm = BayesLSHLite(
+            self._family, posterior, self._params, self.exact_similarity
+        )
+        return algorithm.verify(candidates.left, candidates.right)

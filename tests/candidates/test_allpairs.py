@@ -1,0 +1,88 @@
+"""Unit tests for the AllPairs candidate generator."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.allpairs import AllPairsGenerator
+from repro.candidates.brute_force import BruteForceGenerator
+from repro.evaluation.ground_truth import exact_all_pairs
+from repro.similarity.vectors import VectorCollection
+
+
+class TestAllPairsCompleteness:
+    """The essential property: no pair above the threshold is missed."""
+
+    @pytest.mark.parametrize("threshold", [0.5, 0.7, 0.9])
+    def test_complete_on_text_corpus(self, sparse_text_dataset, threshold):
+        truth = exact_all_pairs(sparse_text_dataset, threshold, "cosine")
+        candidates = AllPairsGenerator("cosine", threshold).generate(
+            sparse_text_dataset.collection
+        )
+        assert truth.pair_set() <= candidates.as_set()
+
+    def test_complete_on_graph(self, graph_dataset):
+        truth = exact_all_pairs(graph_dataset, 0.6, "cosine")
+        candidates = AllPairsGenerator("cosine", 0.6).generate(graph_dataset.collection)
+        assert truth.pair_set() <= candidates.as_set()
+
+    def test_complete_on_binary_cosine(self, binary_sets_collection):
+        truth = exact_all_pairs(binary_sets_collection, 0.7, "binary_cosine")
+        candidates = AllPairsGenerator("binary_cosine", 0.7).generate(binary_sets_collection)
+        assert truth.pair_set() <= candidates.as_set()
+
+
+class TestAllPairsPruning:
+    def test_fewer_candidates_than_shared_feature_pairs(self, sparse_text_dataset):
+        """The partial index must prune relative to 'any shared feature'."""
+        threshold = 0.7
+        allpairs = AllPairsGenerator("cosine", threshold).generate(
+            sparse_text_dataset.collection
+        )
+        brute = BruteForceGenerator("cosine", threshold).generate(
+            sparse_text_dataset.collection
+        )
+        assert len(allpairs) < len(brute)
+
+    def test_higher_threshold_prunes_more(self, sparse_text_dataset):
+        low = AllPairsGenerator("cosine", 0.5).generate(sparse_text_dataset.collection)
+        high = AllPairsGenerator("cosine", 0.9).generate(sparse_text_dataset.collection)
+        assert len(high) < len(low)
+
+    def test_metadata_counters(self, sparse_text_dataset):
+        candidates = AllPairsGenerator("cosine", 0.7).generate(sparse_text_dataset.collection)
+        assert candidates.metadata["generator"] == "allpairs"
+        assert candidates.metadata["index_entries"] > 0
+        assert candidates.metadata["n_score_accumulations"] >= len(candidates)
+
+
+class TestAllPairsEdgeCases:
+    def test_rejects_jaccard(self):
+        with pytest.raises(ValueError, match="cosine"):
+            AllPairsGenerator("jaccard", 0.5)
+
+    def test_single_vector(self):
+        collection = VectorCollection.from_dicts([{0: 1.0}], n_features=1)
+        assert len(AllPairsGenerator("cosine", 0.5).generate(collection)) == 0
+
+    def test_empty_rows_ignored(self):
+        collection = VectorCollection.from_dicts(
+            [{0: 1.0, 1: 1.0}, {}, {0: 1.0, 1: 1.0}], n_features=2
+        )
+        candidates = AllPairsGenerator("cosine", 0.5).generate(collection)
+        assert candidates.as_set() == {(0, 2)}
+
+    def test_identical_vectors_found_at_high_threshold(self):
+        rng = np.random.default_rng(0)
+        base = np.abs(rng.random(20))
+        data = np.vstack([base, base * 2.0, np.abs(rng.random(20))])
+        collection = VectorCollection.from_dense(data)
+        candidates = AllPairsGenerator("cosine", 0.95).generate(collection)
+        assert (0, 1) in candidates.as_set()
+
+    def test_unweighted_duplicate_detection(self):
+        collection = VectorCollection.from_sets(
+            [{0, 1, 2, 3}, {0, 1, 2, 3}, {4, 5, 6, 7}], n_features=8
+        )
+        candidates = AllPairsGenerator("binary_cosine", 0.9).generate(collection)
+        assert (0, 1) in candidates.as_set()
+        assert (0, 2) not in candidates.as_set()

@@ -1,0 +1,55 @@
+"""Unit tests for the candidate-set container and generator base class."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.candidates.brute_force import BruteForceGenerator
+
+
+class TestCandidateSet:
+    def test_from_pairs_canonicalises(self):
+        candidate_set = CandidateSet.from_pairs([(3, 1), (1, 3), (2, 2), (0, 4)])
+        assert len(candidate_set) == 2
+        assert candidate_set.as_set() == {(1, 3), (0, 4)}
+        assert np.all(candidate_set.left < candidate_set.right)
+
+    def test_from_pairs_empty(self):
+        candidate_set = CandidateSet.from_pairs([])
+        assert len(candidate_set) == 0
+        assert candidate_set.as_set() == set()
+
+    def test_from_arrays_dedup_and_self_pair_removal(self):
+        candidate_set = CandidateSet.from_arrays([1, 2, 2, 5], [2, 1, 2, 0])
+        assert candidate_set.as_set() == {(1, 2), (0, 5)}
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CandidateSet.from_arrays([1, 2], [3])
+
+    def test_iteration_and_metadata(self):
+        candidate_set = CandidateSet.from_pairs([(0, 1), (1, 2)], generator="test")
+        assert sorted(candidate_set) == [(0, 1), (1, 2)]
+        assert candidate_set.metadata["generator"] == "test"
+        assert "n_pairs=2" in repr(candidate_set)
+
+
+class TestGeneratorBase:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BruteForceGenerator("cosine", threshold=0.0)
+        with pytest.raises(ValueError):
+            BruteForceGenerator("cosine", threshold=1.0)
+
+    def test_measure_resolution(self):
+        generator = BruteForceGenerator("jaccard", threshold=0.5)
+        assert generator.measure.name == "jaccard"
+        assert generator.threshold == 0.5
+
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            CandidateGenerator("cosine", 0.5)
+
+    def test_repr(self):
+        generator = BruteForceGenerator("cosine", threshold=0.7)
+        assert "cosine" in repr(generator)

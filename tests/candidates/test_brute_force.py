@@ -1,0 +1,47 @@
+"""Unit tests for the brute-force candidate generator."""
+
+import numpy as np
+
+from repro.candidates.brute_force import BruteForceGenerator
+from repro.similarity.vectors import VectorCollection
+
+
+class TestBruteForce:
+    def test_all_pairs_mode(self, tiny_collection):
+        generator = BruteForceGenerator("cosine", 0.5, require_shared_feature=False)
+        candidate_set = generator.generate(tiny_collection)
+        n = tiny_collection.n_vectors
+        assert len(candidate_set) == n * (n - 1) // 2
+
+    def test_shared_feature_mode(self, tiny_collection):
+        generator = BruteForceGenerator("cosine", 0.5, require_shared_feature=True)
+        candidate_set = generator.generate(tiny_collection)
+        # only (0,1) and (2,3) share features in the tiny collection
+        assert candidate_set.as_set() == {(0, 1), (2, 3)}
+
+    def test_shared_feature_mode_is_superset_of_true_pairs(self, sparse_text_collection):
+        from repro.similarity.measures import cosine_similarity
+
+        generator = BruteForceGenerator("cosine", 0.5)
+        candidate_set = generator.generate(sparse_text_collection).as_set()
+        normalized = sparse_text_collection.normalized()
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            i, j = rng.integers(0, sparse_text_collection.n_vectors, size=2)
+            if i == j:
+                continue
+            if cosine_similarity(normalized, int(i), int(j)) > 0.5:
+                pair = (min(i, j), max(i, j))
+                assert (int(pair[0]), int(pair[1])) in candidate_set
+
+    def test_single_vector(self):
+        collection = VectorCollection.from_dicts([{0: 1.0}], n_features=2)
+        assert len(BruteForceGenerator("cosine", 0.5).generate(collection)) == 0
+
+    def test_empty_collection(self):
+        collection = VectorCollection.from_dense(np.zeros((0, 3)))
+        assert len(BruteForceGenerator("cosine", 0.5).generate(collection)) == 0
+
+    def test_metadata_records_generator(self, tiny_collection):
+        candidate_set = BruteForceGenerator("cosine", 0.5).generate(tiny_collection)
+        assert candidate_set.metadata["generator"] == "brute_force"

@@ -1,0 +1,99 @@
+"""Unit tests for the banded LSH candidate generator."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.lsh_index import LSHGenerator, signatures_for_false_negative_rate
+from repro.evaluation.ground_truth import exact_all_pairs
+from repro.hashing.base import get_hash_family
+
+
+class TestSignatureCountFormula:
+    def test_matches_closed_form(self):
+        import math
+
+        for p, k, fn in [(0.7, 4, 0.03), (0.9, 8, 0.05), (0.5, 3, 0.1)]:
+            expected = math.ceil(math.log(fn) / math.log(1 - p**k))
+            assert signatures_for_false_negative_rate(p, k, fn) == expected
+
+    def test_higher_recall_needs_more_signatures(self):
+        low = signatures_for_false_negative_rate(0.7, 8, 0.1)
+        high = signatures_for_false_negative_rate(0.7, 8, 0.01)
+        assert high > low
+
+    def test_wider_signatures_need_more_bands(self):
+        narrow = signatures_for_false_negative_rate(0.7, 4, 0.03)
+        wide = signatures_for_false_negative_rate(0.7, 12, 0.03)
+        assert wide > narrow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            signatures_for_false_negative_rate(0.0, 4, 0.03)
+        with pytest.raises(ValueError):
+            signatures_for_false_negative_rate(0.7, 0, 0.03)
+        with pytest.raises(ValueError):
+            signatures_for_false_negative_rate(0.7, 4, 1.5)
+
+    def test_capped(self):
+        assert signatures_for_false_negative_rate(0.05, 16, 0.001) <= 2000
+
+
+class TestLSHGeneratorCosine:
+    def test_recall_of_candidate_set(self, sparse_text_dataset):
+        """Pairs above the threshold should rarely be missed (fn rate 0.03)."""
+        threshold = 0.7
+        truth = exact_all_pairs(sparse_text_dataset, threshold, "cosine")
+        generator = LSHGenerator("cosine", threshold, false_negative_rate=0.03, seed=1)
+        candidates = generator.generate(sparse_text_dataset.collection).as_set()
+        missed = [pair for pair in truth.pair_set() if pair not in candidates]
+        assert len(missed) <= max(2, 0.1 * len(truth))
+
+    def test_candidate_set_smaller_than_all_pairs(self, sparse_text_dataset):
+        n = sparse_text_dataset.n_vectors
+        generator = LSHGenerator("cosine", 0.7, seed=1)
+        candidates = generator.generate(sparse_text_dataset.collection)
+        assert 0 < len(candidates) < n * (n - 1) // 2
+
+    def test_metadata(self, sparse_text_dataset):
+        generator = LSHGenerator("cosine", 0.7, seed=1)
+        candidates = generator.generate(sparse_text_dataset.collection)
+        assert candidates.metadata["generator"] == "lsh"
+        assert candidates.metadata["n_signatures"] == generator.n_signatures
+        assert candidates.metadata["n_raw_collisions"] >= len(candidates)
+
+    def test_family_reuse(self, sparse_text_dataset):
+        prepared = sparse_text_dataset.collection.normalized()
+        family = get_hash_family("simhash", prepared, seed=3)
+        generator = LSHGenerator("cosine", 0.7, family=family, seed=3)
+        generator.generate(sparse_text_dataset.collection)
+        assert generator.family is family
+        assert family.n_hashes >= generator.n_signatures * generator.signature_width
+
+    def test_higher_threshold_fewer_candidates(self, sparse_text_dataset):
+        low = LSHGenerator("cosine", 0.5, seed=2).generate(sparse_text_dataset.collection)
+        high = LSHGenerator("cosine", 0.9, seed=2).generate(sparse_text_dataset.collection)
+        assert len(high) < len(low)
+
+
+class TestLSHGeneratorJaccard:
+    def test_recall_of_candidate_set(self, binary_sets_collection):
+        threshold = 0.5
+        truth = exact_all_pairs(binary_sets_collection, threshold, "jaccard")
+        generator = LSHGenerator("jaccard", threshold, false_negative_rate=0.03, seed=5)
+        candidates = generator.generate(binary_sets_collection).as_set()
+        missed = [pair for pair in truth.pair_set() if pair not in candidates]
+        assert len(missed) <= max(2, 0.1 * len(truth))
+
+    def test_collision_probability_is_threshold(self):
+        generator = LSHGenerator("jaccard", 0.4)
+        assert generator.measure_collision_probability() == pytest.approx(0.4)
+
+    def test_collision_probability_cosine_uses_conversion(self):
+        generator = LSHGenerator("cosine", 0.5)
+        assert generator.measure_collision_probability() == pytest.approx(1 - np.arccos(0.5) / np.pi)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LSHGenerator("cosine", 0.7, false_negative_rate=0.0)
+        with pytest.raises(ValueError):
+            LSHGenerator("cosine", 0.7, signature_width=0)

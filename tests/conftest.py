@@ -1,0 +1,90 @@
+"""Shared fixtures for the BayesLSH test-suite.
+
+Fixtures are deliberately small: most algorithmic properties can be checked
+on collections of a few dozen to a few hundred vectors, and keeping them
+small keeps the full suite fast enough to run on every change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import synthetic_graph, synthetic_text_corpus
+from repro.similarity.transforms import tfidf_weighting
+from repro.similarity.vectors import VectorCollection
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dense_collection() -> VectorCollection:
+    """40 dense non-negative vectors in 12 dimensions."""
+    generator = np.random.default_rng(7)
+    return VectorCollection.from_dense(generator.random((40, 12)))
+
+
+@pytest.fixture(scope="session")
+def sparse_text_collection() -> VectorCollection:
+    """A small TF-IDF weighted text corpus with planted near-duplicates."""
+    corpus = synthetic_text_corpus(
+        n_documents=150,
+        vocabulary_size=600,
+        average_length=30,
+        duplicate_fraction=0.4,
+        cluster_size=3,
+        mutation_rate=0.1,
+        seed=11,
+    )
+    return tfidf_weighting(corpus.collection)
+
+
+@pytest.fixture(scope="session")
+def sparse_text_dataset(sparse_text_collection) -> Dataset:
+    return Dataset(sparse_text_collection, name="test-text")
+
+
+@pytest.fixture(scope="session")
+def binary_sets_collection() -> VectorCollection:
+    """A small binary collection (sets) with overlapping supports."""
+    corpus = synthetic_text_corpus(
+        n_documents=120,
+        vocabulary_size=400,
+        average_length=25,
+        duplicate_fraction=0.4,
+        cluster_size=3,
+        mutation_rate=0.08,
+        seed=23,
+    )
+    return corpus.collection.binarized()
+
+
+@pytest.fixture(scope="session")
+def graph_dataset() -> Dataset:
+    """A small community graph with TF-IDF weighted adjacency rows."""
+    graph = synthetic_graph(
+        n_nodes=200,
+        average_degree=12,
+        n_communities=10,
+        within_community_fraction=0.85,
+        seed=31,
+    )
+    return Dataset(tfidf_weighting(graph.collection), name="test-graph")
+
+
+@pytest.fixture()
+def tiny_collection() -> VectorCollection:
+    """A hand-constructed collection where exact similarities are easy to verify."""
+    rows = [
+        {0: 1.0, 1: 1.0, 2: 1.0},          # 0
+        {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0},  # 1: high overlap with 0
+        {4: 2.0, 5: 1.0},                  # 2
+        {4: 2.0, 5: 1.0, 6: 0.5},          # 3: high overlap with 2
+        {7: 1.0},                          # 4: isolated
+        {},                                # 5: empty
+    ]
+    return VectorCollection.from_dicts(rows, n_features=8)

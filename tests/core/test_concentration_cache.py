@@ -1,0 +1,60 @@
+"""Unit tests for the concentration cache (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.concentration_cache import ConcentrationCache
+from repro.core.posteriors import BetaPosterior, TruncatedCollisionPosterior
+
+
+class TestConcentrationCache:
+    def test_matches_direct_inference(self):
+        posterior = BetaPosterior()
+        cache = ConcentrationCache(posterior, delta=0.05, gamma=0.05)
+        for n in (32, 128, 512):
+            for m in (0, n // 4, n // 2, n):
+                direct = posterior.concentration_probability(m, n, 0.05) >= 0.95
+                assert cache.is_concentrated(m, n) == direct
+
+    def test_cache_hit_counting(self):
+        cache = ConcentrationCache(BetaPosterior(), delta=0.05, gamma=0.05)
+        cache.is_concentrated(10, 32)
+        cache.is_concentrated(10, 32)
+        cache.is_concentrated(11, 32)
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert len(cache) == 2
+
+    def test_vectorised_matches_scalar(self):
+        posterior = TruncatedCollisionPosterior()
+        cache = ConcentrationCache(posterior, delta=0.05, gamma=0.03)
+        matches = np.array([10, 20, 30, 32])
+        batch = cache.is_concentrated_many(matches, 32)
+        singles = [cache.is_concentrated(int(m), 32) for m in matches]
+        assert batch.tolist() == singles
+
+    def test_more_hashes_eventually_concentrated(self):
+        cache = ConcentrationCache(TruncatedCollisionPosterior(), delta=0.05, gamma=0.03)
+        # 75% agreement: not concentrated after 32 hashes, concentrated after 2048
+        assert not cache.is_concentrated(24, 32)
+        assert cache.is_concentrated(1536, 2048)
+
+    def test_tighter_delta_requires_more_hashes(self):
+        loose = ConcentrationCache(TruncatedCollisionPosterior(), delta=0.10, gamma=0.05)
+        tight = ConcentrationCache(TruncatedCollisionPosterior(), delta=0.01, gamma=0.05)
+        # the loose requirement is satisfied earlier than the tight one
+        m, n = 192, 256
+        assert loose.is_concentrated(m, n) or not tight.is_concentrated(m, n)
+        assert loose.is_concentrated(480, 640)
+        assert not tight.is_concentrated(480, 640)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConcentrationCache(BetaPosterior(), delta=0.0, gamma=0.05)
+        with pytest.raises(ValueError):
+            ConcentrationCache(BetaPosterior(), delta=0.05, gamma=1.0)
+
+    def test_properties(self):
+        cache = ConcentrationCache(BetaPosterior(), delta=0.04, gamma=0.02)
+        assert cache.delta == 0.04
+        assert cache.gamma == 0.02

@@ -1,0 +1,111 @@
+"""Unit tests for the frequentist estimator analysis (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    estimate_variance,
+    minimum_hashes_for_accuracy,
+    mle_estimate,
+    probability_within_delta,
+    required_hashes_curve,
+)
+
+
+class TestMLE:
+    def test_basic(self):
+        assert mle_estimate(8, 10) == pytest.approx(0.8)
+        assert mle_estimate(0, 0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mle_estimate(5, 3)
+        with pytest.raises(ValueError):
+            mle_estimate(-1, 3)
+
+    def test_variance(self):
+        assert estimate_variance(0.5, 100) == pytest.approx(0.0025)
+        assert estimate_variance(1.0, 100) == 0.0
+
+    def test_variance_invalid(self):
+        with pytest.raises(ValueError):
+            estimate_variance(1.5, 10)
+        with pytest.raises(ValueError):
+            estimate_variance(0.5, 0)
+
+
+class TestProbabilityWithinDelta:
+    def test_matches_direct_binomial_sum(self):
+        from scipy.stats import binom
+
+        s, n, delta = 0.7, 50, 0.05
+        direct = sum(
+            binom.pmf(m, n, s) for m in range(n + 1) if abs(m / n - s) < delta
+        )
+        assert probability_within_delta(s, n, delta) == pytest.approx(direct)
+
+    def test_increases_with_n_on_average(self):
+        values = [probability_within_delta(0.6, n, 0.05) for n in (50, 200, 800)]
+        assert values[0] < values[1] < values[2]
+
+    def test_edge_cases(self):
+        assert probability_within_delta(0.5, 0, 0.05) == 0.0
+        assert probability_within_delta(0.5, 100, 0.0) == 0.0
+        assert probability_within_delta(0.5, 100, 1.0) == pytest.approx(1.0)
+
+    def test_extreme_similarity(self):
+        # at s = 1 every hash matches, the estimate is exactly 1
+        assert probability_within_delta(1.0, 10, 0.05) == pytest.approx(1.0)
+
+    def test_boundary_modes(self):
+        strict = probability_within_delta(0.95, 16, 0.05, boundary="strict")
+        lenient = probability_within_delta(0.95, 16, 0.05, boundary="lenient")
+        assert lenient >= strict
+
+    def test_invalid_boundary(self):
+        with pytest.raises(ValueError):
+            probability_within_delta(0.5, 10, 0.05, boundary="weird")
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ValueError):
+            probability_within_delta(1.2, 10, 0.05)
+
+
+class TestMinimumHashes:
+    def test_monotone_guarantee_met(self):
+        n = minimum_hashes_for_accuracy(0.5, delta=0.05, gamma=0.05)
+        assert probability_within_delta(0.5, n, 0.05) >= 0.95
+
+    def test_peak_near_half_matches_paper(self):
+        """The paper quotes ~350 hashes at s = 0.5 for delta = gamma = 0.05."""
+        assert 300 <= minimum_hashes_for_accuracy(0.5) <= 420
+
+    def test_similarity_dependence(self):
+        """More hashes are needed near 0.5 than near the extremes (Figure 1)."""
+        middle = minimum_hashes_for_accuracy(0.5)
+        high = minimum_hashes_for_accuracy(0.95)
+        low = minimum_hashes_for_accuracy(0.05)
+        assert high < middle
+        assert low < middle
+
+    def test_stricter_accuracy_needs_more_hashes(self):
+        loose = minimum_hashes_for_accuracy(0.7, delta=0.05, gamma=0.05, max_hashes=20_000)
+        tight = minimum_hashes_for_accuracy(0.7, delta=0.02, gamma=0.05, max_hashes=20_000)
+        assert tight > loose
+
+    def test_budget_exhaustion_returns_budget(self):
+        assert minimum_hashes_for_accuracy(0.5, delta=0.001, gamma=0.001, max_hashes=100) == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            minimum_hashes_for_accuracy(0.5, delta=0.0)
+        with pytest.raises(ValueError):
+            minimum_hashes_for_accuracy(0.5, gamma=1.0)
+        with pytest.raises(ValueError):
+            minimum_hashes_for_accuracy(0.5, step=0)
+
+    def test_curve_shape(self):
+        similarities = np.array([0.1, 0.3, 0.5, 0.7, 0.9])
+        curve = required_hashes_curve(similarities, max_hashes=2000)
+        assert curve.argmax() == 2  # peak at 0.5
+        assert curve[0] < curve[2] and curve[4] < curve[2]

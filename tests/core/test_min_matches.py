@@ -1,0 +1,76 @@
+"""Unit tests for the pre-computed minMatches pruning table (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.min_matches import MinMatchesTable
+from repro.core.posteriors import BetaPosterior, TruncatedCollisionPosterior
+from repro.core.priors import BetaPrior
+
+
+@pytest.fixture(params=["jaccard", "cosine"])
+def posterior(request):
+    if request.param == "jaccard":
+        return BetaPosterior(BetaPrior(1.0, 1.0))
+    return TruncatedCollisionPosterior()
+
+
+class TestMinMatchesTable:
+    def test_equivalence_with_direct_inference(self, posterior):
+        """m >= minMatches(n) exactly reproduces Pr[S >= t | M(m,n)] >= epsilon."""
+        table = MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=32, max_hashes=128)
+        for n in (32, 64, 96, 128):
+            for m in range(0, n + 1, 4):
+                direct = posterior.prob_above_threshold(m, n, 0.7) >= 0.03
+                assert table.passes(m, n) == direct, (m, n)
+
+    def test_min_matches_increases_with_n(self, posterior):
+        table = MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=32, max_hashes=256)
+        values = [table.min_matches(n) for n in (32, 64, 128, 256)]
+        assert values == sorted(values)
+
+    def test_min_matches_increases_with_threshold(self, posterior):
+        low = MinMatchesTable(posterior, threshold=0.5, epsilon=0.03, k=32, max_hashes=64)
+        high = MinMatchesTable(posterior, threshold=0.9, epsilon=0.03, k=32, max_hashes=64)
+        assert high.min_matches(64) >= low.min_matches(64)
+
+    def test_smaller_epsilon_prunes_less(self, posterior):
+        strict = MinMatchesTable(posterior, threshold=0.7, epsilon=0.0001, k=32, max_hashes=64)
+        loose = MinMatchesTable(posterior, threshold=0.7, epsilon=0.3, k=32, max_hashes=64)
+        assert strict.min_matches(64) <= loose.min_matches(64)
+
+    def test_checkpoints_are_multiples_of_k(self, posterior):
+        table = MinMatchesTable(posterior, threshold=0.6, epsilon=0.05, k=32, max_hashes=160)
+        assert table.checkpoints.tolist() == [32, 64, 96, 128, 160]
+
+    def test_on_demand_value_outside_table(self, posterior):
+        table = MinMatchesTable(posterior, threshold=0.6, epsilon=0.05, k=32, max_hashes=64)
+        direct = table.min_matches(80)
+        assert table.passes(direct, 80)
+        if direct > 0:
+            assert not table.passes(direct - 1, 80)
+
+    def test_passes_many_vectorised(self, posterior):
+        table = MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=32, max_hashes=64)
+        matches = np.arange(0, 65)
+        batch = table.passes_many(matches, 64)
+        singles = [table.passes(int(m), 64) for m in matches]
+        assert batch.tolist() == singles
+
+    def test_as_array(self, posterior):
+        table = MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=32, max_hashes=96)
+        array = table.as_array()
+        assert array.shape == (3, 2)
+        assert array[:, 0].tolist() == [32, 64, 96]
+
+    def test_impossible_threshold_marks_all_pruned(self):
+        # With an extreme epsilon even m = n may fail; every pair is then pruned.
+        posterior = BetaPosterior()
+        table = MinMatchesTable(posterior, threshold=0.999, epsilon=0.99999, k=8, max_hashes=8)
+        assert not table.passes(8, 8)
+
+    def test_invalid_parameters(self, posterior):
+        with pytest.raises(ValueError):
+            MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=0, max_hashes=32)
+        with pytest.raises(ValueError):
+            MinMatchesTable(posterior, threshold=0.7, epsilon=0.03, k=64, max_hashes=32)

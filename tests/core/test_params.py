@@ -1,0 +1,72 @@
+"""Unit tests for the BayesLSH parameter objects."""
+
+import pytest
+
+from repro.core.params import BayesLSHLiteParams, BayesLSHParams
+
+
+class TestBayesLSHParams:
+    def test_defaults_match_paper(self):
+        params = BayesLSHParams(threshold=0.7)
+        assert params.epsilon == 0.03
+        assert params.delta == 0.05
+        assert params.gamma == 0.03
+        assert params.k == 32
+        assert params.max_hashes == 2048
+
+    def test_n_rounds(self):
+        assert BayesLSHParams(threshold=0.5, k=32, max_hashes=256).n_rounds == 8
+
+    def test_with_threshold_copies(self):
+        params = BayesLSHParams(threshold=0.5, epsilon=0.01)
+        changed = params.with_threshold(0.8)
+        assert changed.threshold == 0.8
+        assert changed.epsilon == 0.01
+        assert params.threshold == 0.5  # original unchanged
+
+    def test_frozen(self):
+        params = BayesLSHParams(threshold=0.5)
+        with pytest.raises(AttributeError):
+            params.threshold = 0.9
+
+    @pytest.mark.parametrize("field, value", [
+        ("threshold", 0.0), ("threshold", 1.0), ("threshold", -0.2),
+        ("epsilon", 0.0), ("epsilon", 1.5),
+        ("delta", 0.0), ("delta", 1.0),
+        ("gamma", 0.0), ("gamma", 2.0),
+    ])
+    def test_invalid_unit_interval_parameters(self, field, value):
+        kwargs = {"threshold": 0.5, field: value}
+        with pytest.raises(ValueError):
+            BayesLSHParams(**kwargs)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            BayesLSHParams(threshold=0.5, k=0)
+
+    def test_max_hashes_below_k(self):
+        with pytest.raises(ValueError, match="max_hashes"):
+            BayesLSHParams(threshold=0.5, k=64, max_hashes=32)
+
+
+class TestBayesLSHLiteParams:
+    def test_defaults_match_paper(self):
+        params = BayesLSHLiteParams(threshold=0.7)
+        assert params.epsilon == 0.03
+        assert params.h == 128
+        assert params.k == 32
+
+    def test_n_rounds(self):
+        assert BayesLSHLiteParams(threshold=0.5, h=64, k=32).n_rounds == 2
+
+    def test_with_threshold(self):
+        params = BayesLSHLiteParams(threshold=0.3, h=64)
+        assert params.with_threshold(0.6).h == 64
+
+    def test_h_below_k_rejected(self):
+        with pytest.raises(ValueError, match="h"):
+            BayesLSHLiteParams(threshold=0.5, h=16, k=32)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            BayesLSHLiteParams(threshold=1.2)

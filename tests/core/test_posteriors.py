@@ -1,0 +1,217 @@
+"""Unit tests for the posterior models (Equations 3, 4 and 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.posteriors import (
+    BetaPosterior,
+    GridCollisionPosterior,
+    TruncatedCollisionPosterior,
+    make_posterior,
+)
+from repro.core.priors import BetaPrior, UniformCollisionPrior
+from repro.hashing.simhash import cosine_to_collision
+
+
+class TestBetaPosterior:
+    def test_posterior_parameters_are_conjugate(self):
+        posterior = BetaPosterior(BetaPrior(2.0, 3.0))
+        # Pr[S >= t | M(m, n)] computed from Beta(m + 2, n - m + 3)
+        from scipy.special import betainc
+
+        assert posterior.prob_above_threshold(7, 10, 0.5) == pytest.approx(
+            1.0 - betainc(9.0, 6.0, 0.5)
+        )
+
+    def test_prob_above_threshold_monotone_in_matches(self):
+        posterior = BetaPosterior()
+        values = [posterior.prob_above_threshold(m, 32, 0.7) for m in range(33)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_prob_above_zero_threshold(self):
+        posterior = BetaPosterior()
+        assert posterior.prob_above_threshold(5, 20, 0.0) == pytest.approx(1.0)
+
+    def test_map_estimate_uniform_prior_is_mle(self):
+        posterior = BetaPosterior(BetaPrior(1.0, 1.0))
+        assert posterior.map_estimate(8, 10) == pytest.approx(0.8)
+        assert posterior.map_estimate(0, 10) == 0.0
+        assert posterior.map_estimate(10, 10) == 1.0
+
+    def test_map_estimate_with_informative_prior(self):
+        posterior = BetaPosterior(BetaPrior(5.0, 5.0))
+        # mode of Beta(8 + 5, 2 + 5) = 12 / 18
+        assert posterior.map_estimate(8, 10) == pytest.approx(12.0 / 18.0)
+
+    def test_map_estimate_no_data_uses_prior(self):
+        posterior = BetaPosterior(BetaPrior(3.0, 2.0))
+        assert posterior.map_estimate(0, 0) == pytest.approx(2.0 / 3.0)
+
+    def test_concentration_increases_with_hashes(self):
+        posterior = BetaPosterior()
+        low = posterior.concentration_probability(8, 16, 0.05)
+        high = posterior.concentration_probability(256, 512, 0.05)
+        assert high > low
+
+    def test_concentration_bounds(self):
+        posterior = BetaPosterior()
+        value = posterior.concentration_probability(30, 40, 0.05)
+        assert 0.0 <= value <= 1.0
+        assert posterior.concentration_probability(30, 40, 0.0) == 0.0
+        assert posterior.concentration_probability(30, 40, 1.0) == pytest.approx(1.0)
+
+    def test_is_concentrated_threshold(self):
+        posterior = BetaPosterior()
+        assert posterior.is_concentrated(900, 1000, delta=0.05, gamma=0.05)
+        assert not posterior.is_concentrated(5, 10, delta=0.01, gamma=0.01)
+
+    def test_posterior_density_integrates_to_one(self):
+        posterior = BetaPosterior(BetaPrior(2.0, 2.0))
+        grid = np.linspace(0, 1, 10001)
+        density = posterior.posterior_density(grid, 12, 20)
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_counts(self):
+        posterior = BetaPosterior()
+        with pytest.raises(ValueError):
+            posterior.prob_above_threshold(5, 3, 0.5)
+        with pytest.raises(ValueError):
+            posterior.map_estimate(-1, 3)
+
+
+class TestTruncatedCollisionPosterior:
+    def test_prob_above_threshold_monotone_in_matches(self):
+        posterior = TruncatedCollisionPosterior()
+        values = [posterior.prob_above_threshold(m, 64, 0.7) for m in range(65)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_map_estimate_is_r2c_of_clipped_mle(self):
+        posterior = TruncatedCollisionPosterior()
+        # m/n = 0.75 -> cosine = cos(pi/4)
+        assert posterior.map_estimate(48, 64) == pytest.approx(np.cos(np.pi * 0.25))
+        # m/n below the support is clipped to 0.5 -> cosine 0
+        assert posterior.map_estimate(10, 64) == pytest.approx(0.0, abs=1e-12)
+        # all matches -> cosine 1
+        assert posterior.map_estimate(64, 64) == pytest.approx(1.0)
+
+    def test_map_estimate_no_data(self):
+        posterior = TruncatedCollisionPosterior()
+        assert posterior.map_estimate(0, 0) == pytest.approx(np.cos(np.pi * 0.25))
+
+    def test_high_match_count_implies_high_probability(self):
+        posterior = TruncatedCollisionPosterior()
+        assert posterior.prob_above_threshold(250, 256, 0.7) > 0.999
+        assert posterior.prob_above_threshold(128, 256, 0.7) < 0.001
+
+    def test_concentration_increases_with_hashes(self):
+        posterior = TruncatedCollisionPosterior()
+        low = posterior.concentration_probability(24, 32, 0.05)
+        high = posterior.concentration_probability(1536, 2048, 0.05)
+        assert high > low
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0
+
+    def test_concentration_zero_delta(self):
+        posterior = TruncatedCollisionPosterior()
+        assert posterior.concentration_probability(24, 32, 0.0) == 0.0
+
+    def test_posterior_density_integrates_to_one(self):
+        posterior = TruncatedCollisionPosterior()
+        grid = np.linspace(0.5, 1.0, 20001)
+        density = posterior.posterior_density_r(grid, 24, 32)
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_against_numerical_grid_posterior(self):
+        """The closed-form expressions agree with direct numerical integration."""
+        closed = TruncatedCollisionPosterior()
+        numerical = GridCollisionPosterior(lambda r: np.ones_like(r), grid_size=8193)
+        for m, n in [(20, 32), (50, 64), (120, 128), (30, 160)]:
+            for threshold in (0.5, 0.7, 0.9):
+                assert closed.prob_above_threshold(m, n, threshold) == pytest.approx(
+                    numerical.prob_above_threshold(m, n, threshold), abs=5e-3
+                )
+            assert closed.map_estimate(m, n) == pytest.approx(
+                numerical.map_estimate(m, n), abs=5e-3
+            )
+            assert closed.concentration_probability(m, n, 0.05) == pytest.approx(
+                numerical.concentration_probability(m, n, 0.05), abs=5e-3
+            )
+
+    def test_custom_support(self):
+        # With the full [0, 1] support, cosine 0 corresponds to r = 0.5, so a
+        # pair agreeing on half its hashes is above it with probability ~0.5.
+        posterior = TruncatedCollisionPosterior(UniformCollisionPrior(0.0, 1.0))
+        assert posterior.prob_above_threshold(5, 10, 0.0) == pytest.approx(0.5, abs=0.15)
+        assert posterior.prob_above_threshold(30, 32, 0.0) > 0.99
+
+    def test_invalid_counts(self):
+        posterior = TruncatedCollisionPosterior()
+        with pytest.raises(ValueError):
+            posterior.map_estimate(10, 5)
+
+
+class TestGridCollisionPosterior:
+    def test_map_tracks_observed_fraction(self):
+        posterior = GridCollisionPosterior(lambda r: np.ones_like(r))
+        estimate = posterior.map_estimate(96, 128)
+        expected = np.cos(np.pi * (1 - 0.75))
+        assert estimate == pytest.approx(expected, abs=0.01)
+
+    def test_extreme_priors_converge(self):
+        negative = GridCollisionPosterior(lambda r: r**-3.0)
+        positive = GridCollisionPosterior(lambda r: r**3.0)
+        few = abs(negative.map_estimate(24, 32) - positive.map_estimate(24, 32))
+        many = abs(negative.map_estimate(384, 512) - positive.map_estimate(384, 512))
+        assert many < few
+
+    def test_prior_validation(self):
+        with pytest.raises(ValueError):
+            GridCollisionPosterior(lambda r: -np.ones_like(r))
+        with pytest.raises(ValueError):
+            GridCollisionPosterior(lambda r: np.zeros_like(r))
+        with pytest.raises(ValueError):
+            GridCollisionPosterior(lambda r: np.ones_like(r), low=0.9, high=0.4)
+        with pytest.raises(ValueError):
+            GridCollisionPosterior(lambda r: np.ones_like(r), grid_size=2)
+
+
+class TestMakePosterior:
+    def test_jaccard(self):
+        assert isinstance(make_posterior("jaccard"), BetaPosterior)
+
+    def test_cosine(self):
+        assert isinstance(make_posterior("cosine"), TruncatedCollisionPosterior)
+        assert isinstance(make_posterior("binary_cosine"), TruncatedCollisionPosterior)
+
+    def test_prior_type_checking(self):
+        with pytest.raises(TypeError):
+            make_posterior("jaccard", UniformCollisionPrior())
+        with pytest.raises(TypeError):
+            make_posterior("cosine", BetaPrior())
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError):
+            make_posterior("hamming")
+
+    def test_passes_prior_through(self):
+        prior = BetaPrior(4.0, 2.0)
+        posterior = make_posterior("jaccard", prior)
+        assert posterior.prior is prior
+
+
+class TestPosteriorCalibration:
+    """Monte-Carlo sanity check: the posterior threshold probability is calibrated."""
+
+    def test_beta_posterior_matches_simulation(self):
+        rng = np.random.default_rng(42)
+        posterior = BetaPosterior()  # uniform prior
+        n, threshold = 32, 0.6
+        # Simulate: similarity ~ Uniform(0,1), observe Binomial(n, s) matches.
+        similarities = rng.uniform(0, 1, size=60_000)
+        matches = rng.binomial(n, similarities)
+        for m in (10, 16, 22, 28):
+            mask = matches == m
+            if mask.sum() < 500:
+                continue
+            empirical = float(np.mean(similarities[mask] >= threshold))
+            predicted = posterior.prob_above_threshold(m, n, threshold)
+            assert predicted == pytest.approx(empirical, abs=0.05)

@@ -1,0 +1,122 @@
+"""Unit tests for the prior distributions and method-of-moments fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.priors import (
+    BetaPrior,
+    UniformCollisionPrior,
+    fit_beta_prior,
+    sample_pair_similarities,
+)
+
+
+class TestBetaPrior:
+    def test_uniform_default(self):
+        prior = BetaPrior()
+        assert prior.alpha == 1.0
+        assert prior.beta == 1.0
+        assert prior.mean == 0.5
+
+    def test_mean_and_variance(self):
+        prior = BetaPrior(2.0, 6.0)
+        assert prior.mean == pytest.approx(0.25)
+        assert prior.variance == pytest.approx(2 * 6 / (8**2 * 9))
+
+    def test_density_integrates_to_one(self):
+        prior = BetaPrior(2.5, 4.0)
+        grid = np.linspace(0, 1, 20001)
+        assert np.trapezoid(prior.density(grid), grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_zero_outside_support(self):
+        prior = BetaPrior(2.0, 2.0)
+        assert prior.density(np.array([-0.1, 1.1])).tolist() == [0.0, 0.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BetaPrior(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BetaPrior(1.0, -2.0)
+
+
+class TestUniformCollisionPrior:
+    def test_default_support(self):
+        prior = UniformCollisionPrior()
+        assert prior.low == 0.5
+        assert prior.high == 1.0
+
+    def test_density(self):
+        prior = UniformCollisionPrior()
+        assert prior.density(0.75) == pytest.approx(2.0)
+        assert prior.density(0.3) == 0.0
+        assert prior.density(1.0) == pytest.approx(2.0)
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            UniformCollisionPrior(low=0.9, high=0.5)
+        with pytest.raises(ValueError):
+            UniformCollisionPrior(low=-0.1, high=1.0)
+
+
+class TestFitBetaPrior:
+    def test_recovers_moments(self):
+        rng = np.random.default_rng(0)
+        samples = rng.beta(3.0, 7.0, size=50_000)
+        prior = fit_beta_prior(samples)
+        assert prior.alpha == pytest.approx(3.0, rel=0.1)
+        assert prior.beta == pytest.approx(7.0, rel=0.1)
+
+    def test_matches_paper_formulas(self):
+        samples = np.array([0.1, 0.2, 0.3, 0.4, 0.8])
+        mean = samples.mean()
+        variance = samples.var()
+        scale = mean * (1 - mean) / variance - 1
+        prior = fit_beta_prior(samples)
+        assert prior.alpha == pytest.approx(mean * scale)
+        assert prior.beta == pytest.approx((1 - mean) * scale)
+
+    def test_fallback_on_tiny_sample(self):
+        assert fit_beta_prior([0.5]).alpha == 1.0
+
+    def test_fallback_on_zero_variance(self):
+        prior = fit_beta_prior([0.4, 0.4, 0.4])
+        assert (prior.alpha, prior.beta) == (1.0, 1.0)
+
+    def test_fallback_on_excess_variance(self):
+        # Bernoulli-like sample: variance too large for any Beta with that mean
+        prior = fit_beta_prior([0.0, 1.0, 0.0, 1.0])
+        assert (prior.alpha, prior.beta) == (1.0, 1.0)
+
+    def test_custom_fallback(self):
+        fallback = BetaPrior(2.0, 2.0)
+        assert fit_beta_prior([0.5], fallback=fallback) is fallback
+
+    def test_rejects_out_of_range_samples(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            fit_beta_prior([0.2, 1.4])
+
+
+class TestSamplePairSimilarities:
+    def test_returns_all_when_sample_large_enough(self):
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        values = sample_pair_similarities(pairs, lambda i, j: i + j, sample_size=10)
+        assert sorted(values.tolist()) == [1, 3, 5]
+
+    def test_subsamples_without_replacement(self):
+        pairs = [(i, i + 1) for i in range(100)]
+        values = sample_pair_similarities(pairs, lambda i, j: float(i), sample_size=20, seed=3)
+        assert len(values) == 20
+        assert len(set(values.tolist())) == 20
+
+    def test_empty_pairs(self):
+        assert len(sample_pair_similarities([], lambda i, j: 0.0)) == 0
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            sample_pair_similarities([(0, 1)], lambda i, j: 0.0, sample_size=0)
+
+    def test_deterministic_given_seed(self):
+        pairs = [(i, i + 1) for i in range(50)]
+        a = sample_pair_similarities(pairs, lambda i, j: float(i), sample_size=10, seed=5)
+        b = sample_pair_similarities(pairs, lambda i, j: float(i), sample_size=10, seed=5)
+        assert a.tolist() == b.tolist()

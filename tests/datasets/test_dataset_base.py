@@ -1,0 +1,46 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+
+from repro.datasets.base import Dataset, DatasetStatistics
+
+
+class TestDataset:
+    def test_from_dense(self):
+        dataset = Dataset.from_dense(np.ones((4, 3)), name="ones")
+        assert dataset.name == "ones"
+        assert dataset.n_vectors == 4
+        assert dataset.n_features == 3
+        assert len(dataset) == 4
+
+    def test_from_sets_and_dicts(self):
+        sets = Dataset.from_sets([{0, 1}, {2}], n_features=4)
+        assert sets.collection.is_binary
+        dicts = Dataset.from_dicts([{0: 2.0}, {3: 1.0}], n_features=4)
+        assert dicts.nnz == 2
+
+    def test_statistics(self):
+        dataset = Dataset.from_dense(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        stats = dataset.statistics()
+        assert isinstance(stats, DatasetStatistics)
+        assert stats.n_vectors == 2
+        assert stats.nnz == 3
+        assert stats.average_length == 1.5
+        assert stats.as_row() == (2, 2, 1.5, 3)
+
+    def test_binarized_view(self):
+        dataset = Dataset.from_dicts([{0: 5.0, 1: 2.0}], n_features=2, name="weighted")
+        binary = dataset.binarized()
+        assert binary.collection.is_binary
+        assert "binary" in binary.name
+        assert binary.metadata["binary"] is True
+
+    def test_subset(self):
+        dataset = Dataset.from_dense(np.arange(12, dtype=float).reshape(4, 3), name="base")
+        subset = dataset.subset([0, 2])
+        assert subset.n_vectors == 2
+        assert subset.metadata["subset_size"] == 2
+
+    def test_repr(self):
+        dataset = Dataset.from_dense(np.ones((2, 2)), name="tiny")
+        assert "tiny" in repr(dataset)

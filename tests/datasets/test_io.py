@@ -1,0 +1,31 @@
+"""Unit tests for dataset persistence."""
+
+import numpy as np
+
+from repro.datasets.io import load_collection, save_collection
+from repro.similarity.vectors import VectorCollection
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path, sparse_text_collection):
+        path = save_collection(sparse_text_collection, tmp_path / "corpus")
+        assert path.suffix == ".npz"
+        loaded = load_collection(path)
+        assert loaded.n_vectors == sparse_text_collection.n_vectors
+        assert loaded.n_features == sparse_text_collection.n_features
+        np.testing.assert_allclose(
+            loaded.matrix.toarray(), sparse_text_collection.matrix.toarray()
+        )
+        np.testing.assert_array_equal(loaded.ids, sparse_text_collection.ids)
+
+    def test_load_without_extension(self, tmp_path, tiny_collection):
+        save_collection(tiny_collection, tmp_path / "tiny")
+        loaded = load_collection(tmp_path / "tiny")
+        assert loaded.n_vectors == tiny_collection.n_vectors
+
+    def test_empty_collection_round_trip(self, tmp_path):
+        empty = VectorCollection.from_dense(np.zeros((3, 5)))
+        path = save_collection(empty, tmp_path / "empty.npz")
+        loaded = load_collection(path)
+        assert loaded.n_vectors == 3
+        assert loaded.nnz == 0

@@ -1,0 +1,68 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_STATISTICS,
+    dataset_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_six_paper_datasets_registered(self):
+        assert set(DATASET_NAMES) == {
+            "rcv1",
+            "wikiwords100k",
+            "wikiwords500k",
+            "wikilinks",
+            "orkut",
+            "twitter",
+        }
+        assert set(PAPER_STATISTICS) == set(DATASET_NAMES)
+
+    def test_paper_statistics_table1_values(self):
+        assert PAPER_STATISTICS["rcv1"].n_vectors == 804_414
+        assert PAPER_STATISTICS["twitter"].average_length == 1369.0
+        assert PAPER_STATISTICS["orkut"].n_features == 3_072_626
+
+    def test_dataset_spec_lookup(self):
+        spec = dataset_spec("RCV1")  # case-insensitive
+        assert spec.kind == "text"
+        with pytest.raises(ValueError, match="unknown dataset"):
+            dataset_spec("enron")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_load_dataset_small_scale(self, name):
+        dataset = load_dataset(name, scale=0.1, seed=0)
+        assert dataset.name == name
+        assert dataset.n_vectors > 0
+        assert dataset.nnz > 0
+        assert dataset.metadata["stands_in_for"]
+        # TF-IDF weighting applied -> not binary
+        assert not dataset.collection.is_binary
+
+    def test_scale_changes_size(self):
+        small = load_dataset("rcv1", scale=0.1, seed=0)
+        large = load_dataset("rcv1", scale=0.3, seed=0)
+        assert large.n_vectors > small.n_vectors
+
+    def test_deterministic_given_seed(self):
+        import numpy as np
+
+        a = load_dataset("wikilinks", scale=0.1, seed=4)
+        b = load_dataset("wikilinks", scale=0.1, seed=4)
+        assert np.array_equal(a.collection.matrix.toarray(), b.collection.matrix.toarray())
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("rcv1", scale=0.0)
+
+    def test_relative_average_lengths_preserved(self):
+        """Text stand-ins keep the paper's ordering: WikiWords100K longest, graphs shortest."""
+        wiki = load_dataset("wikiwords100k", scale=0.2, seed=0)
+        rcv1 = load_dataset("rcv1", scale=0.2, seed=0)
+        wikilinks = load_dataset("wikilinks", scale=0.2, seed=0)
+        assert wiki.collection.average_length > rcv1.collection.average_length
+        assert rcv1.collection.average_length > wikilinks.collection.average_length

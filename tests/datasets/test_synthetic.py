@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_graph, synthetic_text_corpus
+from repro.evaluation.ground_truth import exact_all_pairs
+from repro.similarity.transforms import tfidf_weighting
+
+
+class TestSyntheticTextCorpus:
+    def test_shape_and_determinism(self):
+        a = synthetic_text_corpus(n_documents=100, vocabulary_size=500, seed=3)
+        b = synthetic_text_corpus(n_documents=100, vocabulary_size=500, seed=3)
+        assert a.n_vectors == 100
+        assert a.n_features == 500
+        assert np.array_equal(a.collection.matrix.toarray(), b.collection.matrix.toarray())
+
+    def test_seed_changes_corpus(self):
+        a = synthetic_text_corpus(n_documents=50, vocabulary_size=200, seed=1)
+        b = synthetic_text_corpus(n_documents=50, vocabulary_size=200, seed=2)
+        assert not np.array_equal(a.collection.matrix.toarray(), b.collection.matrix.toarray())
+
+    def test_average_length_roughly_matches(self):
+        corpus = synthetic_text_corpus(
+            n_documents=400, vocabulary_size=3000, average_length=60, seed=0
+        )
+        # lengths are log-normal with repeated tokens collapsing, so allow slack
+        assert 25 <= corpus.collection.average_length <= 80
+
+    def test_planted_duplicates_create_high_similarity_pairs(self):
+        corpus = synthetic_text_corpus(
+            n_documents=200,
+            vocabulary_size=800,
+            duplicate_fraction=0.4,
+            cluster_size=4,
+            mutation_rate=0.05,
+            seed=5,
+        )
+        weighted = tfidf_weighting(corpus.collection)
+        truth = exact_all_pairs(weighted, 0.7, "cosine")
+        assert len(truth) > 0
+
+    def test_zero_duplicate_fraction(self):
+        corpus = synthetic_text_corpus(
+            n_documents=60, vocabulary_size=300, duplicate_fraction=0.0, seed=2
+        )
+        assert corpus.n_vectors == 60
+        assert np.all(corpus.metadata["cluster_labels"] == -1)
+
+    def test_cluster_labels_recorded(self):
+        corpus = synthetic_text_corpus(
+            n_documents=100, vocabulary_size=300, duplicate_fraction=0.5, cluster_size=5, seed=2
+        )
+        labels = corpus.metadata["cluster_labels"]
+        assert len(labels) == 100
+        assert (labels >= 0).sum() == 10 * 5  # 10 clusters of 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_text_corpus(n_documents=0)
+        with pytest.raises(ValueError):
+            synthetic_text_corpus(duplicate_fraction=1.5)
+        with pytest.raises(ValueError):
+            synthetic_text_corpus(cluster_size=1)
+
+
+class TestSyntheticGraph:
+    def test_shape_and_determinism(self):
+        a = synthetic_graph(n_nodes=120, seed=7)
+        b = synthetic_graph(n_nodes=120, seed=7)
+        assert a.n_vectors == 120
+        assert a.n_features == 120
+        assert np.array_equal(a.collection.matrix.toarray(), b.collection.matrix.toarray())
+
+    def test_no_self_loops(self):
+        graph = synthetic_graph(n_nodes=80, seed=1)
+        dense = graph.collection.matrix.toarray()
+        assert np.all(np.diag(dense) == 0)
+
+    def test_degree_scale(self):
+        graph = synthetic_graph(n_nodes=300, average_degree=15, seed=3)
+        assert 5 <= graph.collection.average_length <= 30
+
+    def test_community_structure_creates_similar_rows(self):
+        graph = synthetic_graph(
+            n_nodes=200, average_degree=15, n_communities=8, within_community_fraction=0.9, seed=9
+        )
+        weighted = tfidf_weighting(graph.collection)
+        truth = exact_all_pairs(weighted, 0.5, "cosine")
+        communities = graph.metadata["communities"]
+        if len(truth) == 0:
+            pytest.skip("no similar pairs at this seed; community check not applicable")
+        same = sum(communities[i] == communities[j] for i, j in truth.pair_set())
+        assert same / len(truth) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(n_nodes=0)
+        with pytest.raises(ValueError):
+            synthetic_graph(n_nodes=10, n_communities=20)
+        with pytest.raises(ValueError):
+            synthetic_graph(within_community_fraction=1.5)

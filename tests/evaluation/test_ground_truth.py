@@ -1,0 +1,56 @@
+"""Unit tests for the exact ground-truth computation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ground_truth import exact_all_pairs
+from repro.similarity.measures import get_measure
+from repro.similarity.vectors import VectorCollection
+
+
+class TestExactAllPairs:
+    def test_matches_pairwise_matrix(self, tiny_collection):
+        for measure_name in ("cosine", "jaccard", "binary_cosine"):
+            measure = get_measure(measure_name)
+            matrix = measure.pairwise_matrix(tiny_collection)
+            threshold = 0.5
+            expected = {
+                (i, j)
+                for i in range(len(tiny_collection))
+                for j in range(i + 1, len(tiny_collection))
+                if matrix[i, j] > threshold
+            }
+            truth = exact_all_pairs(tiny_collection, threshold, measure_name)
+            assert truth.pair_set() == expected
+
+    def test_similarities_are_exact(self, sparse_text_collection):
+        truth = exact_all_pairs(sparse_text_collection, 0.6, "cosine")
+        measure = get_measure("cosine")
+        prepared = measure.prepare(sparse_text_collection)
+        for (i, j), value in list(truth.similarity_map().items())[:50]:
+            assert value == pytest.approx(measure.exact(prepared, i, j), abs=1e-9)
+            assert value > 0.6
+
+    def test_block_size_invariance(self, sparse_text_collection):
+        small_blocks = exact_all_pairs(sparse_text_collection, 0.7, "cosine", block_size=17)
+        large_blocks = exact_all_pairs(sparse_text_collection, 0.7, "cosine", block_size=4096)
+        assert small_blocks.pair_set() == large_blocks.pair_set()
+
+    def test_higher_threshold_gives_subset(self, sparse_text_collection):
+        low = exact_all_pairs(sparse_text_collection, 0.5, "cosine")
+        high = exact_all_pairs(sparse_text_collection, 0.8, "cosine")
+        assert high.pair_set() <= low.pair_set()
+
+    def test_accepts_dataset_and_raw_data(self, sparse_text_dataset):
+        from_dataset = exact_all_pairs(sparse_text_dataset, 0.7, "cosine")
+        from_collection = exact_all_pairs(sparse_text_dataset.collection, 0.7, "cosine")
+        assert from_dataset.pair_set() == from_collection.pair_set()
+
+    def test_empty_collection(self):
+        collection = VectorCollection.from_dense(np.zeros((0, 4)))
+        truth = exact_all_pairs(collection, 0.5, "cosine")
+        assert len(truth) == 0
+
+    def test_invalid_threshold(self, tiny_collection):
+        with pytest.raises(ValueError):
+            exact_all_pairs(tiny_collection, 0.0, "cosine")

@@ -1,0 +1,98 @@
+"""Unit tests for recall / precision / error statistics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ground_truth import GroundTruth
+from repro.evaluation.metrics import (
+    ErrorStatistics,
+    error_statistics,
+    false_negative_rate,
+    precision,
+    recall,
+)
+from repro.search.results import SearchResult
+
+
+def _truth(pairs_with_sims):
+    left = np.array([pair[0] for pair in pairs_with_sims], dtype=np.int64)
+    right = np.array([pair[1] for pair in pairs_with_sims], dtype=np.int64)
+    sims = np.array([pair[2] for pair in pairs_with_sims], dtype=np.float64)
+    return GroundTruth(left=left, right=right, similarities=sims, threshold=0.5, measure="cosine")
+
+
+def _result(pairs_with_sims, method="test"):
+    left = np.array([pair[0] for pair in pairs_with_sims], dtype=np.int64)
+    right = np.array([pair[1] for pair in pairs_with_sims], dtype=np.int64)
+    sims = np.array([pair[2] for pair in pairs_with_sims], dtype=np.float64)
+    return SearchResult(
+        left=left, right=right, similarities=sims, method=method, threshold=0.5, measure="cosine"
+    )
+
+
+class TestRecallPrecision:
+    def test_perfect_recall(self):
+        truth = _truth([(0, 1, 0.9), (2, 3, 0.8)])
+        result = _result([(0, 1, 0.88), (2, 3, 0.81), (4, 5, 0.7)])
+        assert recall(result, truth) == 1.0
+        assert false_negative_rate(result, truth) == 0.0
+        assert precision(result, truth) == pytest.approx(2 / 3)
+
+    def test_partial_recall(self):
+        truth = _truth([(0, 1, 0.9), (2, 3, 0.8), (4, 5, 0.7)])
+        result = _result([(0, 1, 0.9)])
+        assert recall(result, truth) == pytest.approx(1 / 3)
+        assert false_negative_rate(result, truth) == pytest.approx(2 / 3)
+        assert precision(result, truth) == 1.0
+
+    def test_empty_truth_counts_as_full_recall(self):
+        truth = _truth([])
+        result = _result([(0, 1, 0.9)])
+        assert recall(result, truth) == 1.0
+
+    def test_empty_result_full_precision(self):
+        truth = _truth([(0, 1, 0.9)])
+        result = _result([])
+        assert precision(result, truth) == 1.0
+        assert recall(result, truth) == 0.0
+
+
+class TestErrorStatistics:
+    def test_against_ground_truth_map(self):
+        truth = _truth([(0, 1, 0.90), (2, 3, 0.80), (4, 5, 0.60)])
+        result = _result([(0, 1, 0.92), (2, 3, 0.70), (4, 5, 0.61)])
+        stats = error_statistics(result, truth)
+        assert stats.n_pairs == 3
+        assert stats.mean_error == pytest.approx((0.02 + 0.10 + 0.01) / 3)
+        assert stats.max_error == pytest.approx(0.10)
+        assert stats.fraction_above == pytest.approx(1 / 3)
+        assert stats.percent_above == pytest.approx(100 / 3)
+
+    def test_pairs_missing_from_truth_are_skipped(self):
+        truth = _truth([(0, 1, 0.9)])
+        result = _result([(0, 1, 0.91), (7, 9, 0.8)])
+        stats = error_statistics(result, truth)
+        assert stats.n_pairs == 1
+
+    def test_explicit_exact_map(self):
+        result = _result([(0, 1, 0.5), (1, 2, 0.4)])
+        stats = error_statistics(
+            result, exact_similarities={(0, 1): 0.5, (1, 2): 0.5}, error_bound=0.05
+        )
+        assert stats.fraction_above == pytest.approx(0.5)
+
+    def test_requires_some_reference(self):
+        with pytest.raises(ValueError):
+            error_statistics(_result([(0, 1, 0.5)]))
+
+    def test_empty_result(self):
+        stats = error_statistics(_result([]), _truth([(0, 1, 0.9)]))
+        assert stats == ErrorStatistics(0, 0.0, 0.0, 0.0, 0.05)
+
+    def test_custom_error_bound(self):
+        truth = _truth([(0, 1, 0.9)])
+        result = _result([(0, 1, 0.87)])
+        loose = error_statistics(result, truth, error_bound=0.05)
+        tight = error_statistics(result, truth, error_bound=0.01)
+        assert loose.fraction_above == 0.0
+        assert tight.fraction_above == 1.0

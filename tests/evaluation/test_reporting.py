@@ -1,0 +1,63 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.evaluation.reporting import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_floats(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(0.0) == "0"
+        assert format_value(float("inf")) == "timeout"
+        assert format_value(float("nan")) == "-"
+        assert "e" in format_value(123456.789)
+
+    def test_strings_and_ints(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 2.5]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1].startswith("=")
+        assert "name" in lines[2]
+        # all data lines are present
+        assert any("long-name" in line for line in lines)
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_ragged_rows_tolerated(self):
+        text = format_table(["a"], [["x", "extra"]])
+        assert "extra" in text
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "threshold",
+            [0.5, 0.7],
+            {"lsh": [1.0, 2.0], "allpairs": [3.0, 4.0]},
+            title="Timing",
+        )
+        assert "threshold" in text
+        assert "lsh" in text and "allpairs" in text
+        assert "0.7" in text
+
+    def test_short_series_padded_with_dash(self):
+        text = format_series("x", [1, 2, 3], {"y": [10]})
+        assert text.count("-") > 0

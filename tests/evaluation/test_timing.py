@@ -1,0 +1,63 @@
+"""Unit tests for the timing harness."""
+
+import pytest
+
+from repro.evaluation.timing import TimedRun, time_pipeline
+
+
+class TestTimedRun:
+    def test_mean_time(self):
+        run = TimedRun(pipeline="x", times=[1.0, 2.0, 3.0])
+        assert run.mean_time == 2.0
+        assert run.completed
+
+    def test_empty_is_censored(self):
+        run = TimedRun(pipeline="x")
+        assert run.mean_time == float("inf")
+        assert not run.completed
+
+
+class TestTimePipeline:
+    def test_single_run(self, sparse_text_dataset):
+        run = time_pipeline(
+            "lsh", sparse_text_dataset, measure="cosine", threshold=0.7, repeats=1, seed=3
+        )
+        assert run.pipeline == "lsh"
+        assert len(run.times) == 1
+        assert run.times[0] > 0
+        assert run.result is not None
+        assert not run.timed_out
+
+    def test_repeats_use_different_seeds(self, sparse_text_dataset):
+        run = time_pipeline(
+            "lsh_bayeslsh", sparse_text_dataset, measure="cosine", threshold=0.7, repeats=2, seed=3
+        )
+        assert len(run.times) == 2
+
+    def test_timeout_censors(self, sparse_text_dataset):
+        run = time_pipeline(
+            "lsh",
+            sparse_text_dataset,
+            measure="cosine",
+            threshold=0.7,
+            repeats=5,
+            timeout=1e-9,
+            seed=3,
+        )
+        assert run.timed_out
+
+    def test_invalid_repeats(self, sparse_text_dataset):
+        with pytest.raises(ValueError):
+            time_pipeline("lsh", sparse_text_dataset, measure="cosine", threshold=0.7, repeats=0)
+
+    def test_pipeline_kwargs_forwarded(self, sparse_text_dataset):
+        run = time_pipeline(
+            "lsh_bayeslsh",
+            sparse_text_dataset,
+            measure="cosine",
+            threshold=0.7,
+            repeats=1,
+            seed=3,
+            epsilon=0.01,
+        )
+        assert run.result is not None

@@ -1,0 +1,130 @@
+"""Tests for the experiment modules (reduced scale, shape assertions only)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS, figure1, figure4, figure5, table1, table5
+from repro.experiments import figure3, table2, table3, table4
+from repro.experiments.common import ExperimentResult, load_experiment_dataset
+
+_SCALE = 0.15
+
+
+class TestFigure1:
+    def test_curve_shape(self):
+        result = figure1.run(similarities=[0.1, 0.3, 0.5, 0.7, 0.9], max_hashes=2000)
+        rows = result.tables["required_hashes"].rows
+        values = {row[0]: row[1] for row in rows}
+        assert values[0.5] > values[0.9]
+        assert values[0.5] > values[0.1]
+        assert isinstance(result, ExperimentResult)
+        assert result.render()
+
+
+class TestFigure5:
+    def test_posterior_convergence(self):
+        result = figure5.run(grid_size=1025)
+        rows = result.tables["posteriors"].rows
+        # total-variation distance to the uniform-prior posterior shrinks with n
+        tv = {(row[0], row[1]): row[4] for row in rows}
+        assert tv[("96/128", "x^-3")] < tv[("24/32", "x^-3")]
+        assert tv[("96/128", "x^3")] < tv[("24/32", "x^3")]
+        # uniform prior is its own reference
+        assert tv[("24/32", "uniform")] == 0
+
+
+class TestTable1:
+    def test_all_datasets_reported(self):
+        result = table1.run(scale=_SCALE)
+        rows = result.tables["datasets"].rows
+        assert len(rows) == 6
+        names = [row[0] for row in rows]
+        assert "rcv1" in names and "twitter" in names
+        for row in rows:
+            assert row[2] > 0  # ours: vectors
+            assert row[8] > 0  # ours: nnz
+
+
+class TestFigure4:
+    def test_pruning_trace_shrinks(self):
+        result = figure4.run(
+            scale=_SCALE,
+            threshold=0.7,
+            max_hashes=128,
+            panels=(("wikiwords100k_cosine", "wikiwords100k", False, "cosine"),),
+        )
+        rows = result.tables["wikiwords100k_cosine"].rows
+        allpairs_counts = [row[2] for row in rows if row[0] == "allpairs" and row[1] != "output"]
+        assert allpairs_counts == sorted(allpairs_counts, reverse=True)
+        assert allpairs_counts[-1] < allpairs_counts[0]
+
+
+class TestSweepExperiments:
+    @pytest.fixture(scope="class")
+    def figure3_result(self):
+        return figure3.run(
+            scale=_SCALE,
+            groups=["weighted_cosine"],
+            datasets=["rcv1"],
+            thresholds=[0.7],
+            pipelines=["allpairs", "ap_bayeslsh", "lsh", "lsh_bayeslsh"],
+            repeats=1,
+            timeout=None,
+        )
+
+    def test_figure3_records(self, figure3_result):
+        records = figure3_result.records
+        assert len(records) == 4
+        assert all(record.mean_time > 0 for record in records)
+        exact = [record for record in records if record.pipeline in ("allpairs", "lsh")]
+        assert all(record.recall == pytest.approx(1.0) for record in exact)
+
+    def test_table2_aggregation(self, figure3_result):
+        result = table2.run(figure3_result=figure3_result)
+        rows = result.tables["speedups"].rows
+        assert len(rows) == 1
+        assert rows[0][1] == "rcv1"
+        assert rows[0][2] in ("ap_bayeslsh", "lsh_bayeslsh")
+
+    def test_table3_recall_values(self):
+        result = table3.run(scale=_SCALE, datasets=["rcv1"], thresholds=[0.7])
+        for table_name in ("ap_bayeslsh", "ap_bayeslsh_lite"):
+            rows = result.tables[table_name].rows
+            assert len(rows) == 1
+            recall_value = rows[0][1]
+            assert 80.0 <= recall_value <= 100.0
+
+    def test_table4_error_profile(self):
+        result = table4.run(scale=_SCALE, datasets=["rcv1"], thresholds=[0.7])
+        for table_name in ("lsh_approx", "lsh_bayeslsh"):
+            rows = result.tables[table_name].rows
+            assert 0.0 <= rows[0][1] <= 100.0
+
+    def test_table5_quality_columns(self):
+        result = table5.run(scale=_SCALE, values=(0.03, 0.09))
+        rows = result.tables["quality"].rows
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row[1] <= 1.0       # fraction of errors
+            assert 0.0 <= row[2] <= 1.0       # mean error
+            assert 0.0 <= row[3] <= 100.0     # recall %
+
+
+class TestExperimentInfrastructure:
+    def test_experiment_ids_complete(self):
+        assert set(EXPERIMENT_IDS) == {
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "table1", "table2", "table3", "table4", "table5",
+        }
+
+    def test_dataset_cache_reuses_instances(self):
+        a = load_experiment_dataset("rcv1", scale=_SCALE, seed=0)
+        b = load_experiment_dataset("rcv1", scale=_SCALE, seed=0)
+        assert a is b
+        binary = load_experiment_dataset("rcv1", scale=_SCALE, seed=0, binary=True)
+        assert binary is not a
+
+    def test_result_rendering(self):
+        result = ExperimentResult(experiment_id="x", title="t", parameters={"scale": 1})
+        result.add_table("numbers", ["a"], [[1]], caption="cap")
+        rendered = result.render()
+        assert "cap" in rendered and "parameters" in rendered

@@ -1,0 +1,35 @@
+"""Tests for the experiment command-line runner."""
+
+import pytest
+
+from repro.experiments.runner import main, run_experiment
+
+
+class TestRunExperiment:
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("figure9")
+
+    def test_figure1_dispatch(self):
+        result = run_experiment("figure1")
+        assert result.experiment_id == "figure1"
+
+
+class TestMain:
+    def test_writes_output_file(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        exit_code = main(["figure1", "--output", str(output)])
+        assert exit_code == 0
+        text = output.read_text()
+        assert "figure1" in text
+        assert "hashes_required" in text
+        captured = capsys.readouterr()
+        assert "figure1" in captured.out
+
+    def test_rejects_unknown_id(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_quick_flag_runs_table1(self, capsys, tmp_path):
+        exit_code = main(["table1", "--quick", "--scale", "0.1", "--output", str(tmp_path / "t.txt")])
+        assert exit_code == 0

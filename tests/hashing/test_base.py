@@ -1,0 +1,34 @@
+"""Unit tests for the hash-family registry."""
+
+import pytest
+
+from repro.hashing.base import get_hash_family
+from repro.hashing.minhash import MinHashFamily
+from repro.hashing.simhash import SimHashFamily
+
+
+class TestGetHashFamily:
+    def test_minhash(self, binary_sets_collection):
+        family = get_hash_family("minhash", binary_sets_collection, seed=1)
+        assert isinstance(family, MinHashFamily)
+        assert family.seed == 1
+        assert family.collection is binary_sets_collection
+
+    def test_simhash(self, small_dense_collection):
+        family = get_hash_family("simhash", small_dense_collection)
+        assert isinstance(family, SimHashFamily)
+        assert family.produces_bits
+
+    def test_unknown_family(self, small_dense_collection):
+        with pytest.raises(ValueError, match="unknown hash family"):
+            get_hash_family("p-stable", small_dense_collection)
+
+    def test_kwargs_forwarded(self, small_dense_collection):
+        family = get_hash_family("simhash", small_dense_collection, quantize=False)
+        assert not family.projections.quantized
+
+    def test_n_hashes_starts_at_zero(self, small_dense_collection):
+        family = get_hash_family("simhash", small_dense_collection)
+        assert family.n_hashes == 0
+        family.signatures(32)
+        assert family.n_hashes >= 32

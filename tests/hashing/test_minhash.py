@@ -1,0 +1,100 @@
+"""Unit tests for the minwise hashing family."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.minhash import MinHashFamily
+from repro.similarity.measures import jaccard_similarity
+from repro.similarity.vectors import VectorCollection
+
+
+class TestMinHashFamily:
+    def test_deterministic_given_seed(self, binary_sets_collection):
+        a = MinHashFamily(binary_sets_collection, seed=4).signatures(32)
+        b = MinHashFamily(binary_sets_collection, seed=4).signatures(32)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_changes_hashes(self, binary_sets_collection):
+        a = MinHashFamily(binary_sets_collection, seed=4).signatures(32)
+        b = MinHashFamily(binary_sets_collection, seed=5).signatures(32)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_extension_preserves_existing(self, binary_sets_collection):
+        family = MinHashFamily(binary_sets_collection, seed=0)
+        prefix = family.signatures(64).values[:, :64].copy()
+        family.signatures(192)
+        np.testing.assert_array_equal(family.signatures(0).values[:, :64], prefix)
+
+    def test_identical_sets_identical_signatures(self):
+        collection = VectorCollection.from_sets([{1, 5, 9}, {1, 5, 9}], n_features=16)
+        store = MinHashFamily(collection, seed=0).signatures(64)
+        assert store.count_matches(0, 1, 0, 64) == 64
+
+    def test_disjoint_sets_rarely_collide(self):
+        collection = VectorCollection.from_sets([{0, 1, 2}, {10, 11, 12}], n_features=16)
+        store = MinHashFamily(collection, seed=0).signatures(128)
+        # Disjoint sets have Jaccard 0; collisions can only happen through
+        # hash collisions of the universal hash, which are vanishingly rare.
+        assert store.count_matches(0, 1, 0, 128) <= 1
+
+    def test_empty_sets_never_collide(self):
+        collection = VectorCollection.from_sets([set(), set(), {3}], n_features=8)
+        store = MinHashFamily(collection, seed=0).signatures(32)
+        assert store.count_matches(0, 1, 0, 32) == 0
+        assert store.count_matches(0, 2, 0, 32) == 0
+
+    def test_collision_rate_estimates_jaccard(self, binary_sets_collection):
+        """Equation 1: agreement fraction approximates the Jaccard similarity."""
+        family = MinHashFamily(binary_sets_collection, seed=17)
+        n_hashes = 768
+        store = family.signatures(n_hashes)
+        rng = np.random.default_rng(1)
+        rows = rng.choice(binary_sets_collection.n_vectors, size=(20, 2))
+        for i, j in rows:
+            i, j = int(i), int(j)
+            if i == j:
+                continue
+            expected = jaccard_similarity(binary_sets_collection, i, j)
+            observed = store.count_matches(i, j, 0, n_hashes) / n_hashes
+            assert abs(observed - expected) < 0.09
+
+    def test_hash_functions_independent_of_growth_pattern(self):
+        """Hash function i must be the same whether signatures grow in one or many steps."""
+        from repro.similarity.vectors import VectorCollection
+
+        collection = VectorCollection.from_sets([{1, 5, 9}, {2, 5}], n_features=16)
+        one_shot = MinHashFamily(collection, seed=3).signatures(256)
+        incremental_family = MinHashFamily(collection, seed=3)
+        incremental_family.signatures(64)
+        incremental = incremental_family.signatures(256)
+        np.testing.assert_array_equal(one_shot.values, incremental.values)
+
+    def test_same_set_same_signature_across_collections(self):
+        """Two families with the same seed hash identical sets identically."""
+        from repro.similarity.vectors import VectorCollection
+
+        a = VectorCollection.from_sets([{3, 7, 11}, {1, 2}], n_features=20)
+        b = VectorCollection.from_sets([{3, 7, 11}], n_features=20)
+        store_a = MinHashFamily(a, seed=9).signatures(128)
+        store_b = MinHashFamily(b, seed=9).signatures(64)
+        np.testing.assert_array_equal(store_a.values[0, :64], store_b.values[0, :64])
+
+    def test_collision_similarity_is_identity(self, binary_sets_collection):
+        family = MinHashFamily(binary_sets_collection)
+        assert family.collision_similarity(0.42) == pytest.approx(0.42)
+
+    def test_known_jaccard_pair(self):
+        # Jaccard 0.5: {0..3} vs {2..5} -> intersection 2, union 6 -> 1/3
+        collection = VectorCollection.from_sets([{0, 1, 2, 3}, {2, 3, 4, 5}], n_features=8)
+        store = MinHashFamily(collection, seed=21).signatures(1536)
+        observed = store.count_matches(0, 1, 0, 1536) / 1536
+        assert observed == pytest.approx(1.0 / 3.0, abs=0.05)
+
+    def test_invalid_block_size(self, binary_sets_collection):
+        with pytest.raises(ValueError):
+            MinHashFamily(binary_sets_collection, block_size=-1)
+
+    def test_negative_hash_request_rejected(self, binary_sets_collection):
+        family = MinHashFamily(binary_sets_collection)
+        with pytest.raises(ValueError):
+            family.signatures(-5)

@@ -1,0 +1,104 @@
+"""Unit tests for the signed-random-projection (SimHash) family."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.simhash import (
+    SimHashFamily,
+    collision_to_cosine,
+    cosine_to_collision,
+)
+from repro.similarity.measures import cosine_similarity
+from repro.similarity.vectors import VectorCollection
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for cosine in (0.0, 0.3, 0.7, 0.95, 1.0):
+            assert collision_to_cosine(cosine_to_collision(cosine)) == pytest.approx(cosine, abs=1e-12)
+
+    def test_known_values(self):
+        assert cosine_to_collision(1.0) == pytest.approx(1.0)
+        assert cosine_to_collision(0.0) == pytest.approx(0.5)
+        assert collision_to_cosine(0.75) == pytest.approx(np.cos(np.pi * 0.25))
+
+    def test_monotonicity(self):
+        cosines = np.linspace(0, 1, 50)
+        collisions = cosine_to_collision(cosines)
+        assert np.all(np.diff(collisions) > 0)
+
+    def test_range_for_nonnegative_data(self):
+        collisions = cosine_to_collision(np.linspace(0, 1, 20))
+        assert collisions.min() >= 0.5
+        assert collisions.max() <= 1.0
+
+
+class TestSimHashFamily:
+    def test_signature_store_grows_lazily(self, small_dense_collection):
+        family = SimHashFamily(small_dense_collection, seed=0)
+        store = family.signatures(10)
+        assert store.n_hashes >= 10
+        first = store.n_hashes
+        family.signatures(first + 100)
+        assert family.signatures(0).n_hashes >= first + 100
+
+    def test_deterministic_given_seed(self, small_dense_collection):
+        a = SimHashFamily(small_dense_collection, seed=5).signatures(64)
+        b = SimHashFamily(small_dense_collection, seed=5).signatures(64)
+        np.testing.assert_array_equal(a.words, b.words)
+
+    def test_seed_changes_hashes(self, small_dense_collection):
+        a = SimHashFamily(small_dense_collection, seed=5).signatures(64)
+        b = SimHashFamily(small_dense_collection, seed=6).signatures(64)
+        assert not np.array_equal(a.words, b.words)
+
+    def test_extension_preserves_existing_hashes(self, small_dense_collection):
+        family = SimHashFamily(small_dense_collection, seed=1)
+        short = family.signatures(64)
+        prefix = short.words[:, :2].copy()
+        family.signatures(256)
+        np.testing.assert_array_equal(family.signatures(0).words[:, :2], prefix)
+
+    def test_collision_rate_estimates_angle(self, sparse_text_collection):
+        """Equation 1: hash agreement fraction approximates 1 - theta/pi."""
+        family = SimHashFamily(sparse_text_collection, seed=9)
+        n_hashes = 2048
+        store = family.signatures(n_hashes)
+        rng = np.random.default_rng(0)
+        rows = rng.choice(sparse_text_collection.n_vectors, size=(20, 2))
+        for i, j in rows:
+            i, j = int(i), int(j)
+            if i == j:
+                continue
+            cosine = cosine_similarity(sparse_text_collection, i, j)
+            expected = cosine_to_collision(cosine)
+            observed = store.count_matches(i, j, 0, n_hashes) / n_hashes
+            # standard error ~ sqrt(p(1-p)/n) <= 0.011; allow 5 sigma
+            assert abs(observed - expected) < 0.06
+
+    def test_identical_vectors_always_collide(self):
+        data = np.abs(np.random.default_rng(2).random((2, 30)))
+        collection = VectorCollection.from_dense(np.vstack([data[0], data[0]]))
+        store = SimHashFamily(collection, seed=0).signatures(256)
+        assert store.count_matches(0, 1, 0, 256) == 256
+
+    def test_quantized_matches_exact_projections(self, small_dense_collection):
+        quantized = SimHashFamily(small_dense_collection, seed=3, quantize=True).signatures(512)
+        exact = SimHashFamily(small_dense_collection, seed=3, quantize=False).signatures(512)
+        # quantisation may flip only hashes whose projection is ~0; allow a tiny fraction
+        total = small_dense_collection.n_vectors * 512
+        differing = np.sum(
+            np.bitwise_count(np.bitwise_xor(quantized.words, exact.words)).astype(int)
+        )
+        assert differing / total < 0.01
+
+    def test_collision_similarity_mapping(self, small_dense_collection):
+        family = SimHashFamily(small_dense_collection)
+        assert family.collision_similarity(0.7) == pytest.approx(float(cosine_to_collision(0.7)))
+
+    def test_invalid_block_size(self, small_dense_collection):
+        with pytest.raises(ValueError):
+            SimHashFamily(small_dense_collection, block_size=0)
+
+    def test_repr(self, small_dense_collection):
+        assert "SimHashFamily" in repr(SimHashFamily(small_dense_collection))

@@ -1,0 +1,94 @@
+"""Integration tests: full pipelines against exact ground truth.
+
+These are the tests that tie the whole system together: every pipeline the
+paper evaluates is run end to end on realistic (if small) synthetic data and
+compared to the brute-force exact answer.
+"""
+
+import pytest
+
+from repro.evaluation.ground_truth import exact_all_pairs
+from repro.evaluation.metrics import error_statistics, precision, recall
+from repro.search.engine import all_pairs_similarity
+from repro.search.pipelines import pipelines_for_measure
+
+
+class TestCosinePipelinesAgainstGroundTruth:
+    @pytest.fixture(scope="class")
+    def truth(self, sparse_text_dataset):
+        return exact_all_pairs(sparse_text_dataset, 0.7, "cosine")
+
+    def test_exact_pipelines_perfect_precision_and_recall(self, sparse_text_dataset, truth):
+        for method in ("allpairs",):
+            result = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method=method, seed=4)
+            assert recall(result, truth) == 1.0
+            assert precision(result, truth) == 1.0
+
+    def test_lsh_exact_recall_close_to_one(self, sparse_text_dataset, truth):
+        result = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method="lsh", seed=4)
+        assert recall(result, truth) >= 0.9
+        assert precision(result, truth) == 1.0
+
+    @pytest.mark.parametrize("method", ["ap_bayeslsh", "lsh_bayeslsh"])
+    def test_bayeslsh_recall_and_accuracy(self, sparse_text_dataset, truth, method):
+        result = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method=method, seed=4)
+        assert recall(result, truth) >= 0.9
+        stats = error_statistics(result, truth)
+        assert stats.n_pairs > 0
+        assert stats.fraction_above < 0.15
+        assert stats.mean_error < 0.05
+
+    @pytest.mark.parametrize("method", ["ap_bayeslsh_lite", "lsh_bayeslsh_lite"])
+    def test_bayeslsh_lite_exact_output(self, sparse_text_dataset, truth, method):
+        result = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method=method, seed=4)
+        assert recall(result, truth) >= 0.9
+        # exact verification: every reported pair really is above the threshold
+        assert precision(result, truth) == 1.0
+        assert result.exact_similarities
+
+    def test_lsh_approx_behaves_like_estimator(self, sparse_text_dataset, truth):
+        result = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method="lsh_approx", seed=4)
+        assert recall(result, truth) >= 0.85
+        stats = error_statistics(result, truth)
+        assert stats.mean_error < 0.05
+
+
+class TestJaccardPipelinesAgainstGroundTruth:
+    @pytest.fixture(scope="class")
+    def truth(self, binary_sets_collection):
+        return exact_all_pairs(binary_sets_collection, 0.5, "jaccard")
+
+    @pytest.mark.parametrize("method", pipelines_for_measure("jaccard"))
+    def test_every_jaccard_pipeline(self, binary_sets_collection, truth, method):
+        result = all_pairs_similarity(binary_sets_collection, 0.5, "jaccard", method=method, seed=4)
+        assert recall(result, truth) >= 0.9
+        if result.exact_similarities:
+            assert precision(result, truth) == 1.0
+
+
+class TestBinaryCosinePipelines:
+    def test_ppjoin_and_allpairs_agree(self, binary_sets_collection):
+        truth = exact_all_pairs(binary_sets_collection, 0.7, "binary_cosine")
+        ppjoin = all_pairs_similarity(
+            binary_sets_collection, 0.7, "binary_cosine", method="ppjoin", seed=1
+        )
+        allpairs = all_pairs_similarity(
+            binary_sets_collection, 0.7, "binary_cosine", method="allpairs", seed=1
+        )
+        assert ppjoin.pair_set() == truth.pair_set()
+        assert allpairs.pair_set() == truth.pair_set()
+
+
+class TestGraphWorkload:
+    def test_graph_similarity_search(self, graph_dataset):
+        truth = exact_all_pairs(graph_dataset, 0.6, "cosine")
+        result = all_pairs_similarity(graph_dataset, 0.6, "cosine", method="ap_bayeslsh_lite", seed=2)
+        assert recall(result, truth) >= 0.9
+        assert precision(result, truth) == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, sparse_text_dataset):
+        a = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method="lsh_bayeslsh", seed=9)
+        b = all_pairs_similarity(sparse_text_dataset, 0.7, "cosine", method="lsh_bayeslsh", seed=9)
+        assert a.pair_set() == b.pair_set()

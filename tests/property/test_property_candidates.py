@@ -1,0 +1,86 @@
+"""Property-based tests for candidate generation completeness.
+
+For random small binary/weighted collections, the exact candidate generators
+(AllPairs, PPJoin+) must never miss a pair above the threshold, and the
+candidate-set container must always canonicalise pairs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.candidates.allpairs import AllPairsGenerator
+from repro.candidates.base import CandidateSet
+from repro.candidates.ppjoin import PPJoinGenerator
+from repro.evaluation.ground_truth import exact_all_pairs
+from repro.similarity.vectors import VectorCollection
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _random_sets(seed: int, n_rows: int, universe: int, max_size: int):
+    rng = np.random.default_rng(seed)
+    sets = []
+    for _ in range(n_rows):
+        size = int(rng.integers(0, max_size + 1))
+        sets.append(set(rng.choice(universe, size=min(size, universe), replace=False).tolist()))
+    return VectorCollection.from_sets(sets, n_features=universe)
+
+
+def _random_weighted(seed: int, n_rows: int, n_features: int):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n_rows, n_features)) * (rng.random((n_rows, n_features)) < 0.4)
+    return VectorCollection.from_dense(dense)
+
+
+class TestCandidateSetProperties:
+    @_SETTINGS
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30)),
+            max_size=80,
+        )
+    )
+    def test_from_pairs_canonical(self, pairs):
+        candidate_set = CandidateSet.from_pairs(pairs)
+        seen = set()
+        for i, j in candidate_set:
+            assert i < j
+            assert (i, j) not in seen
+            seen.add((i, j))
+        expected = {(min(a, b), max(a, b)) for a, b in pairs if a != b}
+        assert seen == expected
+
+
+class TestGeneratorCompletenessProperties:
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([0.3, 0.5, 0.7]),
+    )
+    def test_ppjoin_jaccard_complete(self, seed, threshold):
+        collection = _random_sets(seed, n_rows=30, universe=40, max_size=12)
+        truth = exact_all_pairs(collection, threshold, "jaccard")
+        candidates = PPJoinGenerator("jaccard", threshold).generate(collection)
+        assert truth.pair_set() <= candidates.as_set()
+
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([0.5, 0.7, 0.9]),
+    )
+    def test_ppjoin_binary_cosine_complete(self, seed, threshold):
+        collection = _random_sets(seed, n_rows=25, universe=35, max_size=10)
+        truth = exact_all_pairs(collection, threshold, "binary_cosine")
+        candidates = PPJoinGenerator("binary_cosine", threshold).generate(collection)
+        assert truth.pair_set() <= candidates.as_set()
+
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([0.5, 0.7, 0.9]),
+    )
+    def test_allpairs_cosine_complete(self, seed, threshold):
+        collection = _random_weighted(seed, n_rows=25, n_features=15)
+        truth = exact_all_pairs(collection, threshold, "cosine")
+        candidates = AllPairsGenerator("cosine", threshold).generate(collection)
+        assert truth.pair_set() <= candidates.as_set()

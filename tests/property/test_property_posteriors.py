@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the posterior models.
+
+These check the mathematical invariants the BayesLSH algorithm relies on, for
+arbitrary valid observation counts and parameters:
+
+* probabilities are probabilities (in [0, 1]);
+* Pr[S >= t | M(m, n)] is monotone non-decreasing in m and non-increasing in t;
+* the MAP estimate lies in the similarity range and increases with m;
+* the concentration probability is monotone in delta.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.posteriors import BetaPosterior, TruncatedCollisionPosterior
+from repro.core.priors import BetaPrior
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+counts = st.integers(min_value=0, max_value=512).flatmap(
+    lambda n: st.tuples(st.integers(min_value=0, max_value=n), st.just(n))
+)
+thresholds = st.floats(min_value=0.01, max_value=0.99)
+deltas = st.floats(min_value=0.001, max_value=0.5)
+beta_params = st.floats(min_value=0.1, max_value=50.0)
+
+
+class TestBetaPosteriorProperties:
+    @_SETTINGS
+    @given(counts, thresholds, beta_params, beta_params)
+    def test_probability_in_unit_interval(self, mn, threshold, alpha, beta):
+        m, n = mn
+        posterior = BetaPosterior(BetaPrior(alpha, beta))
+        value = posterior.prob_above_threshold(m, n, threshold)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @_SETTINGS
+    @given(counts, thresholds)
+    def test_monotone_in_matches(self, mn, threshold):
+        m, n = mn
+        if m >= n:
+            return
+        posterior = BetaPosterior()
+        assert (
+            posterior.prob_above_threshold(m + 1, n, threshold)
+            >= posterior.prob_above_threshold(m, n, threshold) - 1e-12
+        )
+
+    @_SETTINGS
+    @given(counts, st.tuples(thresholds, thresholds))
+    def test_antitone_in_threshold(self, mn, pair):
+        m, n = mn
+        low, high = sorted(pair)
+        posterior = BetaPosterior()
+        assert (
+            posterior.prob_above_threshold(m, n, high)
+            <= posterior.prob_above_threshold(m, n, low) + 1e-12
+        )
+
+    @_SETTINGS
+    @given(counts, beta_params, beta_params)
+    def test_map_estimate_in_range(self, mn, alpha, beta):
+        m, n = mn
+        posterior = BetaPosterior(BetaPrior(alpha, beta))
+        estimate = posterior.map_estimate(m, n)
+        assert 0.0 <= estimate <= 1.0
+
+    @_SETTINGS
+    @given(counts, st.tuples(deltas, deltas))
+    def test_concentration_monotone_in_delta(self, mn, pair):
+        m, n = mn
+        small, large = sorted(pair)
+        posterior = BetaPosterior()
+        assert (
+            posterior.concentration_probability(m, n, large)
+            >= posterior.concentration_probability(m, n, small) - 1e-12
+        )
+
+    @_SETTINGS
+    @given(counts, deltas)
+    def test_concentration_in_unit_interval(self, mn, delta):
+        m, n = mn
+        value = BetaPosterior().concentration_probability(m, n, delta)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @_SETTINGS
+    @given(st.integers(min_value=1, max_value=400))
+    def test_all_matches_imply_high_similarity(self, n):
+        posterior = BetaPosterior()
+        assert posterior.map_estimate(n, n) == 1.0
+        assert posterior.prob_above_threshold(n, n, 0.5) > 0.5
+
+
+class TestTruncatedCollisionPosteriorProperties:
+    @_SETTINGS
+    @given(counts, thresholds)
+    def test_probability_in_unit_interval(self, mn, threshold):
+        m, n = mn
+        posterior = TruncatedCollisionPosterior()
+        value = posterior.prob_above_threshold(m, n, threshold)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @_SETTINGS
+    @given(counts, thresholds)
+    def test_monotone_in_matches(self, mn, threshold):
+        m, n = mn
+        if m >= n:
+            return
+        posterior = TruncatedCollisionPosterior()
+        assert (
+            posterior.prob_above_threshold(m + 1, n, threshold)
+            >= posterior.prob_above_threshold(m, n, threshold) - 1e-9
+        )
+
+    @_SETTINGS
+    @given(counts)
+    def test_map_estimate_is_valid_cosine(self, mn):
+        m, n = mn
+        estimate = TruncatedCollisionPosterior().map_estimate(m, n)
+        assert -1e-12 <= estimate <= 1.0 + 1e-12
+
+    @_SETTINGS
+    @given(counts, st.tuples(deltas, deltas))
+    def test_concentration_monotone_in_delta(self, mn, pair):
+        m, n = mn
+        small, large = sorted(pair)
+        posterior = TruncatedCollisionPosterior()
+        assert (
+            posterior.concentration_probability(m, n, large)
+            >= posterior.concentration_probability(m, n, small) - 1e-9
+        )
+
+    @_SETTINGS
+    @given(st.integers(min_value=32, max_value=512), thresholds)
+    def test_map_consistent_with_threshold_probability(self, n, threshold):
+        """If the MAP estimate is far above t, Pr[S >= t] should not be tiny."""
+        posterior = TruncatedCollisionPosterior()
+        m = int(0.95 * n)
+        estimate = posterior.map_estimate(m, n)
+        probability = posterior.prob_above_threshold(m, n, threshold)
+        if estimate > threshold + 0.2:
+            assert probability > 0.5

@@ -1,0 +1,70 @@
+"""Property-based tests for the similarity substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity.measures import (
+    binary_cosine_similarity,
+    cosine_similarity,
+    jaccard_similarity,
+)
+from repro.similarity.transforms import l2_normalize, tfidf_weighting
+from repro.similarity.vectors import VectorCollection
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+dense_collections = st.integers(min_value=0, max_value=10_000).map(
+    lambda seed: VectorCollection.from_dense(
+        np.random.default_rng(seed).random((8, 6))
+        * (np.random.default_rng(seed + 1).random((8, 6)) < 0.6)
+    )
+)
+row_indices = st.tuples(
+    st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+)
+
+
+class TestSimilarityProperties:
+    @_SETTINGS
+    @given(dense_collections, row_indices)
+    def test_similarities_bounded_and_symmetric(self, collection, indices):
+        i, j = indices
+        for function in (cosine_similarity, jaccard_similarity, binary_cosine_similarity):
+            value = function(collection, i, j)
+            assert 0.0 <= value <= 1.0 + 1e-12
+            assert value == function(collection, j, i)
+
+    @_SETTINGS
+    @given(dense_collections, st.integers(min_value=0, max_value=7))
+    def test_self_similarity_is_one_for_nonempty_rows(self, collection, i):
+        if collection.row_nnz[i] == 0:
+            return
+        assert abs(cosine_similarity(collection, i, i) - 1.0) < 1e-9
+        assert jaccard_similarity(collection, i, i) == 1.0
+
+    @_SETTINGS
+    @given(dense_collections, row_indices)
+    def test_jaccard_lower_bounds_binary_cosine(self, collection, indices):
+        """For sets, J(x,y) <= binary-cosine(x,y): AM-GM on the denominator."""
+        i, j = indices
+        assert (
+            jaccard_similarity(collection, i, j)
+            <= binary_cosine_similarity(collection, i, j) + 1e-12
+        )
+
+    @_SETTINGS
+    @given(dense_collections, row_indices)
+    def test_cosine_invariant_to_normalization(self, collection, indices):
+        i, j = indices
+        normalized = l2_normalize(collection)
+        assert abs(
+            cosine_similarity(collection, i, j) - cosine_similarity(normalized, i, j)
+        ) < 1e-9
+
+    @_SETTINGS
+    @given(dense_collections)
+    def test_tfidf_preserves_shape_and_support(self, collection):
+        weighted = tfidf_weighting(collection)
+        assert weighted.n_vectors == collection.n_vectors
+        assert weighted.n_features == collection.n_features
+        assert weighted.nnz == collection.nnz

@@ -1,0 +1,93 @@
+"""Unit tests for query-centric similarity search (QueryIndex)."""
+
+import numpy as np
+import pytest
+
+from repro.search.query import QueryIndex
+from repro.similarity.measures import get_measure
+from repro.similarity.vectors import VectorCollection
+
+
+@pytest.fixture(scope="module")
+def cosine_index(sparse_text_collection):
+    return QueryIndex(sparse_text_collection, measure="cosine", threshold=0.7, seed=3)
+
+
+class TestQueryIndexCosine:
+    def test_query_with_existing_row_finds_itself(self, sparse_text_collection, cosine_index):
+        row = 5
+        query = sparse_text_collection.matrix[row].toarray().ravel()
+        hits = cosine_index.query(query, threshold=0.9)
+        assert row in {pair.j for pair in hits}
+        by_row = {pair.j: pair.similarity for pair in hits}
+        assert by_row[row] > 0.9
+
+    def test_query_results_are_truly_similar(self, sparse_text_collection, cosine_index):
+        measure = get_measure("cosine")
+        prepared = measure.prepare(sparse_text_collection)
+        query_row = 10
+        query = sparse_text_collection.matrix[query_row].toarray().ravel()
+        for pair in cosine_index.query(query, threshold=0.7):
+            if pair.j == query_row:
+                continue
+            exact = measure.exact(prepared, query_row, pair.j)
+            assert exact > 0.5  # estimates can wobble, but hits must be genuinely similar
+
+    def test_exact_verification_mode(self, sparse_text_collection):
+        index = QueryIndex(
+            sparse_text_collection, measure="cosine", threshold=0.7, verification="exact", seed=3
+        )
+        query = sparse_text_collection.matrix[7].toarray().ravel()
+        hits = index.query(query)
+        measure = get_measure("cosine")
+        prepared = measure.prepare(sparse_text_collection)
+        for pair in hits:
+            if pair.j != 7:
+                assert pair.similarity == pytest.approx(measure.exact(prepared, 7, pair.j), abs=1e-9)
+
+    def test_top_k_ordering_and_size(self, sparse_text_collection, cosine_index):
+        query = sparse_text_collection.matrix[3].toarray().ravel()
+        top = cosine_index.top_k(query, k=5)
+        assert len(top) <= 5
+        similarities = [pair.similarity for pair in top]
+        assert similarities == sorted(similarities, reverse=True)
+        assert top[0].j == 3  # the row itself is its own nearest neighbour
+
+    def test_empty_query_returns_nothing(self, sparse_text_collection, cosine_index):
+        assert cosine_index.query(np.zeros(sparse_text_collection.n_features)) == []
+
+    def test_feature_mismatch_rejected(self, cosine_index):
+        with pytest.raises(ValueError, match="features"):
+            cosine_index.query(np.ones(3))
+
+    def test_invalid_parameters(self, sparse_text_collection):
+        with pytest.raises(ValueError):
+            QueryIndex(sparse_text_collection, threshold=1.5)
+        with pytest.raises(ValueError):
+            QueryIndex(sparse_text_collection, verification="magic")
+        with pytest.raises(ValueError):
+            QueryIndex(sparse_text_collection).query(np.ones(1), threshold=0.0)
+        with pytest.raises(ValueError):
+            QueryIndex(sparse_text_collection).top_k(np.ones(1), k=0)
+
+    def test_index_properties(self, sparse_text_collection, cosine_index):
+        assert cosine_index.n_indexed == sparse_text_collection.n_vectors
+        assert cosine_index.n_signatures >= 1
+
+
+class TestQueryIndexJaccard:
+    def test_set_query(self, binary_sets_collection):
+        index = QueryIndex(binary_sets_collection, measure="jaccard", threshold=0.5, seed=1)
+        row = 4
+        query_set = set(binary_sets_collection.row_features(row).tolist())
+        hits = index.query(query_set, threshold=0.8)
+        assert row in {pair.j for pair in hits}
+
+    def test_dict_query_binary_cosine(self, binary_sets_collection):
+        index = QueryIndex(
+            binary_sets_collection, measure="binary_cosine", threshold=0.7, verification="exact", seed=1
+        )
+        row = 9
+        query = {int(f): 1.0 for f in binary_sets_collection.row_features(row)}
+        hits = index.query(query)
+        assert row in {pair.j for pair in hits}

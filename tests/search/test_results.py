@@ -1,0 +1,51 @@
+"""Unit tests for the search-result containers."""
+
+import numpy as np
+import pytest
+
+from repro.search.results import ScoredPair, SearchResult
+
+
+@pytest.fixture()
+def result():
+    return SearchResult(
+        left=np.array([0, 1, 2]),
+        right=np.array([5, 4, 3]),
+        similarities=np.array([0.9, 0.7, 0.8]),
+        method="test",
+        threshold=0.6,
+        measure="cosine",
+        n_candidates=10,
+        n_pruned=7,
+        timings={"generation": 0.1, "verification": 0.2, "total": 0.35},
+    )
+
+
+class TestSearchResult:
+    def test_len_and_iteration(self, result):
+        assert len(result) == 3
+        pairs = list(result)
+        assert pairs[0] == ScoredPair(0, 5, 0.9)
+        assert all(isinstance(pair, ScoredPair) for pair in pairs)
+
+    def test_pair_set_and_similarity_map(self, result):
+        assert result.pair_set() == {(0, 5), (1, 4), (2, 3)}
+        assert result.similarity_map()[(2, 3)] == pytest.approx(0.8)
+
+    def test_top_k(self, result):
+        top = result.top(2)
+        assert [pair.similarity for pair in top] == [0.9, 0.8]
+        assert result.top(0) == []
+        assert len(result.top(100)) == 3
+
+    def test_total_time(self, result):
+        assert result.total_time == pytest.approx(0.35)
+        empty = SearchResult(
+            left=np.array([]), right=np.array([]), similarities=np.array([]),
+            method="x", threshold=0.5, measure="cosine",
+        )
+        assert empty.total_time == 0.0
+
+    def test_repr(self, result):
+        assert "method='test'" in repr(result)
+        assert "n_pairs=3" in repr(result)

@@ -1,0 +1,124 @@
+"""Unit tests for the similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.measures import (
+    BinaryCosineSimilarity,
+    CosineSimilarity,
+    JaccardSimilarity,
+    binary_cosine_similarity,
+    cosine_similarity,
+    get_measure,
+    jaccard_similarity,
+)
+from repro.similarity.vectors import VectorCollection
+
+
+class TestCosine:
+    def test_identical_vectors(self, tiny_collection):
+        assert cosine_similarity(tiny_collection, 0, 0) == pytest.approx(1.0)
+
+    def test_known_value(self, tiny_collection):
+        # rows 0 and 1: dot = 3, norms sqrt(3) and 2 -> 3 / (2 sqrt(3)) = sqrt(3)/2
+        assert cosine_similarity(tiny_collection, 0, 1) == pytest.approx(np.sqrt(3) / 2)
+
+    def test_disjoint_vectors(self, tiny_collection):
+        assert cosine_similarity(tiny_collection, 0, 2) == 0.0
+
+    def test_empty_vector(self, tiny_collection):
+        assert cosine_similarity(tiny_collection, 0, 5) == 0.0
+
+    def test_symmetry(self, tiny_collection):
+        assert cosine_similarity(tiny_collection, 1, 3) == cosine_similarity(tiny_collection, 3, 1)
+
+    def test_scale_invariance(self):
+        base = VectorCollection.from_dicts([{0: 1.0, 1: 2.0}, {0: 3.0, 1: 6.0}], n_features=2)
+        assert cosine_similarity(base, 0, 1) == pytest.approx(1.0)
+
+
+class TestJaccard:
+    def test_known_value(self, tiny_collection):
+        # supports {0,1,2} and {0,1,2,3}: intersection 3, union 4
+        assert jaccard_similarity(tiny_collection, 0, 1) == pytest.approx(0.75)
+
+    def test_identical_supports(self, tiny_collection):
+        assert jaccard_similarity(tiny_collection, 0, 0) == 1.0
+
+    def test_disjoint_supports(self, tiny_collection):
+        assert jaccard_similarity(tiny_collection, 0, 2) == 0.0
+
+    def test_empty_vs_empty(self, tiny_collection):
+        assert jaccard_similarity(tiny_collection, 5, 5) == 0.0
+
+    def test_ignores_weights(self):
+        weighted = VectorCollection.from_dicts([{0: 5.0, 1: 0.1}, {0: 1.0, 2: 9.0}], n_features=3)
+        assert jaccard_similarity(weighted, 0, 1) == pytest.approx(1.0 / 3.0)
+
+
+class TestBinaryCosine:
+    def test_known_value(self, tiny_collection):
+        # supports sizes 3 and 4, intersection 3 -> 3 / sqrt(12)
+        expected = 3 / np.sqrt(12)
+        assert binary_cosine_similarity(tiny_collection, 0, 1) == pytest.approx(expected)
+
+    def test_empty_vector(self, tiny_collection):
+        assert binary_cosine_similarity(tiny_collection, 0, 5) == 0.0
+
+    def test_matches_cosine_on_binary_data(self, binary_sets_collection):
+        prepared = binary_sets_collection
+        for i, j in [(0, 1), (3, 10), (5, 50)]:
+            assert binary_cosine_similarity(prepared, i, j) == pytest.approx(
+                cosine_similarity(prepared, i, j)
+            )
+
+
+class TestMeasureObjects:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("cosine", CosineSimilarity), ("jaccard", JaccardSimilarity), ("binary_cosine", BinaryCosineSimilarity)],
+    )
+    def test_get_measure_by_name(self, name, cls):
+        assert isinstance(get_measure(name), cls)
+
+    def test_get_measure_passthrough(self):
+        measure = CosineSimilarity()
+        assert get_measure(measure) is measure
+
+    def test_get_measure_unknown(self):
+        with pytest.raises(ValueError, match="unknown similarity measure"):
+            get_measure("euclidean")
+
+    def test_lsh_family_assignment(self):
+        assert get_measure("cosine").lsh_family == "simhash"
+        assert get_measure("binary_cosine").lsh_family == "simhash"
+        assert get_measure("jaccard").lsh_family == "minhash"
+
+    def test_prepare_cosine_normalises(self, tiny_collection):
+        prepared = CosineSimilarity().prepare(tiny_collection)
+        nonzero = prepared.row_nnz > 0
+        np.testing.assert_allclose(prepared.norms[nonzero], 1.0)
+
+    def test_prepare_jaccard_binarises(self, tiny_collection):
+        prepared = JaccardSimilarity().prepare(tiny_collection)
+        assert prepared.is_binary
+
+    def test_pairwise_matrix_symmetric_and_bounded(self, tiny_collection):
+        matrix = CosineSimilarity().pairwise_matrix(tiny_collection)
+        assert matrix.shape == (6, 6)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0 + 1e-12
+
+    def test_pairwise_matrix_diagonal(self, tiny_collection):
+        matrix = JaccardSimilarity().pairwise_matrix(tiny_collection)
+        # empty row 5 has 0 on the diagonal, others 1
+        assert matrix[5, 5] == 0.0
+        assert matrix[0, 0] == 1.0
+
+    def test_exact_matches_scalar_functions(self, sparse_text_collection):
+        cosine = CosineSimilarity()
+        prepared = cosine.prepare(sparse_text_collection)
+        assert cosine.exact(prepared, 0, 1) == pytest.approx(
+            cosine_similarity(prepared, 0, 1)
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the dataset pre-processing transforms."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.transforms import (
+    binarize,
+    document_frequencies,
+    l2_normalize,
+    tfidf_weighting,
+)
+from repro.similarity.vectors import VectorCollection
+
+
+@pytest.fixture()
+def count_collection():
+    return VectorCollection.from_dicts(
+        [
+            {0: 2.0, 1: 1.0},
+            {0: 1.0, 2: 3.0},
+            {0: 4.0},
+        ],
+        n_features=4,
+    )
+
+
+class TestDocumentFrequencies:
+    def test_counts_presence_not_weight(self, count_collection):
+        assert document_frequencies(count_collection).tolist() == [3, 1, 1, 0]
+
+
+class TestTfidf:
+    def test_shape_and_nonnegativity(self, count_collection):
+        weighted = tfidf_weighting(count_collection)
+        assert weighted.n_vectors == count_collection.n_vectors
+        assert weighted.n_features == count_collection.n_features
+        assert weighted.matrix.data.min() > 0
+
+    def test_support_is_preserved(self, count_collection):
+        weighted = tfidf_weighting(count_collection)
+        for row in range(count_collection.n_vectors):
+            assert set(weighted.row_features(row)) == set(count_collection.row_features(row))
+
+    def test_rare_terms_weighted_up(self, count_collection):
+        weighted = tfidf_weighting(count_collection)
+        # Feature 0 occurs in all rows, feature 2 in one: for row 1 (tf 1 vs 3),
+        # the rare feature should dominate even more after weighting.
+        row = dict(zip(weighted.row_features(1), weighted.row_values(1)))
+        assert row[2] > row[0]
+
+    def test_smooth_vs_unsmooth(self, count_collection):
+        smooth = tfidf_weighting(count_collection, smooth=True)
+        rough = tfidf_weighting(count_collection, smooth=False)
+        assert smooth.nnz == rough.nnz
+        assert not np.allclose(smooth.matrix.data, rough.matrix.data)
+
+    def test_sublinear_tf_reduces_large_counts(self, count_collection):
+        plain = tfidf_weighting(count_collection, sublinear_tf=False)
+        sublinear = tfidf_weighting(count_collection, sublinear_tf=True)
+        # row 2 has tf=4 on feature 0; sublinear weighting shrinks it
+        plain_value = plain.row_values(2)[0]
+        sub_value = sublinear.row_values(2)[0]
+        assert sub_value < plain_value
+
+    def test_does_not_mutate_input(self, count_collection):
+        before = count_collection.matrix.copy()
+        tfidf_weighting(count_collection)
+        assert np.array_equal(before.toarray(), count_collection.matrix.toarray())
+
+
+class TestSimpleTransforms:
+    def test_binarize(self, count_collection):
+        assert binarize(count_collection).is_binary
+
+    def test_l2_normalize(self, count_collection):
+        normalized = l2_normalize(count_collection)
+        np.testing.assert_allclose(normalized.norms, 1.0)
+
+    def test_l2_normalize_keeps_empty_rows(self):
+        collection = VectorCollection.from_dicts([{0: 1.0}, {}], n_features=2)
+        normalized = l2_normalize(collection)
+        assert normalized.row_nnz.tolist() == [1, 0]

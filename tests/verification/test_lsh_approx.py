@@ -1,0 +1,64 @@
+"""Unit tests for the fixed-budget LSH Approx verifier (Section 3 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.base import CandidateSet
+from repro.hashing.base import get_hash_family
+from repro.verification.lsh_approx import DEFAULT_NUM_HASHES, LSHApproxVerifier
+
+
+def _candidates(n):
+    left, right = np.triu_indices(n, k=1)
+    return CandidateSet(left=left.astype(np.int64), right=right.astype(np.int64))
+
+
+class TestLSHApproxVerifier:
+    def test_default_budget_matches_paper(self, sparse_text_collection):
+        cosine = LSHApproxVerifier(sparse_text_collection, "cosine", 0.7)
+        assert cosine.num_hashes == DEFAULT_NUM_HASHES["cosine"] == 2048
+        jaccard = LSHApproxVerifier(sparse_text_collection, "jaccard", 0.5)
+        assert jaccard.num_hashes == DEFAULT_NUM_HASHES["jaccard"] == 360
+
+    def test_estimates_close_to_exact(self, sparse_text_collection):
+        verifier = LSHApproxVerifier(sparse_text_collection, "cosine", 0.5, seed=7)
+        output = verifier.verify(_candidates(60))
+        for i, j, estimate in zip(output.left, output.right, output.estimates):
+            exact = verifier.exact_similarity(int(i), int(j))
+            assert abs(estimate - exact) < 0.08
+
+    def test_output_pairs_have_estimate_above_threshold(self, sparse_text_collection):
+        verifier = LSHApproxVerifier(sparse_text_collection, "cosine", 0.7, seed=7)
+        output = verifier.verify(_candidates(60))
+        assert all(estimate > 0.7 for estimate in output.estimates)
+
+    def test_hash_comparisons_accounting(self, sparse_text_collection):
+        verifier = LSHApproxVerifier(sparse_text_collection, "cosine", 0.7, num_hashes=256)
+        candidates = _candidates(20)
+        output = verifier.verify(candidates)
+        assert output.hash_comparisons == 256 * len(candidates)
+        assert output.exact_computations == 0
+
+    def test_family_reuse(self, sparse_text_collection):
+        prepared = sparse_text_collection.normalized()
+        family = get_hash_family("simhash", prepared, seed=1)
+        verifier = LSHApproxVerifier(
+            sparse_text_collection, "cosine", 0.7, family=family, num_hashes=128
+        )
+        verifier.verify(_candidates(10))
+        assert verifier.family is family
+        assert family.n_hashes >= 128
+
+    def test_jaccard_estimates(self, binary_sets_collection):
+        verifier = LSHApproxVerifier(binary_sets_collection, "jaccard", 0.4, seed=3)
+        output = verifier.verify(_candidates(50))
+        for i, j, estimate in zip(output.left, output.right, output.estimates):
+            exact = verifier.exact_similarity(int(i), int(j))
+            assert abs(estimate - exact) < 0.12
+
+    def test_invalid_num_hashes(self, sparse_text_collection):
+        with pytest.raises(ValueError):
+            LSHApproxVerifier(sparse_text_collection, "cosine", 0.7, num_hashes=0)
+
+    def test_not_exact_output(self, sparse_text_collection):
+        assert LSHApproxVerifier(sparse_text_collection, "cosine", 0.7).exact_output is False
