@@ -1,0 +1,187 @@
+"""Hot-path micro-benchmarks: signature generation, verification, candidates.
+
+Unlike the figure/table benchmarks (which time whole experiments at reduced
+scale), this module times the three inner loops that dominate every
+experiment, so regressions in any one of them are visible in isolation:
+
+* **signature generation** — hashing every vector of a corpus with the
+  minwise and signed-random-projection families;
+* **candidate verification** — ``BayesLSH.verify`` on 100k candidate pairs,
+  a workload dominated by prefix match counting, the pruning/concentration
+  table lookups and the batched MAP estimates;
+* **candidate generation** — the LSH banding index, AllPairs and PPJoin on
+  the synthetic corpus.
+
+The verification workload deliberately mixes same-cluster (high-similarity)
+pairs with random pairs: random pairs are pruned in the first round, so a
+purely random candidate set would only measure match counting, while the
+same-cluster pairs survive many rounds and exercise the concentration test
+and estimation paths the way real LSH candidates do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.candidates.allpairs import AllPairsGenerator
+from repro.candidates.lsh_index import LSHGenerator
+from repro.candidates.ppjoin import PPJoinGenerator
+from repro.core.bayeslsh import BayesLSH
+from repro.core.params import BayesLSHParams
+from repro.core.posteriors import BetaPosterior, TruncatedCollisionPosterior
+from repro.datasets.synthetic import synthetic_text_corpus
+from repro.hashing.minhash import MinHashFamily
+from repro.hashing.simhash import SimHashFamily
+from repro.similarity.transforms import tfidf_weighting
+
+#: corpus scale for the hot-path workloads
+_N_DOCUMENTS = 2000
+_CLUSTER_SIZE = 4
+_N_PAIRS = 100_000
+#: hash budget for the verification benchmarks (kept below the paper's 2048
+#: so the one-off signature pre-computation stays cheap)
+_MAX_HASHES = 512
+
+
+@pytest.fixture(scope="module")
+def hotpath_corpus():
+    """A corpus with a large planted-duplicate portion (many verifiable pairs)."""
+    return synthetic_text_corpus(
+        n_documents=_N_DOCUMENTS,
+        vocabulary_size=4000,
+        average_length=40,
+        duplicate_fraction=0.6,
+        cluster_size=_CLUSTER_SIZE,
+        mutation_rate=0.1,
+        seed=97,
+    )
+
+
+@pytest.fixture(scope="module")
+def binary_collection(hotpath_corpus):
+    return hotpath_corpus.collection.binarized()
+
+
+@pytest.fixture(scope="module")
+def tfidf_collection(hotpath_corpus):
+    return tfidf_weighting(hotpath_corpus.collection)
+
+
+@pytest.fixture(scope="module")
+def candidate_pairs(binary_collection):
+    """100k candidate pairs: 60% drawn within duplicate clusters, 40% random.
+
+    Cluster members occupy the leading rows of the synthetic corpus in runs
+    of ``_CLUSTER_SIZE``, which is how the same-cluster pairs are drawn.
+    """
+    rng = np.random.default_rng(5)
+    n = binary_collection.n_vectors
+    n_cluster_pairs = int(0.6 * _N_PAIRS)
+    n_clustered_docs = (n // 2) // _CLUSTER_SIZE * _CLUSTER_SIZE
+    base = rng.integers(0, n_clustered_docs, size=n_cluster_pairs)
+    offset = rng.integers(1, _CLUSTER_SIZE, size=n_cluster_pairs)
+    left_c = base
+    right_c = (base // _CLUSTER_SIZE) * _CLUSTER_SIZE + (
+        (base % _CLUSTER_SIZE + offset) % _CLUSTER_SIZE
+    )
+    n_random = _N_PAIRS - n_cluster_pairs
+    left_r = rng.integers(0, n, size=n_random)
+    right_r = rng.integers(0, n, size=n_random)
+    left = np.concatenate([left_c, left_r])
+    right = np.concatenate([right_c, right_r])
+    keep = left != right
+    return left[keep], right[keep]
+
+
+def test_bench_minhash_signature_generation(benchmark, binary_collection):
+    """Incrementally hash the corpus up to 512 minwise hashes.
+
+    Signatures are grown lazily in batches, exactly the way the BayesLSH
+    verifier consumes them ("each point is hashed only as many times as
+    necessary") — the pattern every figure benchmark exercises.
+    """
+
+    def run():
+        family = MinHashFamily(binary_collection, seed=3)
+        for n_hashes in range(64, _MAX_HASHES + 1, 64):
+            store = family.signatures(n_hashes)
+        return store
+
+    store = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert store.n_hashes >= _MAX_HASHES
+    assert store.n_vectors == binary_collection.n_vectors
+
+
+def test_bench_simhash_signature_generation(benchmark, tfidf_collection):
+    """Hash the whole corpus with 2048 projection bits (the paper's cosine budget)."""
+
+    def run():
+        return SimHashFamily(tfidf_collection, seed=3).signatures(2048)
+
+    store = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert store.n_hashes >= 2048
+
+
+def test_bench_bayeslsh_verify_jaccard(benchmark, binary_collection, candidate_pairs):
+    """BayesLSH.verify on ~100k mixed candidate pairs (Jaccard / minhash)."""
+    left, right = candidate_pairs
+    family = MinHashFamily(binary_collection, seed=11)
+    family.signatures(_MAX_HASHES)  # pre-hash so only verification is timed
+    params = BayesLSHParams(
+        threshold=0.3, epsilon=0.03, delta=0.05, gamma=0.03, k=32, max_hashes=_MAX_HASHES
+    )
+
+    def run():
+        return BayesLSH(family, BetaPosterior(), params).verify(left, right)
+
+    output = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert output.n_candidates == len(left)
+    assert 0 < output.n_output < len(left)
+
+
+def test_bench_bayeslsh_verify_cosine(benchmark, tfidf_collection, candidate_pairs):
+    """BayesLSH.verify on ~100k mixed candidate pairs (cosine / simhash)."""
+    left, right = candidate_pairs
+    family = SimHashFamily(tfidf_collection, seed=11)
+    family.signatures(_MAX_HASHES)
+    params = BayesLSHParams(
+        threshold=0.5, epsilon=0.03, delta=0.05, gamma=0.03, k=32, max_hashes=_MAX_HASHES
+    )
+
+    def run():
+        return BayesLSH(family, TruncatedCollisionPosterior(), params).verify(left, right)
+
+    output = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert output.n_candidates == len(left)
+    assert 0 < output.n_output < len(left)
+
+
+def test_bench_lsh_candidate_generation(benchmark, binary_collection):
+    """LSH banding index over the corpus (Jaccard, threshold 0.5)."""
+
+    def run():
+        return LSHGenerator("jaccard", threshold=0.5, seed=3).generate(binary_collection)
+
+    candidates = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(candidates) > 0
+
+
+def test_bench_allpairs_candidate_generation(benchmark, tfidf_collection):
+    """AllPairs inverted-index candidate generation (cosine, threshold 0.7)."""
+
+    def run():
+        return AllPairsGenerator("cosine", threshold=0.7).generate(tfidf_collection)
+
+    candidates = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(candidates) > 0
+
+
+def test_bench_ppjoin_candidate_generation(benchmark, binary_collection):
+    """PPJoin prefix-filter candidate generation (Jaccard, threshold 0.6)."""
+
+    def run():
+        return PPJoinGenerator("jaccard", threshold=0.6).generate(binary_collection)
+
+    candidates = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(candidates) > 0

@@ -31,16 +31,37 @@ exact AllPairs baseline; combined with BayesLSH it gives ``AP+BayesLSH``.
 Only the cosine measures are supported — the algorithm's bounds rely on the
 dot-product form of the similarity.  For binary cosine the binary view of the
 data is used, matching the paper's binary-cosine experiments.
+
+Array-based implementation
+--------------------------
+The classic formulation interleaves probing and indexing in one sequential
+pass with per-feature Python lists.  The implementation here exploits the
+fact that whether vector ``x`` indexes feature ``f`` depends only on ``x``
+itself (its own cumulative bound) and global statistics — never on the other
+vectors.  All index entries are therefore computed up front (one vectorised
+cumulative-weight pass per vector), laid out as a flat posting array sorted
+by ``(feature, processing position)``, and the sequential "only vectors
+processed before ``x``" semantics is recovered by slicing each feature's
+posting list at ``x``'s processing position with one ``searchsorted``.
+Per-vector work is then a handful of NumPy calls; candidate pairs, counters
+and the emitted pair set are identical to the sequential reference
+(:func:`repro.reference.allpairs_candidates_reference`), because every score
+accumulation the reference performs corresponds to exactly one gathered
+posting entry here (all stored weights are strictly positive).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.candidates.arrayops import budgeted_batches, ragged_arange
 from repro.candidates.base import CandidateGenerator, CandidateSet
 from repro.similarity.vectors import VectorCollection
 
 __all__ = ["AllPairsGenerator"]
+
+#: cap on gathered posting hits materialised per probe batch
+_HIT_BATCH = 4_000_000
 
 
 class AllPairsGenerator(CandidateGenerator):
@@ -86,51 +107,85 @@ class AllPairsGenerator(CandidateGenerator):
         coo = matrix.tocoo()
         np.maximum.at(max_weight_dim, coo.col, coo.data)
 
-        # Vector order: decreasing maximum weight.
+        # Vector order: decreasing maximum weight; position = processing index.
         vector_order = np.argsort(-prepared.max_weights, kind="stable")
+        position = np.empty(n_vectors, dtype=np.int64)
+        position[vector_order] = np.arange(n_vectors)
 
-        # Inverted index: for each feature, parallel lists of (vector id, weight).
-        index_rows: list[list[int]] = [[] for _ in range(n_features)]
-        index_weights: list[list[float]] = [[] for _ in range(n_features)]
+        # Flat row-major entry layout with features rank-sorted inside each
+        # row (the same order the sequential algorithm visits them in).
+        indptr = matrix.indptr
+        row_nnz = prepared.row_nnz
+        rows_of_entries = np.repeat(np.arange(n_vectors, dtype=np.int64), row_nnz)
+        entry_order = np.lexsort((feature_rank[matrix.indices], rows_of_entries))
+        sorted_features = matrix.indices[entry_order].astype(np.int64)
+        sorted_weights = matrix.data[entry_order]
 
-        pairs: list[tuple[int, int]] = []
-        n_score_accumulations = 0
+        # ---------------- phase 1: the partial-indexing bound ----------------
+        # b = cumsum(w * min(maxweight_dim(f), maxweight(x))) per row; entry
+        # (x, f) is indexed once the running bound reaches the threshold.
+        # np.cumsum accumulates left to right, so each row's bound sequence is
+        # bit-identical to the sequential scalar accumulation.
+        terms = sorted_weights * np.minimum(
+            max_weight_dim[sorted_features], np.repeat(prepared.max_weights, row_nnz)
+        )
+        indexed_flat = np.zeros(len(sorted_features), dtype=bool)
+        for x in range(n_vectors):
+            start, end = indptr[x], indptr[x + 1]
+            if end > start:
+                indexed_flat[start:end] = np.cumsum(terms[start:end]) >= threshold
 
-        for x in vector_order:
-            x = int(x)
-            features = prepared.row_features(x)
-            weights = prepared.row_values(x)
-            if len(features) == 0:
+        # ---------------- phase 2: posting lists ----------------------------
+        # Flat inverted index over the indexed entries, grouped by feature and
+        # ordered by processing position inside each group, so "the vectors
+        # indexed before x" is the prefix of a feature's postings below
+        # position[x].
+        indexed_positions = np.flatnonzero(indexed_flat)
+        posting_feature = sorted_features[indexed_positions]
+        posting_row = rows_of_entries[indexed_positions]
+        posting_position = position[posting_row]
+        posting_order = np.lexsort((posting_position, posting_feature))
+        posting_row = posting_row[posting_order]
+        posting_feature = posting_feature[posting_order]
+        posting_position = posting_position[posting_order]
+        feature_offsets = np.searchsorted(
+            posting_feature, np.arange(n_features + 1, dtype=np.int64)
+        )
+        # Composite key (feature, position) for one-shot prefix boundaries.
+        posting_key = posting_feature * n_vectors + posting_position
+
+        # ---------------- phase 3: candidate generation ----------------------
+        # One batched probe over every entry: the postings visible to entry
+        # (x, f) are the prefix of f's posting group below x's processing
+        # position, located with a single searchsorted over all entries.
+        # Gathered hits are materialised in budget-bounded batches; duplicate
+        # (x, y) pairs across batches are removed by from_arrays.
+        prefix_starts = feature_offsets[sorted_features]
+        prefix_ends = np.searchsorted(
+            posting_key, sorted_features * n_vectors + position[rows_of_entries]
+        )
+        hit_counts = prefix_ends - prefix_starts
+        n_score_accumulations = int(hit_counts.sum())
+
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        for entry_start, entry_end in budgeted_batches(hit_counts, _HIT_BATCH):
+            batch = slice(entry_start, entry_end)
+            gathered = ragged_arange(prefix_starts[batch], hit_counts[batch])
+            if not len(gathered):
                 continue
-            # Sort this vector's features by the global feature order.
-            order = np.argsort(feature_rank[features], kind="stable")
-            features = features[order]
-            weights = weights[order]
+            ys = posting_row[gathered]
+            xs = np.repeat(rows_of_entries[batch], hit_counts[batch])
+            pair_keys = np.unique(xs * n_vectors + ys)
+            left_parts.append(pair_keys // n_vectors)
+            right_parts.append(pair_keys % n_vectors)
 
-            # ---------------- candidate generation (Find-Matches) ----------
-            scores: dict[int, float] = {}
-            for feature, weight in zip(features, weights):
-                rows = index_rows[feature]
-                if rows:
-                    row_weights = index_weights[feature]
-                    for y, y_weight in zip(rows, row_weights):
-                        scores[y] = scores.get(y, 0.0) + weight * y_weight
-                        n_score_accumulations += 1
-            for y in scores:
-                pairs.append((x, y) if x < y else (y, x))
-
-            # ---------------- partial indexing of x -----------------------
-            bound = 0.0
-            x_max_weight = float(prepared.max_weights[x])
-            for feature, weight in zip(features, weights):
-                bound += float(weight) * min(float(max_weight_dim[feature]), x_max_weight)
-                if bound >= threshold:
-                    index_rows[feature].append(x)
-                    index_weights[feature].append(float(weight))
-
-        return CandidateSet.from_pairs(
-            pairs,
+        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
+        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
+        return CandidateSet.from_arrays(
+            left,
+            right,
             generator=self.name,
             n_score_accumulations=n_score_accumulations,
-            index_entries=int(sum(len(rows) for rows in index_rows)),
+            index_entries=int(len(indexed_positions)),
         )

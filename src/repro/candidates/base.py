@@ -63,8 +63,14 @@ class CandidateSet:
         low = np.minimum(left[keep], right[keep])
         high = np.maximum(left[keep], right[keep])
         if len(low):
-            stacked = np.unique(np.stack([low, high], axis=1), axis=0)
-            return cls(left=stacked[:, 0], right=stacked[:, 1], metadata=dict(metadata))
+            # Deduplicate via a composite integer key: one flat int64 sort
+            # instead of np.unique's lexicographic row sort.
+            span = int(high.max()) + 1
+            if span >= (1 << 31):  # key would overflow int64; take the slow path
+                stacked = np.unique(np.stack([low, high], axis=1), axis=0)
+                return cls(left=stacked[:, 0], right=stacked[:, 1], metadata=dict(metadata))
+            keys = np.unique(low * span + high)
+            return cls(left=keys // span, right=keys % span, metadata=dict(metadata))
         return cls(
             left=np.zeros(0, dtype=np.int64),
             right=np.zeros(0, dtype=np.int64),

@@ -15,15 +15,23 @@ for the Jaccard case where the two coincide).
 The hash family object is exposed so the verification phase can reuse the
 very same hashes — the amortisation the paper highlights as advantage 3 of
 BayesLSH.
+
+Bucketing is array-based: each band's contents are fetched for all rows at
+once (:meth:`SignatureStore.band_keys_many`), rows are grouped into buckets
+with one ``np.unique`` sort per band, and intra-bucket pairs are enumerated
+with the ragged-array primitives in :mod:`repro.candidates.arrayops` — no
+per-row dict or per-pair Python loop.  Pairs, collision counts and the
+emitted candidate set are identical to the dict-of-buckets reference
+(:func:`repro.reference.lsh_candidates_reference`).
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 
 import numpy as np
 
+from repro.candidates.arrayops import pairs_within_groups
 from repro.candidates.base import CandidateGenerator, CandidateSet
 from repro.hashing.base import HashFamily, get_hash_family
 from repro.similarity.vectors import VectorCollection
@@ -154,25 +162,32 @@ class LSHGenerator(CandidateGenerator):
         width = self._signature_width
         store = family.signatures(n_signatures * width)
 
-        pairs: set[tuple[int, int]] = set()
         n_raw_collisions = 0
         n_vectors = prepared.n_vectors
         # Skip empty vectors: they share no features with anything.
         non_empty = np.flatnonzero(prepared.row_nnz > 0)
-        for band in range(n_signatures):
-            buckets: dict[bytes, list[int]] = defaultdict(list)
-            for row in non_empty:
-                buckets[store.band_key(int(row), band, width)].append(int(row))
-            for bucket_rows in buckets.values():
-                if len(bucket_rows) < 2:
-                    continue
-                for a_index in range(len(bucket_rows)):
-                    for b_index in range(a_index + 1, len(bucket_rows)):
-                        i, j = bucket_rows[a_index], bucket_rows[b_index]
-                        n_raw_collisions += 1
-                        pairs.add((i, j) if i < j else (j, i))
-        candidate_set = CandidateSet.from_pairs(
-            pairs,
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        for band in range(n_signatures if len(non_empty) else 0):
+            # Group rows by band content with one sort per band instead of a
+            # dict of per-row byte keys: rows whose band columns compare equal
+            # land in the same np.unique group.
+            keys = store.band_keys_many(non_empty, band, width)
+            _, inverse = np.unique(keys, axis=0, return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            bucket_rows = non_empty[order]
+            counts = np.bincount(inverse)
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            earlier, later = pairs_within_groups(bucket_rows, offsets)
+            n_raw_collisions += len(earlier)
+            if len(earlier):
+                left_parts.append(earlier)
+                right_parts.append(later)
+        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
+        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
+        candidate_set = CandidateSet.from_arrays(
+            left,
+            right,
             generator=self.name,
             n_signatures=n_signatures,
             signature_width=width,

@@ -21,19 +21,35 @@ PPJoin behaviour.
 As with the other generators, only the candidate pairs are produced here;
 pair them with :class:`~repro.verification.exact.ExactVerifier` to obtain the
 exact PPJoin+ baseline the paper times.
+
+Array-based implementation
+--------------------------
+A record's probing prefix depends only on the record itself, so all prefix
+entries are computed up front and laid out as a flat posting array sorted by
+``(token, processing position)``; the sequential "only records processed
+before ``x``" semantics is one ``searchsorted`` per probe.  For each record
+the matching posting entries ("hits") are gathered into parallel arrays and
+the length/positional/suffix filters are evaluated vectorised.  The
+sequential algorithm stops examining a candidate once it is accepted, so the
+filter counters are reproduced by finding each candidate's *first* passing
+hit and discounting hits after it — pair set and counters are identical to
+the scalar reference (:func:`repro.reference.ppjoin_candidates_reference`).
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 
 import numpy as np
 
+from repro.candidates.arrayops import budgeted_batches, ragged_arange
 from repro.candidates.base import CandidateGenerator, CandidateSet
 from repro.similarity.vectors import VectorCollection
 
 __all__ = ["PPJoinGenerator"]
+
+#: cap on gathered posting hits materialised per probe batch
+_HIT_BATCH = 4_000_000
 
 
 def _minimum_overlap(measure_name: str, threshold: float, size_x: int, size_y: int) -> float:
@@ -76,36 +92,6 @@ class PPJoinGenerator(CandidateGenerator):
         self._use_positional_filter = bool(use_positional_filter)
         self._use_suffix_filter = bool(use_suffix_filter)
 
-    # ------------------------------------------------------------------ #
-    def _length_bounds(self, size_x: int) -> tuple[float, float]:
-        t = self._threshold
-        if self.measure.name == "jaccard":
-            return t * size_x, size_x / t
-        return t * t * size_x, size_x / (t * t)
-
-    def _prefix_length(self, size_x: int) -> int:
-        """Length of the probing prefix for a record of ``size_x`` tokens."""
-        t = self._threshold
-        if self.measure.name == "jaccard":
-            min_overlap_with_self = math.ceil(t * size_x)
-        else:
-            min_overlap_with_self = math.ceil(t * t * size_x)
-        return max(1, size_x - min_overlap_with_self + 1)
-
-    @staticmethod
-    def _suffix_overlap_bound(
-        tokens_x: np.ndarray, tokens_y: np.ndarray, position_x: int, position_y: int
-    ) -> int:
-        """Crude upper bound on the overlap of the suffixes after the matching token."""
-        suffix_x = tokens_x[position_x + 1 :]
-        suffix_y = tokens_y[position_y + 1 :]
-        if len(suffix_x) == 0 or len(suffix_y) == 0:
-            return 0
-        # The suffixes are sorted by the global order; disjoint ranges cannot overlap.
-        if suffix_x[-1] < suffix_y[0] or suffix_y[-1] < suffix_x[0]:
-            return 0
-        return min(len(suffix_x), len(suffix_y))
-
     def generate(self, collection: VectorCollection) -> CandidateSet:
         prepared = self.measure.prepare(collection)
         n_vectors = prepared.n_vectors
@@ -116,68 +102,177 @@ class PPJoinGenerator(CandidateGenerator):
         binary = prepared.binarized().matrix
         token_counts = np.asarray(binary.sum(axis=0)).ravel()
         token_rank = np.argsort(np.argsort(token_counts, kind="stable"), kind="stable")
+        n_features = prepared.n_features
+        #: sentinel larger than every token rank (for "no next token")
+        no_token = np.int64(n_features)
 
-        # Records sorted by the global token order; record processing order by size.
-        records: list[np.ndarray] = []
-        for row in range(n_vectors):
-            features = prepared.row_features(row)
-            order = np.argsort(token_rank[features], kind="stable")
-            records.append(token_rank[features][order].astype(np.int64))
-        sizes = np.array([len(tokens) for tokens in records], dtype=np.int64)
+        # Flat records: ranked tokens sorted ascending inside each row.
+        matrix = prepared.matrix
+        indptr = matrix.indptr
+        row_nnz = prepared.row_nnz
+        sizes = row_nnz.astype(np.int64)
+        rows_of_entries = np.repeat(np.arange(n_vectors, dtype=np.int64), row_nnz)
+        entry_order = np.lexsort((token_rank[matrix.indices], rows_of_entries))
+        tokens = token_rank[matrix.indices][entry_order].astype(np.int64)
+
+        # Record processing order: by size (stable), as in the reference.
         processing_order = np.argsort(sizes, kind="stable")
+        processing_position = np.empty(n_vectors, dtype=np.int64)
+        processing_position[processing_order] = np.arange(n_vectors)
 
-        index: dict[int, list[tuple[int, int]]] = defaultdict(list)  # token -> [(row, position)]
-        pairs: list[tuple[int, int]] = []
+        # Per-record prefix lengths (empty records produce nothing).
+        t = self._threshold
+        if self.measure.name == "jaccard":
+            min_overlap_self = np.ceil(t * sizes)
+        else:
+            min_overlap_self = np.ceil(t * t * sizes)
+        prefix_lengths = np.maximum(1, sizes - min_overlap_self.astype(np.int64) + 1)
+        prefix_lengths[sizes == 0] = 0
+
+        # Per-entry helpers for the suffix filter: the token after each
+        # position, and each record's last token.
+        total = len(tokens)
+        local_positions = (
+            np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], row_nnz)
+        )
+        next_tokens = np.full(total, no_token, dtype=np.int64)
+        has_next = local_positions + 1 < sizes[rows_of_entries]
+        next_tokens[has_next] = tokens[np.flatnonzero(has_next) + 1]
+        last_tokens = np.full(n_vectors, no_token, dtype=np.int64)
+        nonempty = sizes > 0
+        last_tokens[nonempty] = tokens[indptr[1:][nonempty] - 1]
+
+        # Prefix postings sorted by (token, processing position): the entries
+        # visible to record x probing token tk are the prefix of tk's posting
+        # group below x's processing position.
+        in_prefix = local_positions < prefix_lengths[rows_of_entries]
+        prefix_entries = np.flatnonzero(in_prefix)
+        entry_tokens = tokens[prefix_entries]
+        entry_rows = rows_of_entries[prefix_entries]
+        posting_order = np.lexsort(
+            (processing_position[entry_rows], entry_tokens)
+        )
+        posting_token = entry_tokens[posting_order]
+        posting_row = entry_rows[posting_order]
+        posting_local = local_positions[prefix_entries][posting_order]
+        posting_next = next_tokens[prefix_entries][posting_order]
+        posting_position = processing_position[entry_rows][posting_order]
+        token_offsets = np.searchsorted(
+            posting_token, np.arange(n_features + 1, dtype=np.int64)
+        )
+        posting_key = posting_token * n_vectors + posting_position
+
+        use_positional = self._use_positional_filter
+        use_suffix = self._use_suffix_filter
+        measure_name = self.measure.name
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
         n_prefix_collisions = 0
         n_filtered_positional = 0
         n_filtered_suffix = 0
 
-        for x in processing_order:
-            x = int(x)
-            tokens_x = records[x]
-            size_x = len(tokens_x)
-            if size_x == 0:
+        # One batched probe over every prefix entry.  Entries are in row-major
+        # order, so each record's hits stay contiguous and ordered by probing
+        # position (major) and posting order (minor) — the reference's
+        # examination order, which the accept-skip accounting below relies on.
+        probe_starts = token_offsets[entry_tokens]
+        probe_ends = np.searchsorted(
+            posting_key, entry_tokens * n_vectors + processing_position[entry_rows]
+        )
+        hit_counts = probe_ends - probe_starts
+        entry_local = local_positions[prefix_entries]
+
+        # Batch on record boundaries (a record's hits must be examined
+        # together) with a bound on gathered hits per batch.
+        for entry_start, entry_end in budgeted_batches(
+            hit_counts, _HIT_BATCH, group_ids=entry_rows
+        ):
+            batch = slice(entry_start, entry_end)
+            gathered = ragged_arange(probe_starts[batch], hit_counts[batch])
+            n_hits = len(gathered)
+            if n_hits == 0:
                 continue
-            lower, _upper = self._length_bounds(size_x)
-            prefix_x = self._prefix_length(size_x)
 
-            scores: dict[int, bool] = {}
-            for position_x in range(prefix_x):
-                token = int(tokens_x[position_x])
-                for y, position_y in index[token]:
-                    if y in scores:
-                        continue
-                    size_y = len(records[y])
-                    # Length filter: y was indexed earlier so size_y <= size_x;
-                    # it must still be large enough.
-                    if size_y < lower:
-                        continue
-                    n_prefix_collisions += 1
-                    alpha = _minimum_overlap(self.measure.name, self._threshold, size_x, size_y)
-                    if self._use_positional_filter:
-                        overlap_bound = 1 + min(
-                            size_x - position_x - 1, size_y - position_y - 1
-                        )
-                        if overlap_bound < alpha:
-                            n_filtered_positional += 1
-                            continue
-                    if self._use_suffix_filter:
-                        suffix_bound = 1 + self._suffix_overlap_bound(
-                            tokens_x, records[y], position_x, position_y
-                        )
-                        if suffix_bound < alpha:
-                            n_filtered_suffix += 1
-                            continue
-                    scores[y] = True
-            for y in scores:
-                pairs.append((x, y) if x < y else (y, x))
+            x = np.repeat(entry_rows[batch], hit_counts[batch])
+            position_x = np.repeat(entry_local[batch], hit_counts[batch])
+            y = posting_row[gathered]
+            position_y = posting_local[gathered]
+            size_x = sizes[x]
+            size_y = sizes[y]
 
-            # Index the prefix of x for later (larger) records.
-            for position_x in range(prefix_x):
-                index[int(tokens_x[position_x])].append((x, position_x))
+            # Length filter (y was indexed earlier so size_y <= size_x; it
+            # must still be large enough).
+            if measure_name == "jaccard":
+                lower = t * size_x
+                alpha = t / (1.0 + t) * (size_x + size_y)
+            else:
+                lower = t * t * size_x
+                alpha = t * np.sqrt((size_x * size_y).astype(np.float64))
+            passes_length = size_y >= lower
+            if use_positional:
+                overlap_bound = 1 + np.minimum(
+                    size_x - position_x - 1, size_y - position_y - 1
+                )
+                passes_positional = overlap_bound >= alpha
+            else:
+                passes_positional = np.ones(n_hits, dtype=bool)
+            if use_suffix:
+                suffix_x_lengths = size_x - position_x - 1
+                suffix_y_lengths = size_y - position_y - 1
+                x_first = next_tokens[indptr[x] + position_x]
+                x_last = last_tokens[x]
+                y_first = posting_next[gathered]
+                y_last = last_tokens[y]
+                disjoint = (x_last < y_first) | (y_last < x_first)
+                suffix_bound = np.where(
+                    (suffix_x_lengths == 0) | (suffix_y_lengths == 0),
+                    0,
+                    np.where(
+                        disjoint, 0, np.minimum(suffix_x_lengths, suffix_y_lengths)
+                    ),
+                )
+                passes_suffix = 1 + suffix_bound >= alpha
+            else:
+                passes_suffix = np.ones(n_hits, dtype=bool)
 
-        return CandidateSet.from_pairs(
-            pairs,
+            passes_all = passes_length & passes_positional & passes_suffix
+
+            # The reference stops examining y once (x, y) is accepted: only
+            # hits up to (and including) the pair's first passing hit count
+            # towards the counters; later hits are skipped.  Correctness
+            # relies only on batch-global hit indices preserving the
+            # reference's examination order *within each record's contiguous
+            # hit range* (probing position major, posting order minor) — a
+            # pair's hits may be interleaved with other pairs' hits, and the
+            # first_pass/counted comparison never assumes otherwise.
+            pair_keys = x * n_vectors + y
+            unique_pairs, inverse = np.unique(pair_keys, return_inverse=True)
+            first_pass = np.full(len(unique_pairs), n_hits, dtype=np.int64)
+            passing_hits = np.flatnonzero(passes_all)
+            if len(passing_hits):
+                np.minimum.at(first_pass, inverse[passing_hits], passing_hits)
+            counted = np.arange(n_hits, dtype=np.int64) <= first_pass[inverse]
+            examined = passes_length & counted
+            n_prefix_collisions += int(np.count_nonzero(examined))
+            if use_positional:
+                n_filtered_positional += int(
+                    np.count_nonzero(examined & ~passes_positional)
+                )
+            if use_suffix:
+                n_filtered_suffix += int(
+                    np.count_nonzero(examined & passes_positional & ~passes_suffix)
+                )
+
+            accepted = unique_pairs[first_pass < n_hits]
+            if len(accepted):
+                left_parts.append(accepted // n_vectors)
+                right_parts.append(accepted % n_vectors)
+
+        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
+        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
+        return CandidateSet.from_arrays(
+            left,
+            right,
             generator=self.name,
             n_prefix_collisions=n_prefix_collisions,
             n_filtered_positional=n_filtered_positional,

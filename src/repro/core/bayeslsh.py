@@ -184,13 +184,16 @@ class BayesLSH:
         output_right = right[output_mask]
         output_matches = matches[output_mask]
         output_hashes = hashes_seen[output_mask]
-        estimates = np.array(
-            [
-                self._posterior.map_estimate(int(m), int(n)) if n > 0 else 0.0
-                for m, n in zip(output_matches, output_hashes)
-            ],
-            dtype=np.float64,
-        )
+        if len(output_matches):
+            # Batched MAP estimates (bit-identical to the scalar map_estimate
+            # per pair); pairs that never saw a hash report estimate 0.
+            estimates = np.where(
+                output_hashes > 0,
+                self._posterior.map_estimate_many(output_matches, output_hashes),
+                0.0,
+            ).astype(np.float64, copy=False)
+        else:
+            estimates = np.zeros(0, dtype=np.float64)
         return VerificationOutput(
             left=output_left,
             right=output_right,

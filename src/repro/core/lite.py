@@ -38,6 +38,13 @@ class BayesLSHLite:
     exact_similarity:
         Callable ``(i, j) -> float`` computing the exact similarity of a pair
         of rows; invoked once per pair that survives pruning.
+    exact_similarity_many:
+        Optional batched variant taking parallel index arrays and returning
+        an array of similarities; when provided, survivors are verified in
+        one call instead of one Python call per pair.  The caller must
+        guarantee it returns bit-for-bit the same floats as
+        ``exact_similarity`` — the ``> threshold`` emission test is exact,
+        so even last-ulp rounding differences change the output pair set.
     """
 
     def __init__(
@@ -46,11 +53,13 @@ class BayesLSHLite:
         posterior: PosteriorModel,
         params: BayesLSHLiteParams,
         exact_similarity: Callable[[int, int], float],
+        exact_similarity_many=None,
     ):
         self._family = family
         self._posterior = posterior
         self._params = params
         self._exact_similarity = exact_similarity
+        self._exact_similarity_many = exact_similarity_many
         self._min_matches = MinMatchesTable(
             posterior,
             threshold=params.threshold,
@@ -107,10 +116,16 @@ class BayesLSHLite:
                 trace.append((n_now, n_alive))
 
         survivors = np.flatnonzero(status != _PRUNED)
-        exact_values = np.array(
-            [self._exact_similarity(int(left[idx]), int(right[idx])) for idx in survivors],
-            dtype=np.float64,
-        )
+        if self._exact_similarity_many is not None:
+            exact_values = np.asarray(
+                self._exact_similarity_many(left[survivors], right[survivors]),
+                dtype=np.float64,
+            )
+        else:
+            exact_values = np.array(
+                [self._exact_similarity(int(left[idx]), int(right[idx])) for idx in survivors],
+                dtype=np.float64,
+            )
         above = exact_values > params.threshold
         return VerificationOutput(
             left=left[survivors][above],

@@ -52,8 +52,26 @@ def _validate_counts(m: int, n: int) -> None:
         raise ValueError(f"invalid hash counts m={m}, n={n}; need 0 <= m <= n")
 
 
+def _validate_counts_many(m: np.ndarray, n: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    m = np.asarray(m, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    m, n = np.broadcast_arrays(m, n)
+    if np.any((n < 0) | (m < 0) | (m > n)):
+        raise ValueError("invalid hash counts; need 0 <= m <= n element-wise")
+    return m, n
+
+
 class PosteriorModel(ABC):
-    """Posterior distribution of the similarity given ``M(m, n)``."""
+    """Posterior distribution of the similarity given ``M(m, n)``.
+
+    Every model answers the three scalar queries of Section 4 plus batched
+    ``*_many`` variants taking arrays of ``(m, n)`` pairs.  The batched
+    variants are required to be *bit-identical* to mapping the scalar method
+    over the arrays (the equivalence property tests enforce this); the base
+    class provides exactly that mapping as a fallback, and the closed-form
+    models override it with vectorised special-function evaluations — the
+    same ufuncs applied element-wise, hence the same floats.
+    """
 
     @abstractmethod
     def prob_above_threshold(self, m: int, n: int, threshold: float) -> float:
@@ -70,6 +88,31 @@ class PosteriorModel(ABC):
     def is_concentrated(self, m: int, n: int, delta: float, gamma: float) -> bool:
         """Whether the estimate meets the accuracy requirement (guarantee 2)."""
         return self.concentration_probability(m, n, delta) >= 1.0 - gamma
+
+    # ---------------- batched variants (scalar fallback) ---------------- #
+    def prob_above_threshold_many(self, m, n, threshold: float) -> np.ndarray:
+        """Vectorised :meth:`prob_above_threshold` over broadcastable ``m``/``n``."""
+        m, n = _validate_counts_many(m, n)
+        return np.array(
+            [self.prob_above_threshold(int(mi), int(ni), threshold) for mi, ni in zip(m.ravel(), n.ravel())],
+            dtype=np.float64,
+        ).reshape(m.shape)
+
+    def map_estimate_many(self, m, n) -> np.ndarray:
+        """Vectorised :meth:`map_estimate` over broadcastable ``m``/``n``."""
+        m, n = _validate_counts_many(m, n)
+        return np.array(
+            [self.map_estimate(int(mi), int(ni)) for mi, ni in zip(m.ravel(), n.ravel())],
+            dtype=np.float64,
+        ).reshape(m.shape)
+
+    def concentration_probability_many(self, m, n, delta: float) -> np.ndarray:
+        """Vectorised :meth:`concentration_probability` over broadcastable ``m``/``n``."""
+        m, n = _validate_counts_many(m, n)
+        return np.array(
+            [self.concentration_probability(int(mi), int(ni), delta) for mi, ni in zip(m.ravel(), n.ravel())],
+            dtype=np.float64,
+        ).reshape(m.shape)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -125,6 +168,39 @@ class BetaPosterior(PosteriorModel):
         low = max(0.0, estimate - delta)
         high = min(1.0, estimate + delta)
         return float(betainc(a, b, high) - betainc(a, b, low))
+
+    # ---------------- batched variants (closed form) ---------------- #
+    def _posterior_params_many(self, m, n) -> tuple[np.ndarray, np.ndarray]:
+        m, n = _validate_counts_many(m, n)
+        return m + self._prior.alpha, (n - m) + self._prior.beta
+
+    def prob_above_threshold_many(self, m, n, threshold: float) -> np.ndarray:
+        a, b = self._posterior_params_many(m, n)
+        threshold = float(np.clip(threshold, 0.0, 1.0))
+        return 1.0 - betainc(a, b, threshold)
+
+    def map_estimate_many(self, m, n) -> np.ndarray:
+        a, b = self._posterior_params_many(m, n)
+        # Same branch structure as the scalar map_estimate, evaluated with
+        # the identical float64 expressions under each mask.
+        result = np.empty(a.shape, dtype=np.float64)
+        interior = (a > 1.0) & (b > 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.divide(a - 1.0, a + b - 2.0, out=result, where=interior)
+        result[(a <= 1.0) & (b > 1.0)] = 0.0
+        result[(a > 1.0) & (b <= 1.0)] = 1.0
+        boundary = (a <= 1.0) & (b <= 1.0)
+        np.divide(a, a + b, out=result, where=boundary)
+        return result
+
+    def concentration_probability_many(self, m, n, delta: float) -> np.ndarray:
+        a, b = self._posterior_params_many(m, n)
+        if delta <= 0:
+            return np.zeros(a.shape, dtype=np.float64)
+        estimate = self.map_estimate_many(m, n)
+        low = np.maximum(0.0, estimate - delta)
+        high = np.minimum(1.0, estimate + delta)
+        return betainc(a, b, high) - betainc(a, b, low)
 
     def __repr__(self) -> str:
         return f"BetaPosterior(prior=Beta({self._prior.alpha:.4g}, {self._prior.beta:.4g}))"
@@ -229,6 +305,66 @@ class TruncatedCollisionPosterior(PosteriorModel):
         r_low = max(r_low, self._prior.low)
         r_high = min(r_high, self._prior.high)
         return self._mass(m, n, r_low, r_high) / norm
+
+    # ---------------- batched variants (closed form) ---------------- #
+    def _mass_many(
+        self, a: np.ndarray, b: np.ndarray, r_low: np.ndarray, r_high: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`_mass` with per-element posterior parameters."""
+        r_low = np.clip(r_low, 0.0, 1.0)
+        r_high = np.clip(r_high, 0.0, 1.0)
+        mass = betainc(a, b, r_high) - betainc(a, b, r_low)
+        return np.where(r_high <= r_low, 0.0, mass)
+
+    def _normaliser_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        low = np.broadcast_to(self._prior.low, a.shape)
+        high = np.broadcast_to(self._prior.high, a.shape)
+        return self._mass_many(a, b, low, high)
+
+    def prob_above_threshold_many(self, m, n, threshold: float) -> np.ndarray:
+        m, n = _validate_counts_many(m, n)
+        a, b = m + 1.0, (n - m) + 1.0
+        threshold_r = float(cosine_to_collision(np.clip(threshold, 0.0, 1.0)))
+        norm = self._normaliser_many(a, b)
+        lower = np.broadcast_to(max(threshold_r, self._prior.low), a.shape)
+        mass = self._mass_many(a, b, lower, np.broadcast_to(self._prior.high, a.shape))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(norm > self._TAIL_MASS_CUTOFF, mass / np.where(norm > 0, norm, 1.0), 0.0)
+        # Elements whose support mass underflows fall back to the stable
+        # log-space grid posterior, exactly like the scalar path.
+        for index in np.flatnonzero(norm.ravel() <= self._TAIL_MASS_CUTOFF):
+            result.flat[index] = self._fallback().prob_above_threshold(
+                int(m.flat[index]), int(n.flat[index]), threshold
+            )
+        return result
+
+    def map_estimate_many(self, m, n) -> np.ndarray:
+        m, n = _validate_counts_many(m, n)
+        midpoint = 0.5 * (self._prior.low + self._prior.high)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(n > 0, m / np.where(n > 0, n, 1), midpoint)
+        r_hat = np.where(n > 0, np.clip(ratio, self._prior.low, self._prior.high), midpoint)
+        return np.asarray(collision_to_cosine(r_hat), dtype=np.float64)
+
+    def concentration_probability_many(self, m, n, delta: float) -> np.ndarray:
+        m, n = _validate_counts_many(m, n)
+        if delta <= 0:
+            return np.zeros(m.shape, dtype=np.float64)
+        a, b = m + 1.0, (n - m) + 1.0
+        estimate = self.map_estimate_many(m, n)
+        norm = self._normaliser_many(a, b)
+        r_low = np.asarray(cosine_to_collision(np.maximum(-1.0, estimate - delta)))
+        r_high = np.asarray(cosine_to_collision(np.minimum(1.0, estimate + delta)))
+        r_low = np.maximum(r_low, self._prior.low)
+        r_high = np.minimum(r_high, self._prior.high)
+        mass = self._mass_many(a, b, r_low, r_high)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(norm > self._TAIL_MASS_CUTOFF, mass / np.where(norm > 0, norm, 1.0), 0.0)
+        for index in np.flatnonzero(norm.ravel() <= self._TAIL_MASS_CUTOFF):
+            result.flat[index] = self._fallback().concentration_probability(
+                int(m.flat[index]), int(n.flat[index]), delta
+            )
+        return result
 
     def __repr__(self) -> str:
         return (

@@ -13,10 +13,35 @@ True minwise-independent permutations are impractical; we use the standard
 universal-hash approximation ``pi(f) = (a * f + b) mod p`` with a large prime
 ``p`` and random odd ``a``, which is the same approximation used by every
 practical minhash implementation (and by the paper's experimental code).
-Each hash value is an integer, so signatures are stored in an
-:class:`~repro.hashing.signatures.IntSignatures` store (4-8 bytes per hash,
-versus 1 bit for the cosine family — the paper's experiments account for this
-difference in their choice of 360 Jaccard hashes vs 2048 cosine bits).
+Each hash value is an integer below ``2^31``, so signatures are stored in an
+:class:`~repro.hashing.signatures.IntSignatures` store as ``int32`` (4 bytes
+per hash, versus 1 bit for the cosine family — the paper's experiments
+account for this difference in their choice of 360 Jaccard hashes vs 2048
+cosine bits).
+
+Vectorisation contract
+----------------------
+Signature generation is a single batched kernel over the whole collection
+rather than a per-row loop:
+
+* the collection's supports are flattened once into a CSR-style layout with
+  rows grouped by support size (cached per family);
+* each block of hash functions evaluates the universal hash on the *unique*
+  features only (a ``(n_unique_features, block)`` table), gathers the table
+  rows per occurrence — a contiguous-row gather, which NumPy turns into
+  per-occurrence ``memcpy`` — and reduces each equal-length row group with a
+  SIMD-friendly ``reshape(...).min(axis=1)``;
+* row minima are bit-identical to the per-row reference
+  (:func:`repro.reference.minhash_signatures_reference`): the table holds
+  exactly ``(a * f + b) mod p`` and ``min`` is order-independent.
+
+Hash-function coefficients are drawn with one broadcast
+``integers([1, 0], p, size=(missing, 2))`` call, which consumes the
+generator stream exactly like the historical per-index interleaved scalar
+draws (``a_i`` then ``b_i``), pinned by the growth-pattern tests.  A given
+``(seed, hash index)`` therefore always yields the same ``(a, b)`` pair no
+matter how the store grows, which is the determinism contract that lets an
+indexed corpus and a single query vector agree on hash function ``i``.
 """
 
 from __future__ import annotations
@@ -33,6 +58,108 @@ __all__ = ["MinHashFamily"]
 #: ``a * f + b`` stays below 2^62 and int64 arithmetic is exact.
 _PRIME = (1 << 31) - 1
 _BLOCK = 64
+#: hash functions are evaluated this many at a time so the gathered
+#: occurrence-value matrix stays cache-resident
+_KERNEL_CHUNK = 64
+#: occurrences per gather/reduce tile (tile bytes = this x chunk x 4)
+_TILE_OCCURRENCES = 2048
+
+
+class _SupportLayout:
+    """Flattened, size-grouped, padded view of a collection's supports.
+
+    Built once per family and reused by every extension request.  Rows are
+    bucketed by the next power of two of their support size and padded *with
+    repetitions of their own first feature* — duplicates are invisible to a
+    minimum — so each bucket reduces with one contiguous
+    ``reshape(...).min(axis=1)`` over equal-length segments (a handful of
+    SIMD reductions instead of one reduction call per distinct row length).
+    """
+
+    def __init__(self, collection: VectorCollection):
+        matrix = collection.matrix
+        indices = matrix.indices
+        indptr = matrix.indptr
+        row_nnz = np.diff(indptr)
+        #: unique feature ids, already reduced modulo the prime
+        unique, inverse = np.unique(indices, return_inverse=True)
+        self.unique_features = unique.astype(np.int64) % _PRIME
+        self.empty_rows = np.flatnonzero(row_nnz == 0)
+        nonempty = np.flatnonzero(row_nnz > 0)
+        sizes = row_nnz[nonempty]
+        # Pad small rows to the next power of two and larger rows to the next
+        # multiple of 8: few distinct bucket lengths (few reduction calls)
+        # at ~10% padding overhead.
+        padded = np.where(
+            sizes >= 8,
+            ((sizes + 7) // 8) * 8,
+            2 ** np.ceil(np.log2(sizes)).astype(np.int64),
+        )
+        order = np.argsort(padded, kind="stable")
+        #: non-empty row ids grouped by padded size
+        self.rows_sorted = nonempty[order]
+        sizes_sorted = sizes[order]
+        padded_sorted = padded[order]
+        #: occurrence -> unique-feature index, size-grouped, padded row order
+        starts = indptr[self.rows_sorted]
+        total = int(padded_sorted.sum())
+        segment_offsets = np.concatenate([[0], np.cumsum(padded_sorted)])
+        flat = np.arange(total, dtype=np.int64)
+        local = flat - np.repeat(segment_offsets[:-1], padded_sorted)
+        # Padding positions (local >= row size) re-point at the row's first
+        # occurrence; min over duplicates is unchanged.
+        local = np.where(local < np.repeat(sizes_sorted, padded_sorted), local, 0)
+        occurrence_positions = np.repeat(starts, padded_sorted) + local
+        self.flat_inverse = inverse[occurrence_positions].astype(np.intp)
+        self.segment_offsets = segment_offsets
+        #: (padded size, first row position, last row position) per bucket
+        group_sizes, group_starts = np.unique(padded_sorted, return_index=True)
+        group_ends = np.append(group_starts[1:], len(padded_sorted))
+        self.groups = [
+            (int(size), int(first), int(last))
+            for size, first, last in zip(group_sizes, group_starts, group_ends)
+        ]
+        # Tiled reduction plan: each tile covers at most _TILE_OCCURRENCES
+        # occurrences of one size group, so the gathered values stay
+        # cache-resident between the gather and the row-minimum reduction
+        # (the full gather matrix would round-trip through DRAM).
+        self.tiles: list[tuple[int, int, int, int, int]] = []
+        max_tile = _TILE_OCCURRENCES
+        for size, first, last in self.groups:
+            rows_per_tile = max(1, _TILE_OCCURRENCES // size)
+            max_tile = max(max_tile, size)
+            row = first
+            while row < last:
+                row_end = min(row + rows_per_tile, last)
+                self.tiles.append(
+                    (
+                        size,
+                        row,
+                        row_end,
+                        int(self.segment_offsets[row]),
+                        int(self.segment_offsets[row_end]),
+                    )
+                )
+                row = row_end
+        self._tile_occupancy = max_tile
+        self._tile_buffer: np.ndarray | None = None
+        self._mins_buffer: np.ndarray | None = None
+
+    def buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Persistent kernel scratch (gather tile, row minima).
+
+        Allocated once per layout so repeated lazy extensions — the
+        verifier's k-hashes-at-a-time pattern — do not pay a large
+        allocation (and its page faults) per extension.
+        """
+        if self._tile_buffer is None:
+            self._tile_buffer = np.empty(
+                (self._tile_occupancy, _KERNEL_CHUNK), dtype=np.int32
+            )
+            self._mins_buffer = np.empty(
+                (len(self.rows_sorted), _KERNEL_CHUNK), dtype=np.int32
+            )
+        return self._tile_buffer, self._mins_buffer
 
 
 class MinHashFamily(HashFamily):
@@ -66,48 +193,93 @@ class MinHashFamily(HashFamily):
         self._rng = np.random.default_rng(seed)
         self._coef_a = np.zeros(0, dtype=np.int64)
         self._coef_b = np.zeros(0, dtype=np.int64)
+        self._layout: _SupportLayout | None = None
 
     def _grow_coefficients(self, n_hashes: int) -> None:
         missing = n_hashes - len(self._coef_a)
         if missing <= 0:
             return
-        # Draw (a, b) per hash index so that a given (seed, hash index) always
-        # produces the same hash function regardless of how the store grew —
-        # families built on different collections (e.g. an indexed corpus and
-        # a single query vector) must agree on hash function i.
-        new_a = np.empty(missing, dtype=np.int64)
-        new_b = np.empty(missing, dtype=np.int64)
-        for index in range(missing):
-            new_a[index] = self._rng.integers(1, _PRIME, dtype=np.int64)
-            new_b[index] = self._rng.integers(0, _PRIME, dtype=np.int64)
-        self._coef_a = np.concatenate([self._coef_a, new_a])
-        self._coef_b = np.concatenate([self._coef_b, new_b])
+        # One broadcast draw whose stream consumption matches the historical
+        # per-index interleaved scalar draws (a_i, b_i, a_{i+1}, ...), so a
+        # given (seed, hash index) always produces the same hash function
+        # regardless of how the store grew — families built on different
+        # collections (e.g. an indexed corpus and a single query vector) must
+        # agree on hash function i.
+        draws = self._rng.integers([1, 0], _PRIME, size=(missing, 2), dtype=np.int64)
+        self._coef_a = np.concatenate([self._coef_a, draws[:, 0]])
+        self._coef_b = np.concatenate([self._coef_b, draws[:, 1]])
+
+    def coefficients(self, n_hashes: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(a, b)`` coefficient arrays of hash functions ``0 .. n_hashes-1``.
+
+        Exposed so that scalar reference implementations (and tests) can
+        evaluate exactly the same hash functions the batched kernel uses.
+        """
+        self._grow_coefficients(n_hashes)
+        return self._coef_a[:n_hashes].copy(), self._coef_b[:n_hashes].copy()
 
     def _make_store(self) -> IntSignatures:
         return IntSignatures(self._collection.n_vectors)
+
+    def _support_layout(self) -> _SupportLayout:
+        if self._layout is None:
+            self._layout = _SupportLayout(self._collection)
+        return self._layout
 
     def _extend(self, store: IntSignatures, n_new: int) -> None:
         n_new = -(-n_new // self._block_size) * self._block_size
         start = store.n_hashes
         end = start + n_new
         self._grow_coefficients(end)
-        coef_a = self._coef_a[start:end]
-        coef_b = self._coef_b[start:end]
 
-        collection = self._collection
-        n_vectors = collection.n_vectors
-        values = np.empty((n_vectors, n_new), dtype=np.int64)
-        for row in range(n_vectors):
-            features = collection.row_features(row)
-            if len(features) == 0:
-                # Sentinel unique to (row, hash index) so empty rows never collide.
-                values[row, :] = -(row + 1)
-                continue
-            feats = (features.astype(np.int64) % _PRIME)
-            # (n_new, n_feats) permuted positions; a, f < 2^31 so a * f + b < 2^62
-            # and int64 arithmetic is exact.
-            permuted = (coef_a[:, None] * feats[None, :] + coef_b[:, None]) % _PRIME
-            values[row, :] = permuted.min(axis=1)
+        layout = self._support_layout()
+        n_vectors = self._collection.n_vectors
+        # Hash values live below 2^31 so int32 storage is exact; the empty-row
+        # sentinel -(row + 1) also fits as long as the collection has fewer
+        # than 2^31 rows.
+        values = np.empty((n_vectors, n_new), dtype=np.int32)
+        if len(layout.empty_rows):
+            # Sentinel unique to the row so empty rows never collide.
+            values[layout.empty_rows, :] = -(layout.empty_rows[:, None] + 1)
+
+        features = layout.unique_features
+        gather_buffer, mins_buffer = layout.buffers()
+        for chunk_start in range(0, n_new, _KERNEL_CHUNK):
+            chunk_end = min(chunk_start + _KERNEL_CHUNK, n_new)
+            width = chunk_end - chunk_start
+            coef_a = self._coef_a[start + chunk_start : start + chunk_end]
+            coef_b = self._coef_b[start + chunk_start : start + chunk_end]
+            # (n_unique, width) permuted positions; a, f < 2^31 so
+            # a * f + b < 2^62 and int64 arithmetic is exact.  The modulo by
+            # the Mersenne prime is two shift-and-add folds plus one
+            # conditional subtraction — exactly x mod p, much cheaper than %.
+            permuted = features[:, None] * coef_a[None, :]
+            permuted += coef_b[None, :]
+            permuted = (permuted & _PRIME) + (permuted >> 31)
+            permuted = (permuted & _PRIME) + (permuted >> 31)
+            permuted -= (permuted >= _PRIME) * np.int64(_PRIME)
+            table = permuted.astype(np.int32)
+            if width == _KERNEL_CHUNK:
+                # Tile-fused gather + reduce: each tile's contiguous-row
+                # gather (one memcpy per occurrence) lands in a cache-resident
+                # buffer that the row-minimum reduction consumes immediately.
+                for size, row, row_end, o0, o1 in layout.tiles:
+                    tile = gather_buffer[: o1 - o0]
+                    np.take(table, layout.flat_inverse[o0:o1], axis=0, out=tile)
+                    tile.reshape(row_end - row, size, width).min(
+                        axis=1, out=mins_buffer[row:row_end]
+                    )
+            else:
+                # Partial-width tail (non-default block sizes only): plain
+                # gather-then-reduce per size group.
+                flat = np.take(table, layout.flat_inverse, axis=0)
+                for size, first, last in layout.groups:
+                    o0 = layout.segment_offsets[first]
+                    o1 = layout.segment_offsets[last]
+                    flat[o0:o1].reshape(last - first, size, width).min(
+                        axis=1, out=mins_buffer[first:last, :width]
+                    )
+            values[layout.rows_sorted, chunk_start:chunk_end] = mins_buffer[:, :width]
         store.append_values(values)
 
     def collision_similarity(self, exact_similarity: float) -> float:

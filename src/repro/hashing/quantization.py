@@ -106,15 +106,16 @@ class QuantizedGaussian:
         missing = n_columns - self.n_columns
         if missing <= 0:
             return
-        # Draw one column at a time so that a given (seed, column index) always
-        # yields the same projection vector regardless of the growth pattern.
-        fresh = np.empty((self._n_features, missing), dtype=np.float64)
-        for column in range(missing):
-            fresh[:, column] = self._rng.standard_normal(self._n_features)
+        # One batched draw: standard_normal fills C order, so row i of the
+        # (missing, n_features) draw consumes exactly the same generator
+        # stream as a separate per-column standard_normal(n_features) call —
+        # a given (seed, column index) always yields the same projection
+        # vector regardless of the growth pattern.
+        fresh = self._rng.standard_normal((missing, self._n_features)).T
         if self._quantize:
             self._codes = np.hstack([self._codes, quantize_floats(fresh)])
         else:
-            self._exact = np.hstack([self._exact, fresh])
+            self._exact = np.hstack([self._exact, np.ascontiguousarray(fresh)])
 
     def columns(self, start: int, end: int) -> np.ndarray:
         """Projection vectors ``start .. end-1`` as a float64 matrix ``(n_features, end-start)``."""

@@ -11,12 +11,23 @@ Two stores implement these operations:
 * :class:`BitSignatures` — packed bit signatures (one bit per hash) for the
   signed-random-projection family, stored as ``uint32`` words so that the
   paper's batch size ``k = 32`` aligns with whole words.
-* :class:`IntSignatures` — integer signatures (one ``int64`` per hash) for
+* :class:`IntSignatures` — integer signatures (one integer per hash) for
   minwise hashing.
 
 Both stores are append-only: more hash functions can be added later, which is
 how the library reproduces the paper's "each point is hashed only as many
 times as necessary" behaviour without re-hashing from scratch.
+
+Batching layout
+---------------
+Appended blocks are kept as a list of column chunks and only concatenated
+into one matrix when a read actually spans more than one chunk (lazy
+consolidation).  The algorithms' access pattern — append a block of ``k``
+hashes, then compare exactly that block for the still-active pairs — then
+costs O(rows x k) per round instead of the O(rows x total) per round that
+re-allocating a single growing matrix would cost.  Batched readers
+(:meth:`count_matches_many`, :meth:`band_keys_many`) take parallel index
+arrays so the per-pair work stays inside NumPy.
 """
 
 from __future__ import annotations
@@ -51,11 +62,75 @@ class SignatureStore(ABC):
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
         """Hashable key for the ``band``-th group of ``band_width`` hashes of row ``i``."""
 
+    @abstractmethod
+    def band_keys_many(self, rows: np.ndarray, band: int, band_width: int) -> np.ndarray:
+        """Band contents for many rows at once, as a 2-D array.
+
+        Rows whose returned rows compare equal element-wise belong to the same
+        bucket; the array form lets callers group rows with ``np.unique``
+        instead of hashing per-row byte strings.
+        """
+
     def agreement_fraction(self, i: int, j: int, n: int) -> float:
         """Fraction of the first ``n`` hashes that agree (the MLE estimator)."""
         if n <= 0:
             return 0.0
         return self.count_matches(i, j, 0, n) / n
+
+
+class _ChunkedMatrix:
+    """A matrix of signature columns grown by appending column blocks.
+
+    Chunks are concatenated lazily: reads that stay inside one chunk (the
+    overwhelmingly common case for the round-synchronous verifiers, which
+    always read the newest block) never trigger a copy, while reads spanning
+    chunks consolidate once and cache the result.
+    """
+
+    def __init__(self, n_rows: int):
+        self._n_rows = int(n_rows)
+        self._chunks: list[np.ndarray] = []
+        self._offsets: list[int] = []  # starting column of each chunk
+        self._n_columns = 0
+
+    @property
+    def n_columns(self) -> int:
+        return self._n_columns
+
+    def append(self, block: np.ndarray) -> None:
+        self._offsets.append(self._n_columns)
+        self._chunks.append(block)
+        self._n_columns += block.shape[1]
+
+    def consolidated(self) -> np.ndarray:
+        """The full matrix; concatenates (and caches) the chunks on demand."""
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        if not self._chunks:
+            return np.zeros((self._n_rows, 0), dtype=np.int64)
+        merged = np.concatenate(self._chunks, axis=1)
+        self._chunks = [merged]
+        self._offsets = [0]
+        return merged
+
+    def columns(self, start: int, end: int) -> np.ndarray:
+        """A view (or consolidated slice) of columns ``[start, end)``."""
+        for offset, chunk in zip(self._offsets, self._chunks):
+            if offset <= start and end <= offset + chunk.shape[1]:
+                return chunk[:, start - offset : end - offset]
+        return self.consolidated()[:, start:end]
+
+    def columns_contiguous(self, start: int, end: int) -> np.ndarray:
+        """Like :meth:`columns` but guaranteed C-contiguous.
+
+        Batched row gathers from a contiguous block are per-row ``memcpy``s,
+        whereas gathers from a column-sliced view degrade to per-element
+        copies; the one-off column copy here is far cheaper than that.
+        """
+        columns = self.columns(start, end)
+        if columns.flags.c_contiguous:
+            return columns
+        return np.ascontiguousarray(columns)
 
 
 class BitSignatures(SignatureStore):
@@ -67,7 +142,7 @@ class BitSignatures(SignatureStore):
 
     def __init__(self, n_vectors: int):
         self._n_vectors = int(n_vectors)
-        self._words = np.zeros((self._n_vectors, 0), dtype=np.uint32)
+        self._matrix = _ChunkedMatrix(self._n_vectors)
         self._n_hashes = 0
 
     @property
@@ -81,7 +156,10 @@ class BitSignatures(SignatureStore):
     @property
     def words(self) -> np.ndarray:
         """The raw packed words, shape ``(n_vectors, n_words)``."""
-        return self._words
+        words = self._matrix.consolidated()
+        if words.dtype != np.uint32:  # empty store placeholder
+            return np.zeros((self._n_vectors, 0), dtype=np.uint32)
+        return words
 
     def append_bits(self, bits: np.ndarray) -> None:
         """Append a block of new hash bits.
@@ -114,8 +192,11 @@ class BitSignatures(SignatureStore):
         shaped = padded.reshape(self._n_vectors, n_words_new, _WORD_BITS)
         weights = (1 << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
         new_words = (shaped.astype(np.uint64) * weights).sum(axis=2).astype(np.uint32)
-        self._words = np.hstack([self._words, new_words]) if self._words.size else new_words
+        self._matrix.append(new_words)
         self._n_hashes += n_new
+
+    def _word_columns(self, word_start: int, word_end: int) -> np.ndarray:
+        return self._matrix.columns(word_start, word_end)
 
     def get_bits(self, i: int, start: int, end: int) -> np.ndarray:
         """Bits of row ``i`` for hash indices ``[start, end)`` as a uint8 array."""
@@ -123,7 +204,7 @@ class BitSignatures(SignatureStore):
             raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
         word_start = start // _WORD_BITS
         word_end = -(-end // _WORD_BITS)
-        words = self._words[i, word_start:word_end]
+        words = np.ascontiguousarray(self._word_columns(word_start, word_end)[i])
         bits = np.unpackbits(
             words.view(np.uint8).reshape(-1, 4), axis=1, bitorder="little"
         ).ravel()
@@ -136,11 +217,8 @@ class BitSignatures(SignatureStore):
         if end <= start:
             return 0
         if start % _WORD_BITS == 0 and end % _WORD_BITS == 0:
-            word_start = start // _WORD_BITS
-            word_end = end // _WORD_BITS
-            xor = np.bitwise_xor(
-                self._words[i, word_start:word_end], self._words[j, word_start:word_end]
-            )
+            words = self._word_columns(start // _WORD_BITS, end // _WORD_BITS)
+            xor = np.bitwise_xor(words[i], words[j])
             disagreements = int(np.bitwise_count(xor).sum())
             return (end - start) - disagreements
         bits_i = self.get_bits(i, start, end)
@@ -160,12 +238,8 @@ class BitSignatures(SignatureStore):
                 [self.count_matches(i, j, start, end) for i, j in zip(left, right)],
                 dtype=np.int64,
             )
-        word_start = start // _WORD_BITS
-        word_end = end // _WORD_BITS
-        xor = np.bitwise_xor(
-            self._words[np.asarray(left), word_start:word_end],
-            self._words[np.asarray(right), word_start:word_end],
-        )
+        words = self._matrix.columns_contiguous(start // _WORD_BITS, end // _WORD_BITS)
+        xor = np.bitwise_xor(words[np.asarray(left)], words[np.asarray(right)])
         disagreements = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
         return (end - start) - disagreements
 
@@ -173,18 +247,46 @@ class BitSignatures(SignatureStore):
         start = band * band_width
         end = start + band_width
         if start % _WORD_BITS == 0 and end % _WORD_BITS == 0:
-            word_start = start // _WORD_BITS
-            word_end = end // _WORD_BITS
-            return self._words[i, word_start:word_end].tobytes()
+            words = self._word_columns(start // _WORD_BITS, end // _WORD_BITS)
+            return np.ascontiguousarray(words[i]).tobytes()
         return self.get_bits(i, start, end).tobytes()
+
+    def band_keys_many(self, rows: np.ndarray, band: int, band_width: int) -> np.ndarray:
+        start = band * band_width
+        end = start + band_width
+        if end > self._n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
+        rows = np.asarray(rows, dtype=np.int64)
+        word_start = start // _WORD_BITS
+        word_end = -(-end // _WORD_BITS)
+        words = np.ascontiguousarray(self._word_columns(word_start, word_end)[rows])
+        if start % _WORD_BITS == 0 and end % _WORD_BITS == 0:
+            return words
+        bits = np.unpackbits(
+            words.view(np.uint8).reshape(len(rows), (word_end - word_start) * 4),
+            axis=1,
+            bitorder="little",
+        )
+        offset = start - word_start * _WORD_BITS
+        return np.ascontiguousarray(bits[:, offset : offset + band_width])
 
 
 class IntSignatures(SignatureStore):
-    """Integer signatures (minwise hashing), one ``int64`` per hash."""
+    """Integer signatures (minwise hashing), one integer per hash.
+
+    The store keeps whatever signed integer dtype the producer appends (the
+    minhash family appends ``int32`` — its values fit in 31 bits, which
+    halves the memory and comparison traffic the paper's Section 4.3 worries
+    about); generic callers appending plain Python/``int64`` data keep
+    ``int64``.  Unsigned input is normalised to ``int64`` on append, so
+    mixed-dtype consolidation only ever promotes between signed integer
+    types and equality semantics never change.
+    """
 
     def __init__(self, n_vectors: int):
         self._n_vectors = int(n_vectors)
-        self._values = np.zeros((self._n_vectors, 0), dtype=np.int64)
+        self._matrix = _ChunkedMatrix(self._n_vectors)
+        self._scratch: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @property
     def n_vectors(self) -> int:
@@ -192,32 +294,66 @@ class IntSignatures(SignatureStore):
 
     @property
     def n_hashes(self) -> int:
-        return self._values.shape[1]
+        return self._matrix.n_columns
+
+    def _scratch_for(
+        self, n_pairs: int, width: int, dtype
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reusable gather/compare buffers for :meth:`count_matches_many`.
+
+        The round-synchronous verifiers call with a shrinking pair count and a
+        fixed width every round; reusing one allocation avoids repeated large
+        allocations (and their page faults) in the hot loop.
+        """
+        if self._scratch is not None:
+            left_buf, right_buf, equal_buf = self._scratch
+            if (
+                left_buf.shape[0] >= n_pairs
+                and left_buf.shape[1] == width
+                and left_buf.dtype == dtype
+            ):
+                return (
+                    left_buf[:n_pairs],
+                    right_buf[:n_pairs],
+                    equal_buf[:n_pairs],
+                )
+        left_buf = np.empty((n_pairs, width), dtype=dtype)
+        right_buf = np.empty((n_pairs, width), dtype=dtype)
+        equal_buf = np.empty((n_pairs, width), dtype=np.bool_)
+        self._scratch = (left_buf, right_buf, equal_buf)
+        return left_buf, right_buf, equal_buf
 
     @property
     def values(self) -> np.ndarray:
         """The raw signature matrix, shape ``(n_vectors, n_hashes)``."""
-        return self._values
+        return self._matrix.consolidated()
 
     def append_values(self, values: np.ndarray) -> None:
         """Append a block of new integer hashes of shape ``(n_vectors, n_new)``."""
-        values = np.asarray(values, dtype=np.int64)
+        values = np.asarray(values)
+        if not np.issubdtype(values.dtype, np.signedinteger):
+            # Normalise floats and unsigned ints to int64: mixing uint64 with
+            # signed chunks would promote to float64 on consolidation and
+            # corrupt equality comparisons for values above 2^53.
+            if values.size and np.issubdtype(values.dtype, np.unsignedinteger):
+                if values.max() > np.iinfo(np.int64).max:
+                    raise ValueError("hash values above int64 range are not supported")
+            values = values.astype(np.int64)
         if values.ndim != 2 or values.shape[0] != self._n_vectors:
             raise ValueError(
                 f"expected values of shape ({self._n_vectors}, n_new), got {values.shape}"
             )
         if values.shape[1] == 0:
             return
-        self._values = (
-            np.hstack([self._values, values]) if self._values.size else values
-        )
+        self._matrix.append(np.ascontiguousarray(values))
 
     def count_matches(self, i: int, j: int, start: int, end: int) -> int:
         if end > self.n_hashes:
             raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
         if end <= start:
             return 0
-        return int(np.sum(self._values[i, start:end] == self._values[j, start:end]))
+        columns = self._matrix.columns(start, end)
+        return int(np.sum(columns[i] == columns[j]))
 
     def count_matches_many(
         self, left: np.ndarray, right: np.ndarray, start: int, end: int
@@ -227,15 +363,28 @@ class IntSignatures(SignatureStore):
             raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
         if end <= start:
             return np.zeros(len(left), dtype=np.int64)
-        equal = (
-            self._values[np.asarray(left), start:end]
-            == self._values[np.asarray(right), start:end]
+        columns = self._matrix.columns_contiguous(start, end)
+        left = np.asarray(left)
+        right = np.asarray(right)
+        left_rows, right_rows, equal = self._scratch_for(
+            len(left), end - start, columns.dtype
         )
-        return equal.sum(axis=1).astype(np.int64)
+        np.take(columns, left, axis=0, out=left_rows)
+        np.take(columns, right, axis=0, out=right_rows)
+        np.equal(left_rows, right_rows, out=equal)
+        return equal.sum(axis=1, dtype=np.int64)
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
         start = band * band_width
         end = start + band_width
         if end > self.n_hashes:
             raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
-        return self._values[i, start:end].tobytes()
+        return np.ascontiguousarray(self._matrix.columns(start, end)[i]).tobytes()
+
+    def band_keys_many(self, rows: np.ndarray, band: int, band_width: int) -> np.ndarray:
+        start = band * band_width
+        end = start + band_width
+        if end > self.n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
+        columns = self._matrix.columns(start, end)
+        return np.ascontiguousarray(columns[np.asarray(rows, dtype=np.int64)])

@@ -214,10 +214,13 @@ class VectorCollection:
         if self._max_weights is None:
             result = np.zeros(self.n_vectors, dtype=np.float64)
             matrix = self._matrix
-            for i in range(self.n_vectors):
-                start, end = matrix.indptr[i], matrix.indptr[i + 1]
-                if end > start:
-                    result[i] = matrix.data[start:end].max()
+            nonempty = np.flatnonzero(np.diff(matrix.indptr) > 0)
+            if len(nonempty):
+                # One segmented reduction over the non-empty rows; consecutive
+                # non-empty starts bound each row's data segment exactly.
+                result[nonempty] = np.maximum.reduceat(
+                    matrix.data, matrix.indptr[nonempty]
+                )
             self._max_weights = result
         return self._max_weights
 

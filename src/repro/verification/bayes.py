@@ -194,6 +194,10 @@ class BayesLSHLiteVerifier(_BayesVerifierBase):
 
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
         posterior = self._posterior_for(candidates)
+        # Deliberately NOT wired to exact_similarities_for_pairs: its chunked
+        # sparse products round differently from measure.exact in the last
+        # ulp, which could flip the `> threshold` emission for boundary pairs
+        # and break the bit-identity contract with the scalar path.
         algorithm = BayesLSHLite(
             self._family, posterior, self._params, self.exact_similarity
         )

@@ -1,0 +1,225 @@
+"""Equivalence of the batched kernels and their scalar references.
+
+The vectorisation contract: every batched hot-path kernel must be
+*bit-identical* to the retained scalar formulation in :mod:`repro.reference`
+— same seeds give same signatures, same prune/emit decisions, same candidate
+pairs and the same bookkeeping counters.  These tests check that contract on
+randomised inputs (random collections, random match counts, random
+thresholds) so a future "optimisation" that changes results gets caught.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import reference
+from repro.candidates.allpairs import AllPairsGenerator
+from repro.candidates.arrayops import pairs_within_groups, ragged_arange
+from repro.candidates.lsh_index import LSHGenerator
+from repro.candidates.ppjoin import PPJoinGenerator
+from repro.core.concentration_cache import ConcentrationCache
+from repro.core.posteriors import (
+    BetaPosterior,
+    GridCollisionPosterior,
+    TruncatedCollisionPosterior,
+)
+from repro.core.priors import BetaPrior
+from repro.hashing.minhash import MinHashFamily
+from repro.hashing.simhash import SimHashFamily
+from repro.similarity.vectors import VectorCollection
+
+_SETTINGS = settings(max_examples=15, deadline=None)
+
+_POSTERIORS = [
+    BetaPosterior(),
+    BetaPosterior(BetaPrior(2.5, 7.0)),
+    TruncatedCollisionPosterior(),
+]
+
+
+def _random_sets_collection(seed: int, n_rows: int = 40, universe: int = 60):
+    rng = np.random.default_rng(seed)
+    sets = []
+    for _ in range(n_rows):
+        size = int(rng.integers(0, 16))
+        sets.append(set(rng.choice(universe, size=min(size, universe), replace=False).tolist()))
+    return VectorCollection.from_sets(sets, n_features=universe)
+
+
+def _random_weighted_collection(seed: int, n_rows: int = 35, n_features: int = 30):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n_rows, n_features)) * (rng.random((n_rows, n_features)) < 0.35)
+    return VectorCollection.from_dense(dense)
+
+
+class TestSignatureEquivalence:
+    @_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_minhash_matches_scalar_reference(self, seed):
+        collection = _random_sets_collection(seed)
+        family = MinHashFamily(collection, seed=seed % 257)
+        store = family.signatures(96)
+        expected = reference.minhash_signatures_reference(family, store.n_hashes)
+        np.testing.assert_array_equal(np.asarray(store.values, dtype=np.int64), expected)
+
+    @_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_minhash_incremental_growth_matches_reference(self, seed):
+        collection = _random_sets_collection(seed)
+        family = MinHashFamily(collection, seed=3)
+        family.signatures(64)
+        store = family.signatures(192)
+        expected = reference.minhash_signatures_reference(family, store.n_hashes)
+        np.testing.assert_array_equal(np.asarray(store.values, dtype=np.int64), expected)
+
+    @_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_simhash_matches_scalar_reference(self, seed):
+        collection = _random_weighted_collection(seed)
+        family = SimHashFamily(collection, seed=seed % 101)
+        store = family.signatures(64)
+        expected = reference.simhash_bits_reference(family, 64)
+        for row in range(collection.n_vectors):
+            np.testing.assert_array_equal(store.get_bits(row, 0, 64), expected[row])
+
+
+class TestPosteriorBatchEquivalence:
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=512),
+        st.sampled_from([0.3, 0.5, 0.7, 0.9]),
+    )
+    def test_prob_above_threshold_many(self, seed, n, threshold):
+        rng = np.random.default_rng(seed)
+        matches = rng.integers(0, n + 1, size=24)
+        for posterior in _POSTERIORS:
+            batched = posterior.prob_above_threshold_many(matches, n, threshold)
+            expected = reference.prob_above_threshold_reference(posterior, matches, n, threshold)
+            np.testing.assert_array_equal(batched, expected)
+
+    @_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=512))
+    def test_map_estimate_many(self, seed, n_max):
+        rng = np.random.default_rng(seed)
+        hashes = rng.integers(0, n_max + 1, size=24)
+        matches = (hashes * rng.random(24)).astype(np.int64)
+        for posterior in _POSTERIORS:
+            batched = posterior.map_estimate_many(matches, hashes)
+            expected = reference.map_estimates_reference(posterior, matches, hashes)
+            np.testing.assert_array_equal(batched, expected)
+
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=512),
+        st.sampled_from([(0.05, 0.03), (0.01, 0.05), (0.10, 0.02)]),
+    )
+    def test_concentration_decisions_match_scalar(self, seed, n, accuracy):
+        delta, gamma = accuracy
+        rng = np.random.default_rng(seed)
+        matches = rng.integers(0, n + 1, size=24)
+        for posterior in _POSTERIORS:
+            cache = ConcentrationCache(posterior, delta=delta, gamma=gamma)
+            batched = cache.is_concentrated_many(matches, n)
+            expected = reference.concentration_decisions_reference(
+                posterior, matches, n, delta, gamma
+            )
+            np.testing.assert_array_equal(batched, expected)
+
+    def test_grid_posterior_uses_scalar_fallback(self):
+        posterior = GridCollisionPosterior(lambda r: np.ones_like(r))
+        matches = np.array([10, 20, 30])
+        batched = posterior.map_estimate_many(matches, np.full(3, 32))
+        expected = reference.map_estimates_reference(posterior, matches, np.full(3, 32))
+        np.testing.assert_array_equal(batched, expected)
+
+
+class TestCandidateGeneratorEquivalence:
+    @_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000), st.sampled_from([0.3, 0.5, 0.7]))
+    def test_lsh_matches_bucket_reference(self, seed, threshold):
+        collection = _random_sets_collection(seed)
+        generator = LSHGenerator("jaccard", threshold, seed=7)
+        candidates = generator.generate(collection)
+        store = generator.family.signatures(0)
+        rows = np.flatnonzero(collection.row_nnz > 0)
+        expected_pairs, expected_collisions = reference.lsh_candidates_reference(
+            store, rows, candidates.metadata["n_signatures"], generator.signature_width
+        )
+        assert candidates.as_set() == expected_pairs
+        assert candidates.metadata["n_raw_collisions"] == expected_collisions
+
+    @_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000), st.sampled_from([0.4, 0.6, 0.8]))
+    def test_allpairs_matches_sequential_reference(self, seed, threshold):
+        collection = _random_weighted_collection(seed)
+        candidates = AllPairsGenerator("cosine", threshold).generate(collection)
+        expected_pairs, expected_meta = reference.allpairs_candidates_reference(
+            collection, "cosine", threshold
+        )
+        assert candidates.as_set() == expected_pairs
+        assert (
+            candidates.metadata["n_score_accumulations"]
+            == expected_meta["n_score_accumulations"]
+        )
+        assert candidates.metadata["index_entries"] == expected_meta["index_entries"]
+
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(["jaccard", "binary_cosine"]),
+        st.sampled_from([0.4, 0.6]),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_ppjoin_matches_sequential_reference(
+        self, seed, measure, threshold, positional, suffix
+    ):
+        collection = _random_sets_collection(seed)
+        candidates = PPJoinGenerator(
+            measure,
+            threshold,
+            use_positional_filter=positional,
+            use_suffix_filter=suffix,
+        ).generate(collection)
+        expected_pairs, expected_meta = reference.ppjoin_candidates_reference(
+            collection,
+            measure,
+            threshold,
+            use_positional_filter=positional,
+            use_suffix_filter=suffix,
+        )
+        assert candidates.as_set() == expected_pairs
+        for key, value in expected_meta.items():
+            assert candidates.metadata[key] == value, key
+
+
+class TestArrayOps:
+    @_SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 8)), max_size=12))
+    def test_ragged_arange(self, segments):
+        starts = np.array([s for s, _ in segments], dtype=np.int64)
+        lengths = np.array([l for _, l in segments], dtype=np.int64)
+        expected = (
+            np.concatenate([np.arange(s, s + l) for s, l in segments])
+            if segments and lengths.sum()
+            else np.zeros(0, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(ragged_arange(starts, lengths), expected)
+
+    @_SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8))
+    def test_pairs_within_groups(self, sizes):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 100, size=int(np.sum(sizes)))
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        earlier, later = pairs_within_groups(values, offsets)
+        expected = []
+        for g in range(len(sizes)):
+            group = values[offsets[g] : offsets[g + 1]]
+            for q in range(len(group)):
+                for p in range(q):
+                    expected.append((group[p], group[q]))
+        assert list(zip(earlier.tolist(), later.tolist())) == [
+            (int(a), int(b)) for a, b in expected
+        ]
