@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage
+-----
+Record / refresh the committed baseline from a raw pytest-benchmark dump::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_hotpaths.py \
+        --benchmark-only --benchmark-json=bench_raw.json
+    python benchmarks/check_regression.py bench_raw.json \
+        benchmarks/BENCH_hotpaths.json --update
+
+Gate a fresh run against the baseline (exits non-zero on regression)::
+
+    python benchmarks/check_regression.py bench_raw.json \
+        benchmarks/BENCH_hotpaths.json --max-ratio 1.3
+
+The baseline stores the per-benchmark minimum over rounds (the most
+noise-robust statistic on shared runners).  A benchmark regresses when
+``fresh_min > max_ratio * baseline_min``.  Benchmarks present on only one
+side are reported but never fail the gate, so adding or retiring benchmarks
+does not require lock-step baseline updates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _extract(raw: dict) -> dict[str, float]:
+    """Map benchmark name -> min seconds from a pytest-benchmark JSON dump."""
+    return {
+        bench["name"]: float(bench["stats"]["min"]) for bench in raw.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.3,
+        help="fail when fresh_min exceeds max_ratio * baseline_min (default 1.3)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the fresh run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.fresh) as handle:
+        fresh = _extract(json.load(handle))
+    if not fresh:
+        print("error: fresh run contains no benchmarks", file=sys.stderr)
+        return 2
+
+    if args.update:
+        with open(args.baseline, "w") as handle:
+            json.dump(
+                {"unit": "seconds (min over rounds)", "benchmarks": fresh},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"baseline updated with {len(fresh)} benchmarks -> {args.baseline}")
+        return 0
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)["benchmarks"]
+
+    failures = []
+    for name in sorted(set(fresh) | set(baseline)):
+        if name not in baseline:
+            print(f"NEW       {name}: {fresh[name] * 1000:.2f} ms (no baseline)")
+            continue
+        if name not in fresh:
+            print(f"MISSING   {name}: present in baseline only")
+            continue
+        ratio = fresh[name] / baseline[name]
+        status = "OK"
+        if ratio > args.max_ratio:
+            status = "REGRESSED"
+            failures.append((name, ratio))
+        print(
+            f"{status:9s} {name}: {fresh[name] * 1000:.2f} ms "
+            f"vs baseline {baseline[name] * 1000:.2f} ms (x{ratio:.2f})"
+        )
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed beyond x{args.max_ratio}:",
+            file=sys.stderr,
+        )
+        for name, ratio in failures:
+            print(f"  {name} (x{ratio:.2f})", file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within x{args.max_ratio} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

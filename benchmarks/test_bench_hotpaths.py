@@ -185,3 +185,21 @@ def test_bench_ppjoin_candidate_generation(benchmark, binary_collection):
 
     candidates = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(candidates) > 0
+
+
+def test_bench_streamed_end_to_end(benchmark, binary_collection):
+    """Full streamed pipeline (lsh_bayeslsh, Jaccard) on one in-process worker.
+
+    Tracks the overhead of block streaming + incremental deduplication over
+    the monolithic path; the outputs are bit-identical, so any large gap here
+    is pure executor overhead.
+    """
+    from repro.search.engine import all_pairs_similarity
+
+    def run():
+        return all_pairs_similarity(
+            binary_collection, threshold=0.5, measure="jaccard", seed=3, block_size=65536
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_candidates > 0

@@ -54,8 +54,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.candidates.arrayops import budgeted_batches, ragged_arange
-from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.candidates.base import (
+    UNBOUNDED_BLOCK,
+    BlockStream,
+    CandidateGenerator,
+    CandidateSet,
+)
 from repro.similarity.vectors import VectorCollection
 
 __all__ = ["AllPairsGenerator"]
@@ -86,11 +93,32 @@ class AllPairsGenerator(CandidateGenerator):
                 f"got {self.measure.name!r}"
             )
 
+    def generate_blocks(self, collection: VectorCollection, block_size: int) -> BlockStream:
+        """Stream candidate pairs probe-batch by probe-batch.
+
+        The inverted-index probe over all entries proceeds in hit-budgeted
+        batches (the budget scales with ``block_size``); each batch's pairs
+        are deduplicated within the batch and yielded in ``block_size``
+        chunks, so the peak pair-array footprint is bounded by the batch
+        budget instead of the total candidate count.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        hit_budget = int(min(_HIT_BATCH, max(block_size, 4096)))
+        return self._stream(collection, hit_budget, block_size)
+
     def generate(self, collection: VectorCollection) -> CandidateSet:
+        return CandidateSet.from_stream(
+            self._stream(collection, _HIT_BATCH, UNBOUNDED_BLOCK)
+        )
+
+    def _stream(
+        self, collection: VectorCollection, hit_budget: int, block_size: int
+    ) -> BlockStream:
         prepared = self.measure.prepare(collection).normalized()
         n_vectors = prepared.n_vectors
         if n_vectors < 2:
-            return CandidateSet.from_pairs([], generator=self.name)
+            return BlockStream(iter(()), {"generator": self.name})
 
         matrix = prepared.matrix
         n_features = prepared.n_features
@@ -166,26 +194,23 @@ class AllPairsGenerator(CandidateGenerator):
         )
         hit_counts = prefix_ends - prefix_starts
         n_score_accumulations = int(hit_counts.sum())
+        metadata = {
+            "generator": self.name,
+            "n_score_accumulations": n_score_accumulations,
+            "index_entries": int(len(indexed_positions)),
+        }
 
-        left_parts: list[np.ndarray] = []
-        right_parts: list[np.ndarray] = []
-        for entry_start, entry_end in budgeted_batches(hit_counts, _HIT_BATCH):
-            batch = slice(entry_start, entry_end)
-            gathered = ragged_arange(prefix_starts[batch], hit_counts[batch])
-            if not len(gathered):
-                continue
-            ys = posting_row[gathered]
-            xs = np.repeat(rows_of_entries[batch], hit_counts[batch])
-            pair_keys = np.unique(xs * n_vectors + ys)
-            left_parts.append(pair_keys // n_vectors)
-            right_parts.append(pair_keys % n_vectors)
+        def blocks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            for entry_start, entry_end in budgeted_batches(hit_counts, hit_budget):
+                batch = slice(entry_start, entry_end)
+                gathered = ragged_arange(prefix_starts[batch], hit_counts[batch])
+                if not len(gathered):
+                    continue
+                ys = posting_row[gathered]
+                xs = np.repeat(rows_of_entries[batch], hit_counts[batch])
+                pair_keys = np.unique(xs * n_vectors + ys)
+                for start in range(0, len(pair_keys), block_size):
+                    chunk = pair_keys[start : start + block_size]
+                    yield chunk // n_vectors, chunk % n_vectors
 
-        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
-        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
-        return CandidateSet.from_arrays(
-            left,
-            right,
-            generator=self.name,
-            n_score_accumulations=n_score_accumulations,
-            index_entries=int(len(indexed_positions)),
-        )
+        return BlockStream(blocks(), metadata)

@@ -11,7 +11,31 @@ import numpy as np
 from repro.similarity.measures import SimilarityMeasure, get_measure
 from repro.similarity.vectors import VectorCollection
 
-__all__ = ["CandidateGenerator", "CandidateSet"]
+__all__ = ["BlockStream", "CandidateGenerator", "CandidateSet", "UNBOUNDED_BLOCK"]
+
+#: block size that never splits: a monolithic generate() consuming its own
+#: block stream passes this so every natural block arrives whole
+UNBOUNDED_BLOCK = 1 << 62
+
+
+class BlockStream:
+    """A stream of raw candidate-pair blocks with late-bound metadata.
+
+    Iterating yields ``(left, right)`` parallel index-array blocks.  Blocks
+    are *raw*: pairs may repeat across blocks (LSH emits one copy per band
+    collision) and are not canonicalised; consumers deduplicate incrementally
+    (see :class:`repro.search.executor.StreamExecutor`) or via
+    :meth:`CandidateSet.from_arrays`.  ``metadata`` is filled in by the
+    producing generator as the stream is consumed and is only complete once
+    iteration has finished.
+    """
+
+    def __init__(self, blocks: Iterator[tuple[np.ndarray, np.ndarray]], metadata: dict):
+        self._blocks = blocks
+        self.metadata = metadata
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return self._blocks
 
 
 @dataclass
@@ -51,6 +75,23 @@ class CandidateSet:
             left = np.zeros(0, dtype=np.int64)
             right = np.zeros(0, dtype=np.int64)
         return cls(left=left, right=right, metadata=dict(metadata))
+
+    @classmethod
+    def from_stream(cls, stream: "BlockStream") -> "CandidateSet":
+        """Collect a fully-consumed :class:`BlockStream` into a candidate set.
+
+        Concatenates every raw block and canonicalises/deduplicates via
+        :meth:`from_arrays` with the stream's (then complete) metadata — the
+        shared tail of every generator's monolithic :meth:`generate`.
+        """
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        for left, right in stream:
+            left_parts.append(left)
+            right_parts.append(right)
+        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
+        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
+        return cls.from_arrays(left, right, **stream.metadata)
 
     @classmethod
     def from_arrays(cls, left, right, **metadata) -> "CandidateSet":
@@ -122,6 +163,28 @@ class CandidateGenerator(ABC):
     @abstractmethod
     def generate(self, collection: VectorCollection) -> CandidateSet:
         """Produce candidate pairs for the given collection."""
+
+    def generate_blocks(self, collection: VectorCollection, block_size: int) -> BlockStream:
+        """Stream candidate pairs in bounded-size raw blocks.
+
+        The union of the yielded blocks (canonicalised and deduplicated)
+        equals :meth:`generate`'s pair set, and the stream's final metadata
+        equals the generated candidate set's metadata.  Generators with a
+        naturally streaming structure (LSH bands, inverted-index probe
+        batches) override this so no monolithic pair array is ever
+        materialised; the base implementation falls back to chunking a full
+        :meth:`generate` run.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        candidates = self.generate(collection)
+
+        def blocks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            for start in range(0, len(candidates), block_size):
+                end = start + block_size
+                yield candidates.left[start:end], candidates.right[start:end]
+
+        return BlockStream(blocks(), dict(candidates.metadata))
 
     def __repr__(self) -> str:
         return (

@@ -31,8 +31,15 @@ import math
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.candidates.arrayops import pairs_within_groups
-from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.candidates.base import (
+    UNBOUNDED_BLOCK,
+    BlockStream,
+    CandidateGenerator,
+    CandidateSet,
+)
 from repro.hashing.base import HashFamily, get_hash_family
 from repro.similarity.vectors import VectorCollection
 
@@ -147,7 +154,15 @@ class LSHGenerator(CandidateGenerator):
 
         return float(cosine_to_collision(self._threshold))
 
-    def generate(self, collection: VectorCollection) -> CandidateSet:
+    def generate_blocks(self, collection: VectorCollection, block_size: int) -> BlockStream:
+        """Stream raw collision pairs band by band.
+
+        Each LSH band is bucketed independently, so its collision pairs form a
+        natural block (split further to respect ``block_size``); no cross-band
+        pair array is ever materialised.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
         prepared = self.measure.prepare(collection)
         family = self._family
         if family is None or family.collection is not prepared:
@@ -160,38 +175,37 @@ class LSHGenerator(CandidateGenerator):
 
         n_signatures = self.n_signatures
         width = self._signature_width
-        store = family.signatures(n_signatures * width)
+        metadata = {
+            "generator": self.name,
+            "n_signatures": n_signatures,
+            "signature_width": width,
+            "n_raw_collisions": 0,
+            "n_vectors": prepared.n_vectors,
+        }
 
-        n_raw_collisions = 0
-        n_vectors = prepared.n_vectors
-        # Skip empty vectors: they share no features with anything.
-        non_empty = np.flatnonzero(prepared.row_nnz > 0)
-        left_parts: list[np.ndarray] = []
-        right_parts: list[np.ndarray] = []
-        for band in range(n_signatures if len(non_empty) else 0):
-            # Group rows by band content with one sort per band instead of a
-            # dict of per-row byte keys: rows whose band columns compare equal
-            # land in the same np.unique group.
-            keys = store.band_keys_many(non_empty, band, width)
-            _, inverse = np.unique(keys, axis=0, return_inverse=True)
-            order = np.argsort(inverse, kind="stable")
-            bucket_rows = non_empty[order]
-            counts = np.bincount(inverse)
-            offsets = np.concatenate([[0], np.cumsum(counts)])
-            earlier, later = pairs_within_groups(bucket_rows, offsets)
-            n_raw_collisions += len(earlier)
-            if len(earlier):
-                left_parts.append(earlier)
-                right_parts.append(later)
-        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
-        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
-        candidate_set = CandidateSet.from_arrays(
-            left,
-            right,
-            generator=self.name,
-            n_signatures=n_signatures,
-            signature_width=width,
-            n_raw_collisions=n_raw_collisions,
-            n_vectors=n_vectors,
+        def blocks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            store = family.signatures(n_signatures * width)
+            # Skip empty vectors: they share no features with anything.
+            non_empty = np.flatnonzero(prepared.row_nnz > 0)
+            for band in range(n_signatures if len(non_empty) else 0):
+                # Group rows by band content with one sort per band instead
+                # of a dict of per-row byte keys: rows whose band columns
+                # compare equal land in the same np.unique group.
+                keys = store.band_keys_many(non_empty, band, width)
+                _, inverse = np.unique(keys, axis=0, return_inverse=True)
+                order = np.argsort(inverse, kind="stable")
+                bucket_rows = non_empty[order]
+                counts = np.bincount(inverse)
+                offsets = np.concatenate([[0], np.cumsum(counts)])
+                earlier, later = pairs_within_groups(bucket_rows, offsets)
+                metadata["n_raw_collisions"] += len(earlier)
+                for start in range(0, len(earlier), block_size):
+                    end = start + block_size
+                    yield earlier[start:end], later[start:end]
+
+        return BlockStream(blocks(), metadata)
+
+    def generate(self, collection: VectorCollection) -> CandidateSet:
+        return CandidateSet.from_stream(
+            self.generate_blocks(collection, block_size=UNBOUNDED_BLOCK)
         )
-        return candidate_set

@@ -42,8 +42,15 @@ import math
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.candidates.arrayops import budgeted_batches, ragged_arange
-from repro.candidates.base import CandidateGenerator, CandidateSet
+from repro.candidates.base import (
+    UNBOUNDED_BLOCK,
+    BlockStream,
+    CandidateGenerator,
+    CandidateSet,
+)
 from repro.similarity.vectors import VectorCollection
 
 __all__ = ["PPJoinGenerator"]
@@ -92,11 +99,31 @@ class PPJoinGenerator(CandidateGenerator):
         self._use_positional_filter = bool(use_positional_filter)
         self._use_suffix_filter = bool(use_suffix_filter)
 
+    def generate_blocks(self, collection: VectorCollection, block_size: int) -> BlockStream:
+        """Stream candidate pairs probe-batch by probe-batch.
+
+        Probe batches respect record boundaries (the accept-skip accounting
+        needs a record's hits together) and their gathered-hit budget scales
+        with ``block_size``; accepted pairs are yielded in ``block_size``
+        chunks.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        hit_budget = int(min(_HIT_BATCH, max(block_size, 4096)))
+        return self._stream(collection, hit_budget, block_size)
+
     def generate(self, collection: VectorCollection) -> CandidateSet:
+        return CandidateSet.from_stream(
+            self._stream(collection, _HIT_BATCH, UNBOUNDED_BLOCK)
+        )
+
+    def _stream(
+        self, collection: VectorCollection, hit_budget: int, block_size: int
+    ) -> BlockStream:
         prepared = self.measure.prepare(collection)
         n_vectors = prepared.n_vectors
         if n_vectors < 2:
-            return CandidateSet.from_pairs([], generator=self.name)
+            return BlockStream(iter(()), {"generator": self.name})
 
         # Global token order: increasing document frequency (rarest first).
         binary = prepared.binarized().matrix
@@ -165,11 +192,6 @@ class PPJoinGenerator(CandidateGenerator):
         use_positional = self._use_positional_filter
         use_suffix = self._use_suffix_filter
         measure_name = self.measure.name
-        left_parts: list[np.ndarray] = []
-        right_parts: list[np.ndarray] = []
-        n_prefix_collisions = 0
-        n_filtered_positional = 0
-        n_filtered_suffix = 0
 
         # One batched probe over every prefix entry.  Entries are in row-major
         # order, so each record's hits stay contiguous and ordered by probing
@@ -182,99 +204,99 @@ class PPJoinGenerator(CandidateGenerator):
         hit_counts = probe_ends - probe_starts
         entry_local = local_positions[prefix_entries]
 
-        # Batch on record boundaries (a record's hits must be examined
-        # together) with a bound on gathered hits per batch.
-        for entry_start, entry_end in budgeted_batches(
-            hit_counts, _HIT_BATCH, group_ids=entry_rows
-        ):
-            batch = slice(entry_start, entry_end)
-            gathered = ragged_arange(probe_starts[batch], hit_counts[batch])
-            n_hits = len(gathered)
-            if n_hits == 0:
-                continue
+        metadata = {
+            "generator": self.name,
+            "n_prefix_collisions": 0,
+            "n_filtered_positional": 0,
+            "n_filtered_suffix": 0,
+        }
 
-            x = np.repeat(entry_rows[batch], hit_counts[batch])
-            position_x = np.repeat(entry_local[batch], hit_counts[batch])
-            y = posting_row[gathered]
-            position_y = posting_local[gathered]
-            size_x = sizes[x]
-            size_y = sizes[y]
+        def blocks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            # Batch on record boundaries (a record's hits must be examined
+            # together) with a bound on gathered hits per batch.
+            for entry_start, entry_end in budgeted_batches(
+                hit_counts, hit_budget, group_ids=entry_rows
+            ):
+                batch = slice(entry_start, entry_end)
+                gathered = ragged_arange(probe_starts[batch], hit_counts[batch])
+                n_hits = len(gathered)
+                if n_hits == 0:
+                    continue
 
-            # Length filter (y was indexed earlier so size_y <= size_x; it
-            # must still be large enough).
-            if measure_name == "jaccard":
-                lower = t * size_x
-                alpha = t / (1.0 + t) * (size_x + size_y)
-            else:
-                lower = t * t * size_x
-                alpha = t * np.sqrt((size_x * size_y).astype(np.float64))
-            passes_length = size_y >= lower
-            if use_positional:
-                overlap_bound = 1 + np.minimum(
-                    size_x - position_x - 1, size_y - position_y - 1
-                )
-                passes_positional = overlap_bound >= alpha
-            else:
-                passes_positional = np.ones(n_hits, dtype=bool)
-            if use_suffix:
-                suffix_x_lengths = size_x - position_x - 1
-                suffix_y_lengths = size_y - position_y - 1
-                x_first = next_tokens[indptr[x] + position_x]
-                x_last = last_tokens[x]
-                y_first = posting_next[gathered]
-                y_last = last_tokens[y]
-                disjoint = (x_last < y_first) | (y_last < x_first)
-                suffix_bound = np.where(
-                    (suffix_x_lengths == 0) | (suffix_y_lengths == 0),
-                    0,
-                    np.where(
-                        disjoint, 0, np.minimum(suffix_x_lengths, suffix_y_lengths)
-                    ),
-                )
-                passes_suffix = 1 + suffix_bound >= alpha
-            else:
-                passes_suffix = np.ones(n_hits, dtype=bool)
+                x = np.repeat(entry_rows[batch], hit_counts[batch])
+                position_x = np.repeat(entry_local[batch], hit_counts[batch])
+                y = posting_row[gathered]
+                position_y = posting_local[gathered]
+                size_x = sizes[x]
+                size_y = sizes[y]
 
-            passes_all = passes_length & passes_positional & passes_suffix
+                # Length filter (y was indexed earlier so size_y <= size_x; it
+                # must still be large enough).
+                if measure_name == "jaccard":
+                    lower = t * size_x
+                    alpha = t / (1.0 + t) * (size_x + size_y)
+                else:
+                    lower = t * t * size_x
+                    alpha = t * np.sqrt((size_x * size_y).astype(np.float64))
+                passes_length = size_y >= lower
+                if use_positional:
+                    overlap_bound = 1 + np.minimum(
+                        size_x - position_x - 1, size_y - position_y - 1
+                    )
+                    passes_positional = overlap_bound >= alpha
+                else:
+                    passes_positional = np.ones(n_hits, dtype=bool)
+                if use_suffix:
+                    suffix_x_lengths = size_x - position_x - 1
+                    suffix_y_lengths = size_y - position_y - 1
+                    x_first = next_tokens[indptr[x] + position_x]
+                    x_last = last_tokens[x]
+                    y_first = posting_next[gathered]
+                    y_last = last_tokens[y]
+                    disjoint = (x_last < y_first) | (y_last < x_first)
+                    suffix_bound = np.where(
+                        (suffix_x_lengths == 0) | (suffix_y_lengths == 0),
+                        0,
+                        np.where(
+                            disjoint, 0, np.minimum(suffix_x_lengths, suffix_y_lengths)
+                        ),
+                    )
+                    passes_suffix = 1 + suffix_bound >= alpha
+                else:
+                    passes_suffix = np.ones(n_hits, dtype=bool)
 
-            # The reference stops examining y once (x, y) is accepted: only
-            # hits up to (and including) the pair's first passing hit count
-            # towards the counters; later hits are skipped.  Correctness
-            # relies only on batch-global hit indices preserving the
-            # reference's examination order *within each record's contiguous
-            # hit range* (probing position major, posting order minor) — a
-            # pair's hits may be interleaved with other pairs' hits, and the
-            # first_pass/counted comparison never assumes otherwise.
-            pair_keys = x * n_vectors + y
-            unique_pairs, inverse = np.unique(pair_keys, return_inverse=True)
-            first_pass = np.full(len(unique_pairs), n_hits, dtype=np.int64)
-            passing_hits = np.flatnonzero(passes_all)
-            if len(passing_hits):
-                np.minimum.at(first_pass, inverse[passing_hits], passing_hits)
-            counted = np.arange(n_hits, dtype=np.int64) <= first_pass[inverse]
-            examined = passes_length & counted
-            n_prefix_collisions += int(np.count_nonzero(examined))
-            if use_positional:
-                n_filtered_positional += int(
-                    np.count_nonzero(examined & ~passes_positional)
-                )
-            if use_suffix:
-                n_filtered_suffix += int(
-                    np.count_nonzero(examined & passes_positional & ~passes_suffix)
-                )
+                passes_all = passes_length & passes_positional & passes_suffix
 
-            accepted = unique_pairs[first_pass < n_hits]
-            if len(accepted):
-                left_parts.append(accepted // n_vectors)
-                right_parts.append(accepted % n_vectors)
+                # The reference stops examining y once (x, y) is accepted:
+                # only hits up to (and including) the pair's first passing hit
+                # count towards the counters; later hits are skipped.
+                # Correctness relies only on batch-global hit indices
+                # preserving the reference's examination order *within each
+                # record's contiguous hit range* (probing position major,
+                # posting order minor) — a pair's hits may be interleaved
+                # with other pairs' hits, and the first_pass/counted
+                # comparison never assumes otherwise.
+                pair_keys = x * n_vectors + y
+                unique_pairs, inverse = np.unique(pair_keys, return_inverse=True)
+                first_pass = np.full(len(unique_pairs), n_hits, dtype=np.int64)
+                passing_hits = np.flatnonzero(passes_all)
+                if len(passing_hits):
+                    np.minimum.at(first_pass, inverse[passing_hits], passing_hits)
+                counted = np.arange(n_hits, dtype=np.int64) <= first_pass[inverse]
+                examined = passes_length & counted
+                metadata["n_prefix_collisions"] += int(np.count_nonzero(examined))
+                if use_positional:
+                    metadata["n_filtered_positional"] += int(
+                        np.count_nonzero(examined & ~passes_positional)
+                    )
+                if use_suffix:
+                    metadata["n_filtered_suffix"] += int(
+                        np.count_nonzero(examined & passes_positional & ~passes_suffix)
+                    )
 
-        left = np.concatenate(left_parts) if left_parts else np.zeros(0, dtype=np.int64)
-        right = np.concatenate(right_parts) if right_parts else np.zeros(0, dtype=np.int64)
-        return CandidateSet.from_arrays(
-            left,
-            right,
-            generator=self.name,
-            n_prefix_collisions=n_prefix_collisions,
-            n_filtered_positional=n_filtered_positional,
-            n_filtered_suffix=n_filtered_suffix,
-        )
+                accepted = unique_pairs[first_pass < n_hits]
+                for start in range(0, len(accepted), block_size):
+                    chunk = accepted[start : start + block_size]
+                    yield chunk // n_vectors, chunk % n_vectors
+
+        return BlockStream(blocks(), metadata)

@@ -73,13 +73,68 @@ class VerificationOutput:
 
     def pairs(self) -> list[tuple[int, int, float]]:
         """Output as a list of ``(i, j, estimate)`` tuples."""
-        return [
-            (int(i), int(j), float(s))
-            for i, j, s in zip(self.left, self.right, self.estimates)
-        ]
+        return list(
+            zip(self.left.tolist(), self.right.tolist(), self.estimates.tolist())
+        )
+
+    @classmethod
+    def merge(cls, outputs: "list[VerificationOutput]") -> "VerificationOutput":
+        """Combine the outputs of disjoint candidate blocks into one.
+
+        Output pairs are concatenated in block order and counters are summed.
+        Traces are merged round-by-round: a block whose pairs were all decided
+        by round ``r`` contributes its final not-pruned count to every later
+        round, which reconstructs exactly the trace a single monolithic
+        round-synchronous run over the union of the blocks would record (every
+        prune/emit decision depends only on the pair's own ``(m, n)``).
+        """
+        outputs = list(outputs)
+        if not outputs:
+            return cls(
+                left=np.zeros(0, dtype=np.int64),
+                right=np.zeros(0, dtype=np.int64),
+                estimates=np.zeros(0, dtype=np.float64),
+                n_candidates=0,
+                n_pruned=0,
+            )
+        trace: list[tuple[int, int]] = []
+        for r in range(max(len(o.trace) for o in outputs)):
+            n_now = next(o.trace[r][0] for o in outputs if len(o.trace) > r)
+            alive = 0
+            for o in outputs:
+                if len(o.trace) > r:
+                    if o.trace[r][0] != n_now:
+                        raise ValueError(
+                            "cannot merge traces with mismatched round boundaries: "
+                            f"{o.trace[r][0]} vs {n_now} at round {r}"
+                        )
+                    alive += o.trace[r][1]
+                else:
+                    alive += o.n_candidates - o.n_pruned
+            trace.append((n_now, alive))
+        return cls(
+            left=np.concatenate([o.left for o in outputs]),
+            right=np.concatenate([o.right for o in outputs]),
+            estimates=np.concatenate([o.estimates for o in outputs]),
+            n_candidates=sum(o.n_candidates for o in outputs),
+            n_pruned=sum(o.n_pruned for o in outputs),
+            trace=trace,
+            hash_comparisons=sum(o.hash_comparisons for o in outputs),
+            exact_computations=sum(o.exact_computations for o in outputs),
+        )
 
 
 _ACTIVE, _PRUNED, _EMITTED = 0, 1, 2
+
+#: round index from which verify() starts gathering multi-round super-blocks
+_SUPERBLOCK_START = 2
+#: maximum number of rounds gathered per super-block
+_SUPERBLOCK_ROUNDS = 4
+#: only super-block when this few pairs are still active: small survivor sets
+#: are dominated by per-gather call overhead (which the super-block amortises),
+#: while for large active sets the wide gather scratch falls out of cache and
+#: per-round gathers are faster
+_SUPERBLOCK_MAX_ACTIVE = 600
 
 
 class BayesLSH:
@@ -149,35 +204,74 @@ class BayesLSH:
         hash_comparisons = 0
 
         if n_pairs:
-            for round_index in range(params.n_rounds):
+            round_index = 0
+            while round_index < params.n_rounds:
                 active = np.flatnonzero(status == _ACTIVE)
                 if len(active) == 0:
                     break
                 n_prev = round_index * params.k
-                n_now = n_prev + params.k
-                store = self._family.signatures(n_now)
-                new_matches = store.count_matches_many(
-                    left[active], right[active], n_prev, n_now
-                )
-                hash_comparisons += len(active) * params.k
-                matches[active] += new_matches
-                hashes_seen[active] = n_now
 
-                # Pruning test (line 10): m < minMatches(n).
-                keep_mask = self._min_matches.passes_many(matches[active], n_now)
-                pruned_rows = active[~keep_mask]
-                status[pruned_rows] = _PRUNED
-
-                # Concentration test (line 15) for the pairs that survived pruning.
-                survivors = active[keep_mask]
-                if len(survivors):
-                    concentrated = self._concentration.is_concentrated_many(
-                        matches[survivors], n_now
+                # Survivor-side super-block: once the cheap early rounds have
+                # pruned the bulk of the pairs, the remaining long-surviving
+                # pairs gather several rounds' worth of signature columns in
+                # one wide row gather instead of one narrow gather per round.
+                # Only rounds whose hashes are already materialised are
+                # super-blocked, so the family's lazy hash-generation pattern
+                # (and hence its RNG stream consumption) is unchanged.
+                n_rounds_block = 1
+                if (
+                    round_index >= _SUPERBLOCK_START
+                    and len(active) <= _SUPERBLOCK_MAX_ACTIVE
+                ):
+                    materialised = (self._family.n_hashes - n_prev) // params.k
+                    n_rounds_block = max(
+                        1,
+                        min(
+                            _SUPERBLOCK_ROUNDS,
+                            params.n_rounds - round_index,
+                            materialised,
+                        ),
                     )
-                    status[survivors[concentrated]] = _EMITTED
+                n_block_end = n_prev + n_rounds_block * params.k
+                store = self._family.signatures(n_block_end)
+                round_counts = store.count_matches_rounds(
+                    left[active], right[active], n_prev, n_block_end, params.k
+                )
 
-                n_alive = int(np.sum(status != _PRUNED))
-                trace.append((n_now, n_alive))
+                # Replay the rounds over the cached counts.  Decisions are
+                # identical to the one-round-at-a-time loop: each pair's
+                # (m, n) evolves exactly as before, and pairs decided inside
+                # the super-block simply ignore their remaining cached
+                # columns.  Counters track the live set, not the gathers.
+                local_active = np.arange(len(active))
+                for s in range(n_rounds_block):
+                    n_now = n_prev + (s + 1) * params.k
+                    rows = active[local_active]
+                    matches[rows] += round_counts[local_active, s]
+                    hashes_seen[rows] = n_now
+                    hash_comparisons += len(rows) * params.k
+
+                    # Pruning test (line 10): m < minMatches(n).
+                    keep_mask = self._min_matches.passes_many(matches[rows], n_now)
+                    status[rows[~keep_mask]] = _PRUNED
+
+                    # Concentration test (line 15) for the pairs that
+                    # survived pruning.
+                    survivors = rows[keep_mask]
+                    if len(survivors):
+                        concentrated = self._concentration.is_concentrated_many(
+                            matches[survivors], n_now
+                        )
+                        status[survivors[concentrated]] = _EMITTED
+                        local_active = local_active[keep_mask][~concentrated]
+                    else:
+                        local_active = local_active[keep_mask]
+
+                    n_alive = int(np.sum(status != _PRUNED))
+                    trace.append((n_now, n_alive))
+                    if len(local_active) == 0:
+                        break
+                round_index += s + 1
 
         output_mask = status != _PRUNED
         output_left = left[output_mask]

@@ -38,12 +38,15 @@ def quantize_floats(values: np.ndarray) -> np.ndarray:
     same assumption).
     """
     values = np.asarray(values, dtype=np.float64)
-    clipped = np.clip(values, _RANGE_LOW, _RANGE_HIGH)
-    codes = np.floor((clipped - _RANGE_LOW) / _RANGE_WIDTH * _LEVELS)
-    # Values at (or rounded up to) the top of the range would produce code
-    # 2**16, which does not fit in uint16; pin them to the highest level.
-    codes = np.clip(codes, 0, _LEVELS - 1)
-    return codes.astype(np.uint16)
+    # Single fused pass, bit-identical to the textbook
+    # ``floor(clip(x, -8, 8) - low) / width * levels`` chain: the division by
+    # the width and multiplication by the level count are both powers of two
+    # (no rounding), so only the subtraction rounds in either formulation, and
+    # clipping the scaled value is equivalent to clipping the input.  The
+    # uint16 cast truncates, which equals floor for the non-negative clipped
+    # scale; values at the top of the range pin to the highest level.
+    scaled = (values - _RANGE_LOW) * (_LEVELS / _RANGE_WIDTH)
+    return np.clip(scaled, 0.0, _LEVELS - 1, out=scaled).astype(np.uint16)
 
 
 def dequantize_floats(codes: np.ndarray) -> np.ndarray:
@@ -125,3 +128,34 @@ class QuantizedGaussian:
         if self._quantize:
             return dequantize_floats(self._codes[:, start:end])
         return self._exact[:, start:end].copy()
+
+    def column_subset(self, start: int, indices: np.ndarray) -> np.ndarray:
+        """Float64 decode of the columns ``start + indices`` only.
+
+        Equal to ``columns(start, end)[:, indices]`` without decoding (or
+        copying) the columns that are not requested — used by the simhash
+        sign-boundary recheck, which needs a handful of columns in float64.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.zeros((self._n_features, 0), dtype=np.float64)
+        self._grow(int(start + indices.max()) + 1)
+        if self._quantize:
+            return dequantize_floats(self._codes[:, start + indices])
+        return self._exact[:, start + indices].copy()
+
+    def columns32(self, start: int, end: int) -> np.ndarray:
+        """Projection vectors as float32, equal to ``fl32(columns(start, end))``.
+
+        Every mid-point decoded value ``(code + 0.5) * 2**-12 - 8`` is a dyadic
+        rational with at most 17 significant bits, so for quantised storage the
+        float32 decode is *exact* (identical to casting the float64 decode);
+        unquantised storage rounds to float32 once.
+        """
+        if start < 0 or end < start:
+            raise ValueError(f"invalid column range [{start}, {end})")
+        self._grow(end)
+        if self._quantize:
+            codes = self._codes[:, start:end].astype(np.float32)
+            return (codes + np.float32(0.5)) * np.float32(_STEP) + np.float32(_RANGE_LOW)
+        return self._exact[:, start:end].astype(np.float32)

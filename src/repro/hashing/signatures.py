@@ -36,9 +36,40 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-__all__ = ["SignatureStore", "BitSignatures", "IntSignatures"]
+__all__ = [
+    "SignatureStore",
+    "BitSignatures",
+    "IntSignatures",
+    "count_packed_matches",
+]
 
 _WORD_BITS = 32
+
+
+def count_packed_matches(
+    left_words: np.ndarray, right_words: np.ndarray, lead: int, n_bits: int
+) -> np.ndarray:
+    """Agreeing bits between packed word rows, restricted to a bit window.
+
+    ``left_words`` / ``right_words`` are parallel ``(n_pairs, n_words)``
+    ``uint32`` arrays; the window covers bits ``[lead, lead + n_bits)`` of the
+    flattened LSB-first bit stream of each row.  Bits outside the window are
+    masked off the XOR words before the popcount, so unaligned windows cost
+    two extra masked ANDs instead of a per-pair unpack loop.
+
+    Shared between the in-process stores and the shared-memory readers of the
+    parallel executor so both count with literally the same integer ops.
+    """
+    if n_bits <= 0:
+        return np.zeros(len(left_words), dtype=np.int64)
+    xor = np.bitwise_xor(left_words, right_words)
+    if lead:
+        xor[:, 0] &= np.uint32((0xFFFFFFFF << lead) & 0xFFFFFFFF)
+    tail = xor.shape[1] * _WORD_BITS - (lead + n_bits)
+    if tail:
+        xor[:, -1] &= np.uint32(0xFFFFFFFF >> tail)
+    disagreements = np.bitwise_count(xor).sum(axis=1, dtype=np.int64)
+    return n_bits - disagreements
 
 
 class SignatureStore(ABC):
@@ -70,6 +101,37 @@ class SignatureStore(ABC):
         bucket; the array form lets callers group rows with ``np.unique``
         instead of hashing per-row byte strings.
         """
+
+    @abstractmethod
+    def count_matches_many(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`count_matches` over parallel arrays of row indices."""
+
+    def count_matches_rounds(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int, round_width: int
+    ) -> np.ndarray:
+        """Per-round match counts over a multi-round super-block of hashes.
+
+        Splits ``[start, end)`` into consecutive rounds of ``round_width``
+        hashes and returns an ``(n_pairs, n_rounds)`` array whose column ``r``
+        equals ``count_matches_many(left, right, start + r*w, start + (r+1)*w)``.
+        The base implementation simply loops over rounds; the concrete stores
+        override it with a single gather for the whole super-block, which is
+        what cuts the repeated row-gather traffic for long-surviving pairs.
+        """
+        span = end - start
+        if span < 0 or round_width <= 0 or span % round_width:
+            raise ValueError(
+                f"[{start}, {end}) is not a whole number of rounds of width {round_width}"
+            )
+        n_rounds = span // round_width
+        counts = np.empty((len(left), n_rounds), dtype=np.int64)
+        for r in range(n_rounds):
+            counts[:, r] = self.count_matches_many(
+                left, right, start + r * round_width, start + (r + 1) * round_width
+            )
+        return counts
 
     def agreement_fraction(self, i: int, j: int, n: int) -> float:
         """Fraction of the first ``n`` hashes that agree (the MLE estimator)."""
@@ -225,23 +287,61 @@ class BitSignatures(SignatureStore):
         bits_j = self.get_bits(j, start, end)
         return int(np.sum(bits_i == bits_j))
 
+    def word_block(self, word_start: int, word_end: int) -> np.ndarray:
+        """Packed words ``[word_start, word_end)`` as a C-contiguous matrix.
+
+        Public accessor used by the parallel executor to export signature
+        words into shared memory without going through :attr:`words` (which
+        consolidates the whole store).
+        """
+        return self._matrix.columns_contiguous(word_start, word_end)
+
     def count_matches_many(
         self, left: np.ndarray, right: np.ndarray, start: int, end: int
     ) -> np.ndarray:
-        """Vectorised :meth:`count_matches` over parallel arrays of row indices."""
+        """Vectorised :meth:`count_matches` over parallel arrays of row indices.
+
+        Word-unaligned ``start``/``end`` are handled by masking the partial
+        edge words of the XOR before the popcount (no per-pair Python loop).
+        """
         if end > self._n_hashes:
             raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
         if end <= start:
             return np.zeros(len(left), dtype=np.int64)
-        if start % _WORD_BITS or end % _WORD_BITS:
-            return np.array(
-                [self.count_matches(i, j, start, end) for i, j in zip(left, right)],
-                dtype=np.int64,
-            )
+        word_start = start // _WORD_BITS
+        word_end = -(-end // _WORD_BITS)
+        words = self._matrix.columns_contiguous(word_start, word_end)
+        return count_packed_matches(
+            words[np.asarray(left)],
+            words[np.asarray(right)],
+            start - word_start * _WORD_BITS,
+            end - start,
+        )
+
+    def count_matches_rounds(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int, round_width: int
+    ) -> np.ndarray:
+        """One gathered super-block instead of one word gather per round."""
+        if (
+            start % _WORD_BITS
+            or round_width <= 0
+            or round_width % _WORD_BITS
+            or (end - start) % round_width
+        ):
+            return super().count_matches_rounds(left, right, start, end, round_width)
+        if end > self._n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
+        n_pairs = len(left)
+        n_rounds = (end - start) // round_width
+        if end <= start:
+            return np.zeros((n_pairs, 0), dtype=np.int64)
         words = self._matrix.columns_contiguous(start // _WORD_BITS, end // _WORD_BITS)
         xor = np.bitwise_xor(words[np.asarray(left)], words[np.asarray(right)])
-        disagreements = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
-        return (end - start) - disagreements
+        per_word = np.bitwise_count(xor)
+        disagreements = per_word.reshape(
+            n_pairs, n_rounds, round_width // _WORD_BITS
+        ).sum(axis=2, dtype=np.int64)
+        return round_width - disagreements
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
         start = band * band_width
@@ -286,7 +386,7 @@ class IntSignatures(SignatureStore):
     def __init__(self, n_vectors: int):
         self._n_vectors = int(n_vectors)
         self._matrix = _ChunkedMatrix(self._n_vectors)
-        self._scratch: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._scratch: dict[tuple[int, np.dtype], tuple[np.ndarray, ...]] = {}
 
     @property
     def n_vectors(self) -> int:
@@ -303,24 +403,19 @@ class IntSignatures(SignatureStore):
 
         The round-synchronous verifiers call with a shrinking pair count and a
         fixed width every round; reusing one allocation avoids repeated large
-        allocations (and their page faults) in the hot loop.
+        allocations (and their page faults) in the hot loop.  Buffers are
+        keyed by ``(width, dtype)`` because the super-block reader alternates
+        between single-round and multi-round widths.
         """
-        if self._scratch is not None:
-            left_buf, right_buf, equal_buf = self._scratch
-            if (
-                left_buf.shape[0] >= n_pairs
-                and left_buf.shape[1] == width
-                and left_buf.dtype == dtype
-            ):
-                return (
-                    left_buf[:n_pairs],
-                    right_buf[:n_pairs],
-                    equal_buf[:n_pairs],
-                )
+        key = (width, np.dtype(dtype))
+        cached = self._scratch.get(key)
+        if cached is not None and cached[0].shape[0] >= n_pairs:
+            left_buf, right_buf, equal_buf = cached
+            return left_buf[:n_pairs], right_buf[:n_pairs], equal_buf[:n_pairs]
         left_buf = np.empty((n_pairs, width), dtype=dtype)
         right_buf = np.empty((n_pairs, width), dtype=dtype)
         equal_buf = np.empty((n_pairs, width), dtype=np.bool_)
-        self._scratch = (left_buf, right_buf, equal_buf)
+        self._scratch[key] = (left_buf, right_buf, equal_buf)
         return left_buf, right_buf, equal_buf
 
     @property
@@ -373,6 +468,42 @@ class IntSignatures(SignatureStore):
         np.take(columns, right, axis=0, out=right_rows)
         np.equal(left_rows, right_rows, out=equal)
         return equal.sum(axis=1, dtype=np.int64)
+
+    def count_matches_rounds(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int, round_width: int
+    ) -> np.ndarray:
+        """One gathered super-block instead of one row gather per round.
+
+        Long-surviving pairs are gathered once for several rounds' worth of
+        signature columns (one wide ``memcpy`` per row) and the per-round
+        counts are reduced from that single gather — the gather volume per
+        round drops by the super-block factor.
+        """
+        span = end - start
+        if span < 0 or round_width <= 0 or span % round_width:
+            raise ValueError(
+                f"[{start}, {end}) is not a whole number of rounds of width {round_width}"
+            )
+        if end > self.n_hashes:
+            raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
+        n_pairs = len(left)
+        n_rounds = span // round_width
+        if span == 0:
+            return np.zeros((n_pairs, 0), dtype=np.int64)
+        columns = self._matrix.columns_contiguous(start, end)
+        left_rows, right_rows, equal = self._scratch_for(n_pairs, span, columns.dtype)
+        np.take(columns, np.asarray(left), axis=0, out=left_rows)
+        np.take(columns, np.asarray(right), axis=0, out=right_rows)
+        np.equal(left_rows, right_rows, out=equal)
+        return equal.reshape(n_pairs, n_rounds, round_width).sum(axis=2, dtype=np.int64)
+
+    def column_block(self, start: int, end: int) -> np.ndarray:
+        """Signature columns ``[start, end)`` as a C-contiguous matrix.
+
+        Public accessor used by the parallel executor to export signature
+        columns into shared memory without consolidating the whole store.
+        """
+        return self._matrix.columns_contiguous(start, end)
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
         start = band * band_width

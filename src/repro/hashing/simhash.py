@@ -32,6 +32,9 @@ __all__ = ["SimHashFamily", "cosine_to_collision", "collision_to_cosine"]
 #: number of hash functions generated per lazy extension request
 _BLOCK = 256
 
+#: unit roundoff of float32 (used by the sign-boundary error bound)
+_EPS32 = 2.0**-24
+
 
 def cosine_to_collision(cosine: float | np.ndarray) -> float | np.ndarray:
     """``c2r`` from the paper: map cosine similarity to collision probability.
@@ -86,6 +89,9 @@ class SimHashFamily(HashFamily):
         self._projections = QuantizedGaussian(
             collection.n_features, seed=seed, quantize=quantize
         )
+        self._matrix32: "object | None" = None
+        self._abs_matrix32: "object | None" = None
+        self._row_bound: np.ndarray | None = None
 
     @property
     def projections(self) -> QuantizedGaussian:
@@ -101,10 +107,54 @@ class SimHashFamily(HashFamily):
         n_new = -(-n_new // self._block_size) * self._block_size
         start = store.n_hashes
         end = start + n_new
-        directions = self._projections.columns(start, end)
-        products = self._collection.matrix @ directions
-        bits = (np.asarray(products) >= 0.0).astype(np.uint8)
-        store.append_bits(bits)
+        store.append_bits(self._project_bits(start, end))
+
+    def _project_bits(self, start: int, end: int) -> np.ndarray:
+        """Signs of the projection products for hash columns ``[start, end)``.
+
+        The sparse x dense product is evaluated in float32 (half the memory
+        traffic of the former float64 product — the kernel is bandwidth
+        bound), and the bits are taken from the float32 signs wherever the
+        product is safely away from zero.  Entries within the float32
+        rounding-error bound of zero are recomputed with the original float64
+        scipy kernel on a (rows x columns) sub-product, so every emitted bit
+        is identical to the float64 path bit for bit.
+        """
+        matrix = self._collection.matrix
+        if self._matrix32 is None:
+            self._matrix32 = matrix.astype(np.float32)
+            self._abs_matrix32 = abs(self._matrix32)
+            # Forward-error factor of a float32 dot product with nnz terms:
+            # |fl32(x . d) - x . d| <= gamma_(nnz+2) * sum|x_i d_i| (input
+            # rounding of both operands plus sequential accumulation), with a
+            # 4x safety factor; sum|x_i d_i| is computed per entry below.
+            row_nnz = self._collection.row_nnz.astype(np.float64)
+            self._row_bound = (4.0 * (row_nnz + 4.0) * _EPS32).astype(np.float32)
+        directions32 = self._projections.columns32(start, end)
+        products32 = np.asarray(self._matrix32 @ directions32)
+        bits = (products32 >= 0.0).astype(np.uint8)
+
+        # Sign-boundary detection stays entirely in float32.  The companion
+        # product |A| @ |D| yields the exact first-order bound sum|x_i d_i|
+        # per entry (a second cheap float32 GEMM); the 4x safety factor
+        # dwarfs the float32 rounding of the bound arithmetic itself.
+        magnitudes = np.asarray(self._abs_matrix32 @ np.abs(directions32))
+        tau = self._row_bound[:, None] * magnitudes
+        magnitude = np.abs(products32)
+        unsure = (magnitude <= tau) | ~np.isfinite(magnitude)
+        if np.any(unsure):
+            rows, cols = np.nonzero(unsure)
+            unique_rows, row_pos = np.unique(rows, return_inverse=True)
+            unique_cols, col_pos = np.unique(cols, return_inverse=True)
+            # Re-run scipy's own float64 CSR kernel on the flagged rows x
+            # columns rectangle: per (row, column) the kernel's sequential
+            # accumulation touches only that row's entries and that column's
+            # direction values, so the sub-product entries are bit-identical
+            # to the corresponding entries of the full float64 product.
+            directions64 = self._projections.column_subset(start, unique_cols)
+            sub = np.asarray(matrix[unique_rows] @ directions64)
+            bits[rows, cols] = (sub[row_pos, col_pos] >= 0.0).astype(np.uint8)
+        return bits
 
     def collision_similarity(self, exact_similarity: float) -> float:
         """Collision probability for a pair with the given *cosine* similarity."""

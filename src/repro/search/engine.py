@@ -94,9 +94,36 @@ class SearchEngine:
     def verifier(self) -> Verifier:
         return self._verifier
 
-    def run(self, data) -> SearchResult:
-        """Run the full pipeline on ``data`` and return the scored pairs."""
+    def run(
+        self,
+        data,
+        *,
+        block_size: int | None = None,
+        n_workers: int | None = None,
+    ) -> SearchResult:
+        """Run the full pipeline on ``data`` and return the scored pairs.
+
+        Parameters
+        ----------
+        data:
+            Anything :func:`as_collection` accepts.
+        block_size:
+            When set, candidates are generated, deduplicated and verified in
+            bounded-memory blocks of at most this many pairs (see
+            :class:`~repro.search.executor.StreamExecutor`) instead of one
+            monolithic array.  Results are bit-identical either way.
+        n_workers:
+            When greater than 1, verification is sharded across this many
+            forked worker processes (implies streamed execution, with
+            ``block_size`` defaulting to
+            :data:`~repro.search.executor.DEFAULT_BLOCK_SIZE`).  Results are
+            bit-identical to the serial path.
+        """
         collection = as_collection(data)
+        if n_workers is not None and int(n_workers) < 1:
+            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        if block_size is not None or (n_workers is not None and int(n_workers) > 1):
+            return self._run_streamed(collection, block_size, n_workers)
         start_total = time.perf_counter()
 
         start = time.perf_counter()
@@ -132,6 +159,41 @@ class SearchEngine:
             metadata=metadata,
         )
 
+    def _run_streamed(
+        self, collection, block_size: int | None, n_workers: int | None
+    ) -> SearchResult:
+        """Streamed/sharded execution path (bit-identical to the serial one)."""
+        from repro.search.executor import StreamExecutor
+
+        executor = StreamExecutor(block_size=block_size, n_workers=n_workers)
+        candidate_metadata, output, timings = executor.run(
+            self._generator, self._verifier, collection
+        )
+        metadata = {
+            "candidate_metadata": candidate_metadata,
+            "hash_comparisons": output.hash_comparisons,
+            "exact_computations": output.exact_computations,
+            "prune_trace": list(output.trace),
+            "execution": {
+                "mode": "streamed",
+                "block_size": executor.block_size,
+                "n_workers": executor.n_workers,
+            },
+        }
+        return SearchResult(
+            left=output.left,
+            right=output.right,
+            similarities=output.estimates,
+            method=self._name,
+            threshold=self._verifier.threshold,
+            measure=self._verifier.measure.name,
+            n_candidates=output.n_candidates,
+            n_pruned=output.n_pruned,
+            timings=timings,
+            exact_similarities=self._verifier.exact_output,
+            metadata=metadata,
+        )
+
     def __repr__(self) -> str:
         return f"SearchEngine(name={self._name!r})"
 
@@ -142,6 +204,8 @@ def all_pairs_similarity(
     measure: str = "cosine",
     method: str | None = None,
     seed: int = 0,
+    block_size: int | None = None,
+    n_workers: int | None = None,
     **pipeline_kwargs,
 ) -> SearchResult:
     """All-pairs similarity search in one call.
@@ -161,6 +225,9 @@ def all_pairs_similarity(
         fastest most often.
     seed:
         Seed for all randomised components.
+    block_size, n_workers:
+        Streamed/sharded execution knobs, forwarded to :meth:`SearchEngine.run`
+        (results are bit-identical to the defaults).
     pipeline_kwargs:
         Extra keyword arguments forwarded to
         :func:`repro.search.pipelines.make_pipeline` (``epsilon``, ``delta``,
@@ -175,4 +242,4 @@ def all_pairs_similarity(
     engine = make_pipeline(
         method, collection, measure=measure_name, threshold=threshold, seed=seed, **pipeline_kwargs
     )
-    return engine.run(collection)
+    return engine.run(collection, block_size=block_size, n_workers=n_workers)

@@ -1,0 +1,687 @@
+"""Sharded, block-streamed execution of the candidate/verify pipeline.
+
+The serial :meth:`SearchEngine.run` path materialises every candidate pair in
+one array and verifies it on one core.  This module provides the streaming
+alternative the engine switches to when ``block_size`` or ``n_workers`` is
+set:
+
+* **Streamed generation** — candidate generators yield raw pair blocks
+  (:meth:`CandidateGenerator.generate_blocks`); the executor canonicalises
+  and deduplicates them *incrementally* against a compact sorted key set
+  (8 bytes per unique pair), so the peak pair-array footprint is bounded by
+  the block size plus the deduplicated key set instead of the raw collision
+  count (for LSH the raw count is often many times the unique count).
+* **Blocked verification** — the deduplicated pairs are verified in
+  ``block_size`` slices (:class:`PairBlockSource`), so the per-pair
+  verification state (status/matches/gather scratch) is bounded by the block
+  size.  Per-block outputs are combined with
+  :meth:`~repro.core.bayeslsh.VerificationOutput.merge`.
+* **Multicore round-synchronous verification** — with ``n_workers > 1`` a
+  pool of forked worker processes verifies each block's pairs in contiguous
+  shards.  The *parent* extends the shared hash family round by round (so the
+  RNG stream consumption is identical to the serial path) and exports the
+  fresh signature columns into POSIX shared memory; workers gather hash
+  columns straight out of the shared segments without ever pickling the
+  signature store.  Every prune/emit decision depends only on the pair's own
+  ``(m, n)`` counts, so sharding pairs across processes is semantics-free:
+  pairs, estimates, counters and the per-round trace are bit-identical to
+  the serial path (enforced by ``tests/property/test_execution_invariance``).
+
+Determinism contract
+--------------------
+For every pipeline, every ``block_size`` and every ``n_workers``:
+
+* the output pair set, its order, and every estimate are bit-identical to the
+  serial path (workers run the same NumPy/scipy kernels on the same inputs);
+* ``n_candidates`` / ``n_pruned`` / ``hash_comparisons`` /
+  ``exact_computations`` and the per-round trace are identical (merged
+  round-by-round across blocks and shards);
+* hash families are extended by the parent only, in the same order as the
+  serial path, so a given ``(seed, hash index)`` yields the same hash
+  function everywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.bayeslsh import VerificationOutput
+from repro.hashing.signatures import count_packed_matches
+
+__all__ = ["DEFAULT_BLOCK_SIZE", "PairBlockSource", "StreamExecutor"]
+
+#: default number of candidate pairs per verification block
+DEFAULT_BLOCK_SIZE = 65536
+
+_WORD_BITS = 32
+
+
+# --------------------------------------------------------------------- #
+# incremental pair deduplication
+# --------------------------------------------------------------------- #
+class _PairKeyAccumulator:
+    """Incrementally deduplicated candidate pairs as sorted ``int64`` keys.
+
+    A pair ``(i, j)`` with ``i < j`` is encoded as ``i * n_vectors + j``;
+    keys sort in the same lexicographic ``(i, j)`` order that
+    :meth:`CandidateSet.from_arrays` produces, so decoding the final key
+    array yields exactly the serial candidate arrays.  Incoming blocks are
+    buffered and merged amortised (when the pending volume reaches the
+    consolidated size), keeping the total cost at ``O(N log N)`` over any
+    number of blocks.
+    """
+
+    def __init__(self, n_vectors: int):
+        if n_vectors >= 1 << 31:
+            raise NotImplementedError(
+                "streamed deduplication supports up to 2**31 - 1 vectors "
+                "(pair keys must fit in int64); use the monolithic path"
+            )
+        self._span = int(n_vectors)
+        self._sorted = np.zeros(0, dtype=np.int64)
+        self._pending: list[np.ndarray] = []
+        self._pending_total = 0
+
+    def add(self, left: np.ndarray, right: np.ndarray) -> None:
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        keep = left != right
+        low = np.minimum(left[keep], right[keep])
+        high = np.maximum(left[keep], right[keep])
+        if not len(low):
+            return
+        self._pending.append(np.unique(low * self._span + high))
+        self._pending_total += len(self._pending[-1])
+        if self._pending_total >= max(len(self._sorted), 1 << 16):
+            self._consolidate()
+
+    def _consolidate(self) -> None:
+        if not self._pending:
+            return
+        self._sorted = np.unique(np.concatenate([self._sorted, *self._pending]))
+        self._pending = []
+        self._pending_total = 0
+
+    def finalize(self) -> np.ndarray:
+        self._consolidate()
+        return self._sorted
+
+
+class PairBlockSource:
+    """Deduplicated candidate pairs, readable in contiguous sorted blocks.
+
+    Also acts as a lazy ``Sequence[(i, j)]`` (``len`` / indexing), which is
+    what the Jaccard prior fitting samples from — the sampled indices and
+    hence the fitted prior are identical to the serial path's, which samples
+    from the same pairs in the same sorted order.
+    """
+
+    def __init__(self, keys: np.ndarray, n_vectors: int, block_size: int):
+        self._keys = keys
+        self._span = int(n_vectors)
+        self._block_size = int(block_size)
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __getitem__(self, index: int) -> tuple[int, int]:
+        key = int(self._keys[index])
+        return key // self._span, key % self._span
+
+    def all_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full (sorted, deduplicated) pair arrays."""
+        return self._keys // self._span, self._keys % self._span
+
+    def blocks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(left, right)`` slices of at most ``block_size`` pairs."""
+        for start in range(0, len(self._keys), self._block_size):
+            chunk = self._keys[start : start + self._block_size]
+            yield chunk // self._span, chunk % self._span
+
+
+# --------------------------------------------------------------------- #
+# shared-memory signature export
+# --------------------------------------------------------------------- #
+class _SegmentTable:
+    """Worker-side registry of shared-memory signature segments.
+
+    Counts hash agreements straight from the shared buffers with the same
+    integer kernels the in-process stores use (`count_packed_matches` for
+    packed bits, gather + ``np.equal`` + row sum for integer signatures), so
+    worker counts are bit-identical to store counts.
+    """
+
+    def __init__(self):
+        self._segments: list[dict] = []
+        self._handles: list = []  # keep SharedMemory objects alive
+
+    def attach(self, descriptor: dict) -> None:
+        from multiprocessing import shared_memory
+
+        # The worker is forked, so it shares the parent's resource-tracker
+        # process: attaching re-registers the same name (a set, no-op) and
+        # the parent's unlink() deregisters it exactly once.
+        shm = shared_memory.SharedMemory(name=descriptor["name"])
+        array = np.ndarray(
+            tuple(descriptor["shape"]), dtype=np.dtype(descriptor["dtype"]), buffer=shm.buf
+        )
+        self._handles.append(shm)
+        self._segments.append(
+            {
+                "hash_start": descriptor["hash_start"],
+                "hash_end": descriptor["hash_end"],
+                "bits": descriptor["bits"],
+                "array": array,
+            }
+        )
+
+    def count_matches_many(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int
+    ) -> np.ndarray:
+        counts = np.zeros(len(left), dtype=np.int64)
+        if end <= start:
+            return counts
+        covered = start
+        for segment in self._segments:
+            lo = max(covered, segment["hash_start"])
+            hi = min(end, segment["hash_end"])
+            if hi <= lo or lo != covered:
+                continue
+            array = segment["array"]
+            if segment["bits"]:
+                word_base = segment["hash_start"] // _WORD_BITS
+                word_lo = lo // _WORD_BITS - word_base
+                word_hi = -(-hi // _WORD_BITS) - word_base
+                words = np.ascontiguousarray(array[:, word_lo:word_hi])
+                counts += count_packed_matches(
+                    words[left],
+                    words[right],
+                    lo - (word_lo + word_base) * _WORD_BITS,
+                    hi - lo,
+                )
+            else:
+                columns = np.ascontiguousarray(
+                    array[:, lo - segment["hash_start"] : hi - segment["hash_start"]]
+                )
+                equal = np.equal(columns[left], columns[right])
+                counts += equal.sum(axis=1, dtype=np.int64)
+            covered = hi
+            if covered >= end:
+                break
+        if covered < end:
+            raise RuntimeError(
+                f"shared segments cover hashes up to {covered}, needed {end}"
+            )
+        return counts
+
+
+class _SignatureExporter:
+    """Parent-side publication of signature columns into shared memory.
+
+    The parent extends the hash family (keeping RNG streams identical to the
+    serial path) and copies each fresh column block into a new shared-memory
+    segment that every worker attaches on notification.
+    """
+
+    def __init__(self, pool: "_WorkerPool", produces_bits: bool):
+        self._pool = pool
+        self._bits = bool(produces_bits)
+        self._published = 0
+
+    def ensure(self, store, n_now: int) -> None:
+        """Publish columns so workers can count hashes ``[0, n_now)``."""
+        if n_now <= self._published:
+            return
+        from multiprocessing import shared_memory
+
+        if self._bits:
+            # Publish whole words; _published is always word-aligned so
+            # consecutive segments cover disjoint hash ranges.
+            word_start = self._published // _WORD_BITS
+            word_end = -(-n_now // _WORD_BITS)
+            block = store.word_block(word_start, word_end)
+            hash_start = word_start * _WORD_BITS
+            hash_end = word_end * _WORD_BITS
+        else:
+            block = store.column_block(self._published, n_now)
+            hash_start = self._published
+            hash_end = n_now
+        shm = shared_memory.SharedMemory(create=True, size=max(block.nbytes, 1))
+        view = np.ndarray(block.shape, dtype=block.dtype, buffer=shm.buf)
+        view[:] = block
+        self._pool.register_segment(
+            shm,
+            {
+                "name": shm.name,
+                "shape": block.shape,
+                "dtype": block.dtype.str,
+                "hash_start": hash_start,
+                "hash_end": hash_end,
+                "bits": self._bits,
+            },
+        )
+        self._published = hash_end
+
+
+# --------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------- #
+_ACTIVE, _PRUNED, _EMITTED = 0, 1, 2
+
+
+def _worker_main(worker_id: int, verifier, task_queue, result_queue) -> None:
+    """Worker loop: verifies pair shards round-synchronously.
+
+    The process is forked, so ``verifier`` (with its prepared collection,
+    measure and parameters) is inherited by reference; only small control
+    messages and shard index arrays travel through the queues.  Decision
+    tables are rebuilt locally from the broadcast posterior/params — they are
+    deterministic functions of those inputs, so every worker's tables agree
+    with the parent's.
+    """
+    segments = _SegmentTable()
+    mode = None
+    posterior = None
+    params = None
+    min_matches = None
+    concentration = None
+    shard: dict | None = None
+    while True:
+        message = task_queue.get()
+        tag = message[0]
+        if tag == "stop":
+            break
+        try:
+            if tag == "segment":
+                segments.attach(message[1])
+                continue  # broadcast; no reply
+            if tag == "setup":
+                mode, blob = message[1], message[2]
+                posterior, params = pickle.loads(blob)
+                from repro.core.concentration_cache import ConcentrationCache
+                from repro.core.min_matches import MinMatchesTable
+
+                max_hashes = params.max_hashes if mode == "bayes" else params.h
+                min_matches = MinMatchesTable(
+                    posterior,
+                    threshold=params.threshold,
+                    epsilon=params.epsilon,
+                    k=params.k,
+                    max_hashes=max_hashes,
+                )
+                concentration = (
+                    ConcentrationCache(posterior, delta=params.delta, gamma=params.gamma)
+                    if mode == "bayes"
+                    else None
+                )
+                continue  # broadcast; no reply
+            if tag == "begin":
+                left, right = message[1], message[2]
+                shard = {
+                    "left": left,
+                    "right": right,
+                    "status": np.full(len(left), _ACTIVE, dtype=np.int8),
+                    "matches": np.zeros(len(left), dtype=np.int64),
+                    "hashes_seen": np.zeros(len(left), dtype=np.int64),
+                }
+                result_queue.put(("ok", worker_id, len(left)))
+            elif tag == "round":
+                n_prev, n_now = message[1], message[2]
+                status = shard["status"]
+                matches = shard["matches"]
+                active = np.flatnonzero(status == _ACTIVE)
+                if len(active):
+                    new_matches = segments.count_matches_many(
+                        shard["left"][active], shard["right"][active], n_prev, n_now
+                    )
+                    matches[active] += new_matches
+                    shard["hashes_seen"][active] = n_now
+                    keep_mask = min_matches.passes_many(matches[active], n_now)
+                    status[active[~keep_mask]] = _PRUNED
+                    survivors = active[keep_mask]
+                    if concentration is not None and len(survivors):
+                        concentrated = concentration.is_concentrated_many(
+                            matches[survivors], n_now
+                        )
+                        status[survivors[concentrated]] = _EMITTED
+                n_alive = int(np.sum(status != _PRUNED))
+                n_active = int(np.sum(status == _ACTIVE))
+                result_queue.put(("ok", worker_id, (len(active), n_alive, n_active)))
+            elif tag == "finish":
+                status = shard["status"]
+                if mode == "bayes":
+                    mask = status != _PRUNED
+                    out_matches = shard["matches"][mask]
+                    out_hashes = shard["hashes_seen"][mask]
+                    if len(out_matches):
+                        estimates = np.where(
+                            out_hashes > 0,
+                            posterior.map_estimate_many(out_matches, out_hashes),
+                            0.0,
+                        ).astype(np.float64, copy=False)
+                    else:
+                        estimates = np.zeros(0, dtype=np.float64)
+                    result_queue.put(("ok", worker_id, (mask, estimates)))
+                else:  # lite: exact-verify the survivors
+                    mask = status != _PRUNED
+                    survivors = np.flatnonzero(mask)
+                    exact_values = np.array(
+                        [
+                            verifier.exact_similarity(
+                                int(shard["left"][idx]), int(shard["right"][idx])
+                            )
+                            for idx in survivors
+                        ],
+                        dtype=np.float64,
+                    )
+                    result_queue.put(("ok", worker_id, (mask, exact_values)))
+                shard = None
+            elif tag == "exact":
+                from repro.verification.base import exact_similarities_for_pairs
+
+                left, right = message[1], message[2]
+                values = exact_similarities_for_pairs(
+                    verifier.prepared, verifier.measure, left, right
+                )
+                result_queue.put(("ok", worker_id, values))
+            elif tag == "count":
+                left, right, start, end = message[1], message[2], message[3], message[4]
+                values = segments.count_matches_many(left, right, start, end)
+                result_queue.put(("ok", worker_id, values))
+            else:
+                result_queue.put(("error", worker_id, f"unknown task {tag!r}"))
+        except Exception:
+            result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+# --------------------------------------------------------------------- #
+# worker pool
+# --------------------------------------------------------------------- #
+class _WorkerPool:
+    """A pool of forked verification workers driven round-synchronously."""
+
+    def __init__(self, n_workers: int, verifier):
+        try:
+            # Start the shared-memory resource tracker *before* forking so
+            # every worker inherits (and reuses) the parent's tracker instead
+            # of spawning its own, which would try to clean the parent's
+            # segments up again at worker exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        context = multiprocessing.get_context("fork")
+        self._n_workers = int(n_workers)
+        self._result_queue = context.Queue()
+        self._task_queues = [context.Queue() for _ in range(self._n_workers)]
+        self._segments: list = []
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(wid, verifier, self._task_queues[wid], self._result_queue),
+                daemon=True,
+            )
+            for wid in range(self._n_workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._shard_workers: list[int] = []
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    # ----------------------------- plumbing ----------------------------- #
+    def _broadcast(self, message) -> None:
+        for queue in self._task_queues:
+            queue.put(message)
+
+    def _collect(self, worker_ids) -> dict:
+        """Gather one reply per worker id; raise on any worker error.
+
+        Polls with a timeout and checks worker liveness so a worker killed
+        mid-task (OOM, native crash) surfaces as a RuntimeError instead of a
+        parent that blocks forever on the result queue.
+        """
+        import queue as queue_module
+
+        replies: dict[int, object] = {}
+        pending = set(worker_ids)
+        while pending:
+            try:
+                status, wid, payload = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [wid for wid in pending if not self._processes[wid].is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"verification worker(s) {dead} died without replying "
+                        f"(exit codes: {[self._processes[w].exitcode for w in dead]})"
+                    )
+                continue
+            if status == "error":
+                raise RuntimeError(f"verification worker {wid} failed:\n{payload}")
+            replies[wid] = payload
+            pending.discard(wid)
+        return replies
+
+    def register_segment(self, shm, descriptor: dict) -> None:
+        """Publish a shared-memory signature segment to every worker."""
+        self._segments.append(shm)
+        self._broadcast(("segment", descriptor))
+
+    def setup(self, mode: str, posterior, params) -> None:
+        self._broadcast(("setup", mode, pickle.dumps((posterior, params))))
+
+    # --------------------------- block protocol -------------------------- #
+    def _shards(self, left: np.ndarray, right: np.ndarray):
+        bounds = np.linspace(0, len(left), self._n_workers + 1).astype(np.int64)
+        shards = []
+        for wid in range(self._n_workers):
+            lo, hi = int(bounds[wid]), int(bounds[wid + 1])
+            if hi > lo:
+                shards.append((wid, left[lo:hi], right[lo:hi]))
+        return shards
+
+    def begin_block(self, left: np.ndarray, right: np.ndarray) -> None:
+        shards = self._shards(left, right)
+        self._shard_workers = [wid for wid, _, _ in shards]
+        for wid, shard_left, shard_right in shards:
+            self._task_queues[wid].put(("begin", shard_left, shard_right))
+        self._collect(self._shard_workers)
+
+    def round(self, n_prev: int, n_now: int) -> tuple[int, int, int]:
+        """Run one hash round on every shard; returns summed counters."""
+        for wid in self._shard_workers:
+            self._task_queues[wid].put(("round", n_prev, n_now))
+        replies = self._collect(self._shard_workers)
+        processed = sum(replies[wid][0] for wid in self._shard_workers)
+        alive = sum(replies[wid][1] for wid in self._shard_workers)
+        active = sum(replies[wid][2] for wid in self._shard_workers)
+        return processed, alive, active
+
+    def finish_block(self) -> list:
+        """Collect per-shard results in shard order."""
+        for wid in self._shard_workers:
+            self._task_queues[wid].put(("finish",))
+        replies = self._collect(self._shard_workers)
+        return [replies[wid] for wid in self._shard_workers]
+
+    def map_exact(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        shards = self._shards(left, right)
+        for wid, shard_left, shard_right in shards:
+            self._task_queues[wid].put(("exact", shard_left, shard_right))
+        replies = self._collect([wid for wid, _, _ in shards])
+        return np.concatenate([replies[wid] for wid, _, _ in shards])
+
+    def map_count(
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int
+    ) -> np.ndarray:
+        shards = self._shards(left, right)
+        for wid, shard_left, shard_right in shards:
+            self._task_queues[wid].put(("count", shard_left, shard_right, start, end))
+        replies = self._collect([wid for wid, _, _ in shards])
+        return np.concatenate([replies[wid] for wid, _, _ in shards])
+
+    def shutdown(self) -> None:
+        for queue in self._task_queues:
+            try:
+                queue.put(("stop",))
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        self._segments = []
+
+
+# --------------------------------------------------------------------- #
+# round-synchronous block verification (shared by BayesLSH / Lite)
+# --------------------------------------------------------------------- #
+def run_round_protocol(
+    pool: _WorkerPool,
+    family,
+    params,
+    mode: str,
+    posterior,
+    source: PairBlockSource,
+    threshold: float,
+) -> VerificationOutput:
+    """Drive the workers through the round-synchronous verification of
+    every block of ``source``.
+
+    The parent owns hash generation: each round it lazily extends ``family``
+    (identical RNG stream consumption to the serial path) and publishes the
+    fresh columns to shared memory before broadcasting the round.
+    """
+    pool.setup(mode, posterior, params)
+    exporter = _SignatureExporter(pool, family.produces_bits)
+    n_rounds = params.n_rounds
+    outputs: list[VerificationOutput] = []
+    for left, right in source.blocks():
+        pool.begin_block(left, right)
+        trace: list[tuple[int, int]] = []
+        hash_comparisons = 0
+        n_active = len(left)
+        for round_index in range(n_rounds if len(left) else 0):
+            if n_active == 0:
+                break
+            n_prev = round_index * params.k
+            n_now = n_prev + params.k
+            store = family.signatures(n_now)
+            exporter.ensure(store, n_now)
+            processed, alive, n_active = pool.round(n_prev, n_now)
+            hash_comparisons += processed * params.k
+            trace.append((n_now, alive))
+        shard_results = pool.finish_block()
+        masks = [mask for mask, _ in shard_results]
+        mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+        values = (
+            np.concatenate([vals for _, vals in shard_results])
+            if shard_results
+            else np.zeros(0, dtype=np.float64)
+        )
+        n_pruned = int(len(left) - mask.sum())
+        if mode == "bayes":
+            outputs.append(
+                VerificationOutput(
+                    left=left[mask],
+                    right=right[mask],
+                    estimates=values,
+                    n_candidates=len(left),
+                    n_pruned=n_pruned,
+                    trace=trace,
+                    hash_comparisons=hash_comparisons,
+                )
+            )
+        else:  # lite: threshold the exact survivor similarities
+            survivors_left = left[mask]
+            survivors_right = right[mask]
+            above = values > threshold
+            outputs.append(
+                VerificationOutput(
+                    left=survivors_left[above],
+                    right=survivors_right[above],
+                    estimates=values[above],
+                    n_candidates=len(left),
+                    n_pruned=n_pruned,
+                    trace=trace,
+                    hash_comparisons=hash_comparisons,
+                    exact_computations=int(mask.sum()),
+                )
+            )
+    return VerificationOutput.merge(outputs)
+
+
+# --------------------------------------------------------------------- #
+# the executor
+# --------------------------------------------------------------------- #
+class StreamExecutor:
+    """Streamed (and optionally multicore) pipeline execution.
+
+    Parameters
+    ----------
+    block_size:
+        Candidate pairs per verification block (and per generation block);
+        bounds the peak candidate-array and verification-state memory.
+        ``None`` selects :data:`DEFAULT_BLOCK_SIZE`.
+    n_workers:
+        Worker processes for the verification phase.  ``1`` (default) runs
+        the blocked pipeline in-process; ``> 1`` forks a pool and shards each
+        block's pairs across it.
+    """
+
+    def __init__(self, block_size: int | None = None, n_workers: int | None = None):
+        self.block_size = DEFAULT_BLOCK_SIZE if block_size is None else int(block_size)
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
+        self.n_workers = 1 if n_workers is None else int(n_workers)
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be at least 1, got {self.n_workers}")
+
+    def run(self, generator, verifier, collection):
+        """Stream-generate, deduplicate and verify; returns
+        ``(candidate_metadata, output, timings)``."""
+        start_total = time.perf_counter()
+        stream = generator.generate_blocks(collection, self.block_size)
+        accumulator = _PairKeyAccumulator(collection.n_vectors)
+        for left, right in stream:
+            accumulator.add(left, right)
+        source = PairBlockSource(
+            accumulator.finalize(), collection.n_vectors, self.block_size
+        )
+        generation_time = time.perf_counter() - start_total
+
+        start = time.perf_counter()
+        pool = None
+        if self.n_workers > 1 and len(source):
+            pool = _WorkerPool(self.n_workers, verifier)
+        try:
+            output = verifier.verify_source(source, pool=pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        verification_time = time.perf_counter() - start
+        timings = {
+            "generation": generation_time,
+            "verification": verification_time,
+            "total": time.perf_counter() - start_total,
+        }
+        return dict(stream.metadata), output, timings

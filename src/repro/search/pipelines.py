@@ -115,7 +115,7 @@ def make_pipeline(
     collection = as_collection(data)
     prepared = measure_obj.prepare(collection)
 
-    if name.startswith(("lsh", "lsh_")):
+    if name.startswith("lsh"):
         # One hash family shared by candidate generation and verification.
         family = get_hash_family(measure_obj.lsh_family, prepared, seed=seed)
         generator = LSHGenerator(

@@ -104,6 +104,18 @@ class Verifier(ABC):
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
         """Verify a candidate set."""
 
+    def verify_source(self, source, pool=None) -> VerificationOutput:
+        """Verify a deduplicated :class:`~repro.search.executor.PairBlockSource`.
+
+        Called by the streamed executor.  Subclasses shipped with the library
+        override this with true block-by-block (and optionally multicore)
+        processing whose outputs are bit-identical to :meth:`verify` on the
+        concatenated pairs; this fallback simply materialises the pairs so
+        third-party verifiers keep working under the streamed engine.
+        """
+        left, right = source.all_pairs()
+        return self.verify(CandidateSet(left=left, right=right, metadata={}))
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(measure={self._measure.name!r}, "

@@ -57,11 +57,17 @@ class _BayesVerifierBase(Verifier):
     def family(self) -> HashFamily:
         return self._family
 
-    def _posterior_for(self, candidates: CandidateSet) -> PosteriorModel:
-        """Posterior model, fitting the Jaccard Beta prior to the candidates if asked."""
-        if self._measure.name != "jaccard" or not self._fit_prior or len(candidates) == 0:
+    def _posterior_for_pairs(self, pairs) -> PosteriorModel:
+        """Posterior model, fitting the Jaccard Beta prior to the candidates if asked.
+
+        ``pairs`` is any sequence of ``(i, j)`` index pairs (a materialised
+        list or a lazy :class:`~repro.search.executor.PairBlockSource`); the
+        prior sampling only reads ``len(pairs)`` and a seeded random subset
+        of positions, so the fitted prior is identical for any representation
+        of the same ordered pair sequence.
+        """
+        if self._measure.name != "jaccard" or not self._fit_prior or len(pairs) == 0:
             return make_posterior(self._measure.name)
-        pairs = list(zip(candidates.left.tolist(), candidates.right.tolist()))
         samples = sample_pair_similarities(
             pairs,
             self.exact_similarity,
@@ -69,6 +75,12 @@ class _BayesVerifierBase(Verifier):
             seed=self._seed,
         )
         return BetaPosterior(fit_beta_prior(samples))
+
+    def _posterior_for(self, candidates: CandidateSet) -> PosteriorModel:
+        if self._measure.name != "jaccard" or not self._fit_prior or len(candidates) == 0:
+            return make_posterior(self._measure.name)
+        pairs = list(zip(candidates.left.tolist(), candidates.right.tolist()))
+        return self._posterior_for_pairs(pairs)
 
 
 class BayesLSHVerifier(_BayesVerifierBase):
@@ -147,6 +159,34 @@ class BayesLSHVerifier(_BayesVerifierBase):
         self._last_algorithm = algorithm
         return algorithm.verify(candidates.left, candidates.right)
 
+    def verify_source(self, source, pool=None) -> VerificationOutput:
+        """Block-streamed (and optionally multicore round-synchronous) verify.
+
+        The prior is fitted once against the full deduplicated pair sequence
+        (identical sampling to the serial path), then each block is verified
+        with the shared decision tables; every prune/emit decision depends
+        only on the pair's own ``(m, n)``, so the merged output is
+        bit-identical to one monolithic verify() call.
+        """
+        posterior = self._posterior_for_pairs(source)
+        algorithm = BayesLSH(self._family, posterior, self._params)
+        self._last_algorithm = algorithm
+        if pool is None:
+            return VerificationOutput.merge(
+                [algorithm.verify(left, right) for left, right in source.blocks()]
+            )
+        from repro.search.executor import run_round_protocol
+
+        return run_round_protocol(
+            pool,
+            self._family,
+            self._params,
+            "bayes",
+            posterior,
+            source,
+            self._threshold,
+        )
+
 
 class BayesLSHLiteVerifier(_BayesVerifierBase):
     """Algorithm 2 as a verifier: prune early, verify survivors exactly."""
@@ -202,3 +242,25 @@ class BayesLSHLiteVerifier(_BayesVerifierBase):
             self._family, posterior, self._params, self.exact_similarity
         )
         return algorithm.verify(candidates.left, candidates.right)
+
+    def verify_source(self, source, pool=None) -> VerificationOutput:
+        """Block-streamed (and optionally multicore round-synchronous) verify."""
+        posterior = self._posterior_for_pairs(source)
+        if pool is None:
+            algorithm = BayesLSHLite(
+                self._family, posterior, self._params, self.exact_similarity
+            )
+            return VerificationOutput.merge(
+                [algorithm.verify(left, right) for left, right in source.blocks()]
+            )
+        from repro.search.executor import run_round_protocol
+
+        return run_round_protocol(
+            pool,
+            self._family,
+            self._params,
+            "lite",
+            posterior,
+            source,
+            self._threshold,
+        )

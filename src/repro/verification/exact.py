@@ -20,18 +20,38 @@ class ExactVerifier(Verifier):
     name = "exact"
     exact_output = True
 
+    def _verify_arrays(self, left, right, similarities) -> VerificationOutput:
+        above = similarities > self._threshold
+        return VerificationOutput(
+            left=left[above],
+            right=right[above],
+            estimates=similarities[above],
+            n_candidates=len(left),
+            n_pruned=int((~above).sum()),
+            trace=[],
+            hash_comparisons=0,
+            exact_computations=len(left),
+        )
+
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
         similarities = exact_similarities_for_pairs(
             self._prepared, self._measure, candidates.left, candidates.right
         )
-        above = similarities > self._threshold
-        return VerificationOutput(
-            left=candidates.left[above],
-            right=candidates.right[above],
-            estimates=similarities[above],
-            n_candidates=len(candidates),
-            n_pruned=int((~above).sum()),
-            trace=[],
-            hash_comparisons=0,
-            exact_computations=len(candidates),
-        )
+        return self._verify_arrays(candidates.left, candidates.right, similarities)
+
+    def verify_source(self, source, pool=None) -> VerificationOutput:
+        """Block-streamed (and optionally sharded) exact verification.
+
+        Exact similarities are computed row-pair-wise, so any block/shard
+        split produces the same floats as the monolithic call.
+        """
+        outputs = []
+        for left, right in source.blocks():
+            if pool is not None:
+                similarities = pool.map_exact(left, right)
+            else:
+                similarities = exact_similarities_for_pairs(
+                    self._prepared, self._measure, left, right
+                )
+            outputs.append(self._verify_arrays(left, right, similarities))
+        return VerificationOutput.merge(outputs)

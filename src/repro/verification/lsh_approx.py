@@ -81,20 +81,47 @@ class LSHApproxVerifier(Verifier):
             return np.asarray(collision_to_cosine(fractions), dtype=np.float64)
         return fractions.astype(np.float64)
 
+    def _verify_arrays(self, left, right, matches) -> VerificationOutput:
+        estimates = self._estimates_from_matches(matches)
+        above = estimates > self._threshold
+        return VerificationOutput(
+            left=left[above],
+            right=right[above],
+            estimates=estimates[above],
+            n_candidates=len(left),
+            n_pruned=int((~above).sum()),
+            trace=[(self._num_hashes, len(left))],
+            hash_comparisons=int(self._num_hashes) * len(left),
+            exact_computations=0,
+        )
+
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
         store = self._family.signatures(self._num_hashes)
         matches = store.count_matches_many(
             candidates.left, candidates.right, 0, self._num_hashes
         )
-        estimates = self._estimates_from_matches(matches)
-        above = estimates > self._threshold
-        return VerificationOutput(
-            left=candidates.left[above],
-            right=candidates.right[above],
-            estimates=estimates[above],
-            n_candidates=len(candidates),
-            n_pruned=int((~above).sum()),
-            trace=[(self._num_hashes, len(candidates))],
-            hash_comparisons=int(self._num_hashes) * len(candidates),
-            exact_computations=0,
-        )
+        return self._verify_arrays(candidates.left, candidates.right, matches)
+
+    def verify_source(self, source, pool=None) -> VerificationOutput:
+        """Block-streamed (and optionally sharded) fixed-budget estimation.
+
+        Match counting and the MLE map are per-pair operations, so any
+        block/shard split reproduces the monolithic floats; the parent
+        materialises the fixed hash budget once and, when a pool is given,
+        exports it to shared memory for the workers to count from.
+        """
+        store = self._family.signatures(self._num_hashes)
+        exporter = None
+        if pool is not None:
+            from repro.search.executor import _SignatureExporter
+
+            exporter = _SignatureExporter(pool, self._family.produces_bits)
+            exporter.ensure(store, self._num_hashes)
+        outputs = []
+        for left, right in source.blocks():
+            if pool is not None:
+                matches = pool.map_count(left, right, 0, self._num_hashes)
+            else:
+                matches = store.count_matches_many(left, right, 0, self._num_hashes)
+            outputs.append(self._verify_arrays(left, right, matches))
+        return VerificationOutput.merge(outputs)

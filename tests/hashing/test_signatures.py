@@ -60,6 +60,41 @@ class TestBitSignatures:
         singles = [store.count_matches(i, j, 32, 96) for i, j in zip(left, right)]
         assert batch.tolist() == singles
 
+    def test_count_matches_many_unaligned_matches_scalar(self):
+        rng = np.random.default_rng(13)
+        bits = rng.integers(0, 2, size=(8, 96)).astype(np.uint8)
+        store = self._store_with_bits(bits)
+        left = rng.integers(0, 8, size=20)
+        right = rng.integers(0, 8, size=20)
+        for start, end in [(5, 40), (0, 17), (33, 96), (31, 33), (63, 64), (5, 6)]:
+            batch = store.count_matches_many(left, right, start, end)
+            singles = [
+                int(np.sum(bits[i, start:end] == bits[j, start:end]))
+                for i, j in zip(left, right)
+            ]
+            assert batch.tolist() == singles, (start, end)
+
+    def test_count_matches_rounds_matches_per_round(self):
+        rng = np.random.default_rng(14)
+        bits = rng.integers(0, 2, size=(10, 256)).astype(np.uint8)
+        store = self._store_with_bits(bits)
+        left = rng.integers(0, 10, size=30)
+        right = rng.integers(0, 10, size=30)
+        # word-aligned fast path and the unaligned fallback
+        for start, end, width in [(32, 160, 32), (0, 256, 64), (8, 28, 10)]:
+            rounds = store.count_matches_rounds(left, right, start, end, width)
+            assert rounds.shape == (30, (end - start) // width)
+            for r in range((end - start) // width):
+                expected = store.count_matches_many(
+                    left, right, start + r * width, start + (r + 1) * width
+                )
+                assert rounds[:, r].tolist() == expected.tolist()
+
+    def test_count_matches_rounds_rejects_ragged_span(self):
+        store = self._store_with_bits(np.zeros((2, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="whole number of rounds"):
+            store.count_matches_rounds(np.array([0]), np.array([1]), 0, 50, 32)
+
     def test_get_bits_round_trip(self):
         rng = np.random.default_rng(4)
         bits = rng.integers(0, 2, size=(3, 64)).astype(np.uint8)
@@ -124,6 +159,25 @@ class TestIntSignatures:
         store.append_values(np.array([[7], [7]]))
         assert store.n_hashes == 3
         assert store.count_matches(0, 1, 0, 3) == 2
+
+    def test_count_matches_rounds_matches_per_round(self):
+        rng = np.random.default_rng(21)
+        values = rng.integers(0, 4, size=(9, 96))
+        store = self._store_with_values(values)
+        left = rng.integers(0, 9, size=25)
+        right = rng.integers(0, 9, size=25)
+        for start, end, width in [(0, 96, 32), (16, 80, 16), (3, 93, 10)]:
+            rounds = store.count_matches_rounds(left, right, start, end, width)
+            for r in range((end - start) // width):
+                expected = store.count_matches_many(
+                    left, right, start + r * width, start + (r + 1) * width
+                )
+                assert rounds[:, r].tolist() == expected.tolist()
+
+    def test_count_matches_rounds_rejects_ragged_span(self):
+        store = self._store_with_values(np.zeros((2, 8), dtype=np.int64))
+        with pytest.raises(ValueError, match="whole number of rounds"):
+            store.count_matches_rounds(np.array([0]), np.array([1]), 0, 7, 3)
 
     def test_band_key(self):
         values = np.array([[1, 2, 3, 4], [1, 2, 9, 9]])

@@ -37,6 +37,32 @@ class TestMakePipeline:
         with pytest.raises(ValueError, match="unknown pipeline"):
             make_pipeline("magic", sparse_text_dataset)
 
+    @pytest.mark.parametrize(
+        "name, generator_name, verifier_name",
+        [
+            ("allpairs", "allpairs", "exact"),
+            ("ap_bayeslsh", "allpairs", "bayeslsh"),
+            ("ap_bayeslsh_lite", "allpairs", "bayeslsh_lite"),
+            ("lsh", "lsh", "exact"),
+            ("lsh_approx", "lsh", "lsh_approx"),
+            ("lsh_bayeslsh", "lsh", "bayeslsh"),
+            ("lsh_bayeslsh_lite", "lsh", "bayeslsh_lite"),
+            ("ppjoin", "ppjoin", "exact"),
+        ],
+    )
+    def test_name_dispatch_selects_components(
+        self, name, generator_name, verifier_name, sparse_text_dataset, binary_sets_collection
+    ):
+        """Every pipeline name maps to exactly the documented component pair."""
+        if name == "ppjoin":
+            data, measure = binary_sets_collection, "jaccard"
+        else:
+            data, measure = sparse_text_dataset, "cosine"
+        engine = make_pipeline(name, data, measure=measure, threshold=0.6, seed=0)
+        assert engine.name == name
+        assert engine.generator.name == generator_name
+        assert engine.verifier.name == verifier_name
+
     def test_measure_incompatibility(self, binary_sets_collection):
         with pytest.raises(ValueError, match="does not support"):
             make_pipeline("allpairs", binary_sets_collection, measure="jaccard", threshold=0.5)
