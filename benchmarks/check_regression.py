@@ -17,9 +17,12 @@ Gate a fresh run against the baseline (exits non-zero on regression)::
 
 The baseline stores the per-benchmark minimum over rounds (the most
 noise-robust statistic on shared runners).  A benchmark regresses when
-``fresh_min > max_ratio * baseline_min``.  Benchmarks present on only one
-side are reported but never fail the gate, so adding or retiring benchmarks
-does not require lock-step baseline updates.
+``fresh_min > max_ratio * baseline_min``.  Benchmarks that are *new* in the
+fresh run are reported but never fail the gate (adding benchmarks does not
+require a lock-step baseline update); a benchmark present in the baseline
+but **missing from the fresh run** fails the gate with exit code 3 — a rename
+or removal must be accompanied by a ``--update`` so it cannot silently drop
+out of regression coverage.
 """
 
 from __future__ import annotations
@@ -75,12 +78,14 @@ def main(argv=None) -> int:
         baseline = json.load(handle)["benchmarks"]
 
     failures = []
+    missing = []
     for name in sorted(set(fresh) | set(baseline)):
         if name not in baseline:
             print(f"NEW       {name}: {fresh[name] * 1000:.2f} ms (no baseline)")
             continue
         if name not in fresh:
-            print(f"MISSING   {name}: present in baseline only")
+            print(f"MISSING   {name}: in the baseline but absent from the fresh run")
+            missing.append(name)
             continue
         ratio = fresh[name] / baseline[name]
         status = "OK"
@@ -92,6 +97,9 @@ def main(argv=None) -> int:
             f"vs baseline {baseline[name] * 1000:.2f} ms (x{ratio:.2f})"
         )
 
+    # Report every failing condition before exiting, so a rename cannot mask
+    # a simultaneous regression (an --update issued to fix the rename would
+    # silently absorb the slow value into the baseline otherwise).
     if failures:
         print(
             f"\n{len(failures)} benchmark(s) regressed beyond x{args.max_ratio}:",
@@ -99,7 +107,23 @@ def main(argv=None) -> int:
         )
         for name, ratio in failures:
             print(f"  {name} (x{ratio:.2f})", file=sys.stderr)
+    if missing:
+        print(
+            f"\n{len(missing)} baseline benchmark(s) missing from the fresh run:",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        print(
+            "a renamed or removed benchmark must refresh the baseline: rerun with "
+            "--update after confirming the change is intentional"
+            + (" and after fixing the regressions above" if failures else ""),
+            file=sys.stderr,
+        )
+    if failures:
         return 1
+    if missing:
+        return 3
     print(f"\nall benchmarks within x{args.max_ratio} of baseline")
     return 0
 

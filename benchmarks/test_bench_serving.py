@@ -1,0 +1,116 @@
+"""Serving-layer benchmarks: batched queries, ingest and snapshot round trips.
+
+Measures the online-serving workloads the :class:`~repro.search.query.QueryIndex`
+subsystem introduces, at a scale comparable to the hot-path benchmarks:
+
+* **batched threshold queries** — ``query_many`` over a 64-query batch
+  against a 2000-document corpus (the batch amortises hashing and probe
+  work across queries; the contract is bit-identity with the per-query loop,
+  which ``tests/property/test_query_serving.py`` enforces);
+* **looped threshold queries** — the same 64 queries served one ``query``
+  call at a time, so the batch-vs-loop amortisation stays visible in the
+  benchmark history;
+* **incremental ingest** — ``insert`` of a 200-document batch into an
+  existing index (hash + splice + posting append, no rebuild);
+* **snapshot round trip** — ``save`` + ``load`` of a fully built index.
+
+These benchmarks have no committed baseline entries yet (the regression gate
+reports them as NEW); they gain gating power once the baseline is refreshed
+with ``check_regression.py --update`` on the CI reference machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import synthetic_text_corpus
+from repro.search.query import QueryIndex
+from repro.similarity.transforms import tfidf_weighting
+
+_N_DOCUMENTS = 2000
+_N_QUERIES = 64
+_N_INSERT = 200
+
+
+@pytest.fixture(scope="module")
+def serving_collection():
+    corpus = synthetic_text_corpus(
+        n_documents=_N_DOCUMENTS + _N_INSERT,
+        vocabulary_size=4000,
+        average_length=40,
+        duplicate_fraction=0.5,
+        cluster_size=4,
+        mutation_rate=0.1,
+        seed=53,
+    )
+    return tfidf_weighting(corpus.collection)
+
+
+@pytest.fixture(scope="module")
+def serving_index(serving_collection):
+    index = QueryIndex(
+        serving_collection.subset(range(_N_DOCUMENTS)),
+        measure="cosine",
+        threshold=0.7,
+        verification="bayes",
+        seed=3,
+    )
+    # Warm the hash stores so the benchmarks measure serving, not first-call
+    # hash materialisation.
+    index.query_many(serving_collection.matrix[:2], threshold=0.7)
+    return index
+
+
+@pytest.fixture(scope="module")
+def query_batch(serving_collection):
+    return serving_collection.matrix[:_N_QUERIES]
+
+
+def test_query_many_batched(benchmark, serving_index, query_batch):
+    results = benchmark(serving_index.query_many, query_batch, threshold=0.7)
+    assert len(results) == _N_QUERIES
+    assert any(results)
+
+
+def test_query_looped(benchmark, serving_index, query_batch):
+    dense = query_batch.toarray()
+
+    def run():
+        return [serving_index.query(dense[i], threshold=0.7) for i in range(len(dense))]
+
+    results = benchmark(run)
+    assert len(results) == _N_QUERIES
+
+
+def test_top_k_many_batched(benchmark, serving_index, query_batch):
+    results = benchmark(serving_index.top_k_many, query_batch, 10)
+    assert len(results) == _N_QUERIES
+
+
+def test_insert_batch(benchmark, serving_collection):
+    fresh_rows = serving_collection.matrix[_N_DOCUMENTS:]
+
+    def make_index():
+        index = QueryIndex(
+            serving_collection.subset(range(_N_DOCUMENTS)),
+            measure="cosine",
+            threshold=0.7,
+            seed=3,
+        )
+        return (index,), {}
+
+    # A fresh index per round: insert mutates, so reusing one would measure
+    # ever-larger indices.
+    rows = benchmark.pedantic(
+        lambda index: index.insert(fresh_rows), setup=make_index, rounds=3
+    )
+    assert len(rows) == _N_INSERT
+
+
+def test_snapshot_round_trip(benchmark, serving_index, tmp_path):
+    def round_trip():
+        path = serving_index.save(tmp_path / "bench-snapshot")
+        return QueryIndex.load(path)
+
+    loaded = benchmark(round_trip)
+    assert loaded.n_indexed == serving_index.n_indexed

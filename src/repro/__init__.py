@@ -44,6 +44,7 @@ from repro.search.engine import SearchEngine, all_pairs_similarity
 from repro.search.pipelines import make_pipeline, PIPELINES
 from repro.search.query import QueryIndex
 from repro.search.results import SearchResult, ScoredPair
+from repro.serving import load_query_index, save_query_index
 
 __version__ = "1.0.0"
 
@@ -58,6 +59,8 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "all_pairs_similarity",
+    "load_query_index",
     "make_pipeline",
+    "save_query_index",
     "__version__",
 ]

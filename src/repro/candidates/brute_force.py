@@ -10,7 +10,6 @@ ground truth and in tests; quadratic, so only suitable for small collections.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.candidates.base import CandidateGenerator, CandidateSet
 from repro.similarity.vectors import VectorCollection

@@ -41,9 +41,28 @@ from repro.candidates.base import (
     CandidateSet,
 )
 from repro.hashing.base import HashFamily, get_hash_family
+from repro.hashing.signatures import SignatureStore
 from repro.similarity.vectors import VectorCollection
 
-__all__ = ["LSHGenerator", "signatures_for_false_negative_rate"]
+__all__ = ["BandPostings", "LSHGenerator", "signatures_for_false_negative_rate"]
+
+
+def group_by_band_content(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Group rows whose band contents compare equal, with one sort.
+
+    ``keys`` is a ``band_keys_many`` result (one row of band content per
+    input row).  Returns ``(order, offsets)``: ``order`` permutes row
+    positions so equal-content rows are consecutive (stable, so original
+    order is preserved inside each group) and group ``g`` spans
+    ``order[offsets[g]:offsets[g + 1]]``.  Shared by the all-pairs bucketing
+    and the serving-layer postings so both group with literally the same
+    procedure.
+    """
+    _, inverse = np.unique(keys, axis=0, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return order, offsets
 
 #: default signature widths (number of hashes concatenated per signature)
 _DEFAULT_WIDTH = {"simhash": 8, "minhash": 4}
@@ -78,6 +97,110 @@ def signatures_for_false_negative_rate(
         return _MAX_SIGNATURES
     needed = math.ceil(math.log(false_negative_rate) / math.log(miss_probability))
     return max(1, min(needed, _MAX_SIGNATURES))
+
+
+class BandPostings:
+    """Banded LSH postings supporting incremental inserts and batched probes.
+
+    The query-serving counterpart of :class:`LSHGenerator`'s all-pairs
+    bucketing: each band maps band content (as bytes) to the list of member
+    rows holding that content.  Members are added in batches — initial build
+    and every serving-layer ingest use the same vectorised path (one
+    ``band_keys_many`` + ``np.unique`` grouping per band) — and probing looks
+    up a whole batch of query signatures at once.
+
+    Deletions are *not* represented here: the owner tombstones rows and
+    filters probe results, then rebuilds the postings from scratch once the
+    tombstone fraction exceeds its staleness budget.  Rebuilding from the
+    concatenated member sequence reproduces bucket lists in the exact order
+    incremental adds created them (within one :meth:`add` call rows land in
+    argument order, and consecutive calls append), which is what lets a
+    snapshot serialise the postings as just that member sequence.
+    """
+
+    def __init__(self, n_bands: int, band_width: int):
+        if n_bands <= 0:
+            raise ValueError(f"n_bands must be positive, got {n_bands}")
+        if band_width <= 0:
+            raise ValueError(f"band_width must be positive, got {band_width}")
+        self._n_bands = int(n_bands)
+        self._band_width = int(band_width)
+        self._buckets: list[dict[bytes, list[int]]] = [{} for _ in range(self._n_bands)]
+        self._members: list[int] = []
+
+    @classmethod
+    def build(
+        cls, store: SignatureStore, rows: np.ndarray, n_bands: int, band_width: int
+    ) -> "BandPostings":
+        """Postings over ``rows`` of ``store`` (order defines bucket order)."""
+        postings = cls(n_bands, band_width)
+        postings.add(store, rows)
+        return postings
+
+    @property
+    def n_bands(self) -> int:
+        return self._n_bands
+
+    @property
+    def band_width(self) -> int:
+        return self._band_width
+
+    @property
+    def n_members(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> np.ndarray:
+        """Member rows in insertion order (the serialisable postings state)."""
+        return np.asarray(self._members, dtype=np.int64)
+
+    def add(self, store: SignatureStore, rows) -> None:
+        """Insert ``rows`` of ``store`` into every band's buckets."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) == 0:
+            return
+        for band in range(self._n_bands):
+            keys = store.band_keys_many(rows, band, self._band_width)
+            order, offsets = group_by_band_content(keys)
+            grouped = rows[order]
+            bucket = self._buckets[band]
+            for group in range(len(offsets) - 1):
+                lo, hi = offsets[group], offsets[group + 1]
+                key = keys[order[lo]].tobytes()
+                bucket.setdefault(key, []).extend(grouped[lo:hi].tolist())
+        self._members.extend(rows.tolist())
+
+    def probe_many(
+        self, query_store: SignatureStore, query_rows, n_vectors: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Member rows sharing at least one band with each query row.
+
+        ``query_store`` holds the queries' signatures (drawn from the same
+        hash functions as the member store).  Returns parallel
+        ``(query position, member row)`` arrays — the union of all band hits,
+        deduplicated and sorted lexicographically by ``(position, row)`` via
+        the same integer-key encoding the streamed executor uses.
+        """
+        query_rows = np.asarray(query_rows, dtype=np.int64)
+        if len(query_rows) == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        position_parts: list[np.ndarray] = []
+        member_parts: list[np.ndarray] = []
+        for band in range(self._n_bands):
+            keys = query_store.band_keys_many(query_rows, band, self._band_width)
+            bucket = self._buckets[band]
+            for position in range(len(query_rows)):
+                members = bucket.get(keys[position].tobytes())
+                if members:
+                    hits = np.asarray(members, dtype=np.int64)
+                    member_parts.append(hits)
+                    position_parts.append(np.full(len(hits), position, dtype=np.int64))
+        if not member_parts:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        encoded = np.unique(
+            np.concatenate(position_parts) * int(n_vectors) + np.concatenate(member_parts)
+        )
+        return encoded // int(n_vectors), encoded % int(n_vectors)
 
 
 class LSHGenerator(CandidateGenerator):
@@ -192,11 +315,8 @@ class LSHGenerator(CandidateGenerator):
                 # of a dict of per-row byte keys: rows whose band columns
                 # compare equal land in the same np.unique group.
                 keys = store.band_keys_many(non_empty, band, width)
-                _, inverse = np.unique(keys, axis=0, return_inverse=True)
-                order = np.argsort(inverse, kind="stable")
+                order, offsets = group_by_band_content(keys)
                 bucket_rows = non_empty[order]
-                counts = np.bincount(inverse)
-                offsets = np.concatenate([[0], np.cumsum(counts)])
                 earlier, later = pairs_within_groups(bucket_rows, offsets)
                 metadata["n_raw_collisions"] += len(earlier)
                 for start in range(0, len(earlier), block_size):

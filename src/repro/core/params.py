@@ -20,7 +20,7 @@ of them fill a machine word) and a cap on the total number of hashes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["BayesLSHParams", "BayesLSHLiteParams"]
 

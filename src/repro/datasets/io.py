@@ -4,18 +4,57 @@ The synthetic generators are fast enough that persistence is rarely needed,
 but the benchmark harness caches generated datasets between runs and users
 may want to run the library on their own data exported from another system;
 the CSR components are stored directly so round-trips are loss-less.
+
+The low-level helpers :func:`collection_arrays` / :func:`collection_from_arrays`
+pack a collection into a flat ``name -> array`` mapping (and back) so other
+persistence layers — notably the serving snapshots in
+:mod:`repro.serving.snapshot` — serialise collections with exactly the same
+keys and dtypes as the standalone files written here.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.similarity.vectors import VectorCollection
 
-__all__ = ["save_collection", "load_collection"]
+__all__ = [
+    "collection_arrays",
+    "collection_from_arrays",
+    "save_collection",
+    "load_collection",
+]
+
+
+def collection_arrays(collection: VectorCollection, prefix: str = "") -> dict[str, np.ndarray]:
+    """Pack a collection's CSR components into ``{prefix+name: array}``."""
+    matrix = collection.matrix
+    return {
+        f"{prefix}data": matrix.data,
+        f"{prefix}indices": matrix.indices,
+        f"{prefix}indptr": matrix.indptr,
+        f"{prefix}shape": np.asarray(matrix.shape, dtype=np.int64),
+        f"{prefix}ids": collection.ids,
+    }
+
+
+def collection_from_arrays(
+    arrays: Mapping[str, np.ndarray], prefix: str = ""
+) -> VectorCollection:
+    """Rebuild a collection from arrays packed by :func:`collection_arrays`."""
+    matrix = sp.csr_matrix(
+        (
+            arrays[f"{prefix}data"],
+            arrays[f"{prefix}indices"],
+            arrays[f"{prefix}indptr"],
+        ),
+        shape=tuple(arrays[f"{prefix}shape"]),
+    )
+    return VectorCollection(matrix, ids=arrays[f"{prefix}ids"])
 
 
 def save_collection(collection: VectorCollection, path: str | Path) -> Path:
@@ -23,15 +62,7 @@ def save_collection(collection: VectorCollection, path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    matrix = collection.matrix
-    np.savez_compressed(
-        path,
-        data=matrix.data,
-        indices=matrix.indices,
-        indptr=matrix.indptr,
-        shape=np.asarray(matrix.shape, dtype=np.int64),
-        ids=collection.ids,
-    )
+    np.savez_compressed(path, **collection_arrays(collection))
     return path
 
 
@@ -41,9 +72,4 @@ def load_collection(path: str | Path) -> VectorCollection:
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(".npz")
     with np.load(path, allow_pickle=False) as archive:
-        matrix = sp.csr_matrix(
-            (archive["data"], archive["indices"], archive["indptr"]),
-            shape=tuple(archive["shape"]),
-        )
-        ids = archive["ids"]
-    return VectorCollection(matrix, ids=ids)
+        return collection_from_arrays(archive)

@@ -21,17 +21,20 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENT_IDS
-from repro.experiments import (  # noqa: F401  (imported for dispatch)
-    figure1,
-    figure2,
-    figure3,
-    figure4,
-    figure5,
-    table1,
-    table2,
-    table3,
-    table4,
-    table5,
+# Imported for dispatch: run_experiment resolves experiment modules through
+# sys.modules, so every module must be imported here even though no name is
+# referenced directly.
+from repro.experiments import (
+    figure1,  # noqa: F401
+    figure2,  # noqa: F401
+    figure3,  # noqa: F401
+    figure4,  # noqa: F401
+    figure5,  # noqa: F401
+    table1,  # noqa: F401
+    table2,  # noqa: F401
+    table3,  # noqa: F401
+    table4,  # noqa: F401
+    table5,  # noqa: F401
 )
 from repro.experiments.common import ExperimentResult
 

@@ -11,7 +11,6 @@ the whole range.
 
 from __future__ import annotations
 
-from repro.evaluation.ground_truth import exact_all_pairs
 from repro.evaluation.metrics import error_statistics
 from repro.experiments.common import (
     COSINE_THRESHOLDS,

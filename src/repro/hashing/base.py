@@ -78,6 +78,59 @@ class HashFamily(ABC):
             self._extend(self._store, missing)
         return self._store
 
+    def attach_store(self, store: SignatureStore) -> None:
+        """Adopt an externally built store as this family's signature cache.
+
+        The serving layer uses this after splicing freshly hashed rows into an
+        index's store (incremental insert) and after deserialising a snapshot:
+        the family keeps generating *new* hash columns lazily, starting after
+        the columns the adopted store already holds.  The caller guarantees
+        the store's contents were produced by hash functions ``0 ..
+        n_hashes-1`` of this family (same type and seed — the determinism
+        contract makes those functions well-defined independent of the
+        collection the hashes were computed from).
+        """
+        if store.n_vectors != self._collection.n_vectors:
+            raise ValueError(
+                f"store holds {store.n_vectors} rows, collection has "
+                f"{self._collection.n_vectors}"
+            )
+        expected = type(self._make_store())
+        if not isinstance(store, expected):
+            raise TypeError(
+                f"{type(self).__name__} requires a {expected.__name__} store, "
+                f"got {type(store).__name__}"
+            )
+        self._store = store
+
+    @abstractmethod
+    def clone_for(self, collection: VectorCollection) -> "HashFamily":
+        """A family over ``collection`` evaluating the *same* hash functions.
+
+        Generator state already drawn (hash coefficients, projection vectors,
+        RNG position) is carried over, so the clone neither re-derives nor
+        re-randomises anything: hash function ``i`` of the clone is hash
+        function ``i`` of this family, and future lazy draws continue the
+        same stream.  This is what lets the serving layer hash a batch of
+        inserted vectors (or a batch of queries) against an existing index.
+        """
+
+    @abstractmethod
+    def state_dict(self) -> dict:
+        """Serialisable generator state (drawn parameters + RNG stream position).
+
+        Together with ``(name, seed)`` and the signature store contents this
+        fully determines future behaviour: :meth:`restore_state` on a fresh
+        family of the same type and seed reproduces the exact hash functions
+        *and* the exact stream of hash functions still to be drawn.  Values
+        are NumPy arrays or JSON-serialisable scalars/strings so snapshots can
+        store them in an ``.npz`` archive without pickling.
+        """
+
+    @abstractmethod
+    def restore_state(self, state: dict) -> None:
+        """Restore generator state captured by :meth:`state_dict`."""
+
     @abstractmethod
     def collision_similarity(self, exact_similarity: float) -> float:
         """Map an exact similarity value to the family's collision probability."""

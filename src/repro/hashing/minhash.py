@@ -46,6 +46,8 @@ indexed corpus and a single query vector agree on hash function ``i``.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 from repro.hashing.base import HashFamily
@@ -281,6 +283,32 @@ class MinHashFamily(HashFamily):
                     )
             values[layout.rows_sorted, chunk_start:chunk_end] = mins_buffer[:, :width]
         store.append_values(values)
+
+    def clone_for(self, collection: VectorCollection) -> "MinHashFamily":
+        clone = MinHashFamily(collection, seed=self._seed, block_size=self._block_size)
+        clone._coef_a = self._coef_a.copy()
+        clone._coef_b = self._coef_b.copy()
+        clone._rng.bit_generator.state = self._rng.bit_generator.state
+        return clone
+
+    def state_dict(self) -> dict:
+        return {
+            "coef_a": self._coef_a.copy(),
+            "coef_b": self._coef_b.copy(),
+            "rng_state": json.dumps(self._rng.bit_generator.state),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        coef_a = np.asarray(state["coef_a"], dtype=np.int64)
+        coef_b = np.asarray(state["coef_b"], dtype=np.int64)
+        if coef_a.shape != coef_b.shape:
+            raise ValueError("coefficient arrays must have matching shapes")
+        self._coef_a = coef_a.copy()
+        self._coef_b = coef_b.copy()
+        rng_state = state["rng_state"]
+        if isinstance(rng_state, str):
+            rng_state = json.loads(rng_state)
+        self._rng.bit_generator.state = rng_state
 
     def collision_similarity(self, exact_similarity: float) -> float:
         """Collision probability equals the Jaccard similarity itself."""

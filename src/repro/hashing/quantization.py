@@ -19,6 +19,8 @@ not measurably change the LSH collision statistics (covered by tests).
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 __all__ = ["quantize_floats", "dequantize_floats", "QuantizedGaussian"]
@@ -143,6 +145,41 @@ class QuantizedGaussian:
         if self._quantize:
             return dequantize_floats(self._codes[:, start + indices])
         return self._exact[:, start + indices].copy()
+
+    def state_dict(self) -> dict:
+        """Serialisable generator state (stored matrix + RNG stream position).
+
+        Restoring this onto a fresh instance with the same constructor
+        arguments reproduces both the columns already drawn and every column
+        still to be drawn, bit for bit.
+        """
+        return {
+            "matrix": (self._codes if self._quantize else self._exact).copy(),
+            "quantize": self._quantize,
+            "rng_state": json.dumps(self._rng.bit_generator.state),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore generator state captured by :meth:`state_dict`."""
+        if bool(state["quantize"]) != self._quantize:
+            raise ValueError(
+                f"snapshot stores quantize={bool(state['quantize'])}, "
+                f"this instance was built with quantize={self._quantize}"
+            )
+        matrix = np.asarray(state["matrix"])
+        if matrix.shape[0] != self._n_features:
+            raise ValueError(
+                f"snapshot projections have {matrix.shape[0]} features, expected "
+                f"{self._n_features}"
+            )
+        if self._quantize:
+            self._codes = np.ascontiguousarray(matrix, dtype=np.uint16)
+        else:
+            self._exact = np.ascontiguousarray(matrix, dtype=np.float64)
+        rng_state = state["rng_state"]
+        if isinstance(rng_state, str):
+            rng_state = json.loads(rng_state)
+        self._rng.bit_generator.state = rng_state
 
     def columns32(self, start: int, end: int) -> np.ndarray:
         """Projection vectors as float32, equal to ``fl32(columns(start, end))``.

@@ -86,6 +86,31 @@ class SignatureStore(ABC):
         """Number of hash functions currently materialised."""
 
     @abstractmethod
+    def append_rows_from(self, other: "SignatureStore") -> None:
+        """Append every row of ``other`` below the existing rows.
+
+        ``other`` must be a store of the same concrete type holding exactly
+        :attr:`n_hashes` hashes per row — the serving layer hashes freshly
+        inserted vectors with a clone of the index's family (same seed, hence
+        the same hash functions) and splices the resulting rows in here.
+        """
+
+    @abstractmethod
+    def count_matches_cross(
+        self, rows: np.ndarray, other: "SignatureStore", other_rows: np.ndarray,
+        start: int, end: int,
+    ) -> np.ndarray:
+        """Agreement counts between rows of *this* store and rows of ``other``.
+
+        The cross-store twin of :meth:`count_matches_many`: entry ``p`` counts
+        the hashes in ``[start, end)`` on which row ``rows[p]`` of this store
+        agrees with row ``other_rows[p]`` of ``other``.  Both stores must hold
+        signatures drawn from the same hash functions (same family type and
+        seed); this is how a batch of queries is verified against an indexed
+        corpus without merging the two collections.
+        """
+
+    @abstractmethod
     def count_matches(self, i: int, j: int, start: int, end: int) -> int:
         """Number of agreeing hashes between rows ``i`` and ``j`` in ``[start, end)``."""
 
@@ -194,6 +219,28 @@ class _ChunkedMatrix:
             return columns
         return np.ascontiguousarray(columns)
 
+    def extend_rows(self, block: np.ndarray) -> None:
+        """Append rows below the existing ones (the column count must match).
+
+        Row growth is much rarer than column growth (one call per ingest
+        batch, not one per hash round), so it simply consolidates and
+        reallocates; mixed integer dtypes promote to the common signed type,
+        matching what lazy consolidation of mixed column chunks would do.
+        """
+        if block.ndim != 2 or block.shape[1] != self._n_columns:
+            raise ValueError(
+                f"expected a block of shape (n_new_rows, {self._n_columns}), got {block.shape}"
+            )
+        if self._n_columns:
+            mine = self.consolidated()
+            common = np.promote_types(mine.dtype, block.dtype)
+            merged = np.concatenate(
+                [mine.astype(common, copy=False), block.astype(common, copy=False)]
+            )
+            self._chunks = [merged]
+            self._offsets = [0]
+        self._n_rows += block.shape[0]
+
 
 class BitSignatures(SignatureStore):
     """Packed one-bit-per-hash signatures (signed random projections).
@@ -206,6 +253,32 @@ class BitSignatures(SignatureStore):
         self._n_vectors = int(n_vectors)
         self._matrix = _ChunkedMatrix(self._n_vectors)
         self._n_hashes = 0
+
+    @classmethod
+    def from_words(cls, words: np.ndarray, n_hashes: int) -> "BitSignatures":
+        """Rebuild a store from its packed words (snapshot restore path)."""
+        words = np.ascontiguousarray(words, dtype=np.uint32)
+        if words.ndim != 2:
+            raise ValueError(f"expected a 2-D word matrix, got shape {words.shape}")
+        if not 0 <= n_hashes <= words.shape[1] * _WORD_BITS:
+            raise ValueError(
+                f"n_hashes={n_hashes} inconsistent with {words.shape[1]} words per row"
+            )
+        store = cls(words.shape[0])
+        if words.shape[1]:
+            store._matrix.append(words)
+        store._n_hashes = int(n_hashes)
+        return store
+
+    def append_rows_from(self, other: SignatureStore) -> None:
+        if not isinstance(other, BitSignatures):
+            raise TypeError(f"cannot append rows of {type(other).__name__} to BitSignatures")
+        if other.n_hashes != self._n_hashes:
+            raise ValueError(
+                f"row source holds {other.n_hashes} hashes, this store {self._n_hashes}"
+            )
+        self._matrix.extend_rows(other.words)
+        self._n_vectors += other.n_vectors
 
     @property
     def n_vectors(self) -> int:
@@ -318,6 +391,29 @@ class BitSignatures(SignatureStore):
             end - start,
         )
 
+    def count_matches_cross(
+        self, rows: np.ndarray, other: SignatureStore, other_rows: np.ndarray,
+        start: int, end: int,
+    ) -> np.ndarray:
+        if not isinstance(other, BitSignatures):
+            raise TypeError(f"cannot cross-count against {type(other).__name__}")
+        if end > self._n_hashes or end > other.n_hashes:
+            raise IndexError(
+                f"hash index {end} out of range (have {self._n_hashes} / {other.n_hashes})"
+            )
+        if end <= start:
+            return np.zeros(len(rows), dtype=np.int64)
+        word_start = start // _WORD_BITS
+        word_end = -(-end // _WORD_BITS)
+        words_mine = self._matrix.columns_contiguous(word_start, word_end)
+        words_other = other._matrix.columns_contiguous(word_start, word_end)
+        return count_packed_matches(
+            words_mine[np.asarray(rows)],
+            words_other[np.asarray(other_rows)],
+            start - word_start * _WORD_BITS,
+            end - start,
+        )
+
     def count_matches_rounds(
         self, left: np.ndarray, right: np.ndarray, start: int, end: int, round_width: int
     ) -> np.ndarray:
@@ -387,6 +483,26 @@ class IntSignatures(SignatureStore):
         self._n_vectors = int(n_vectors)
         self._matrix = _ChunkedMatrix(self._n_vectors)
         self._scratch: dict[tuple[int, np.dtype], tuple[np.ndarray, ...]] = {}
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "IntSignatures":
+        """Rebuild a store from its raw signature matrix (snapshot restore path)."""
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValueError(f"expected a 2-D value matrix, got shape {values.shape}")
+        store = cls(values.shape[0])
+        store.append_values(values)
+        return store
+
+    def append_rows_from(self, other: SignatureStore) -> None:
+        if not isinstance(other, IntSignatures):
+            raise TypeError(f"cannot append rows of {type(other).__name__} to IntSignatures")
+        if other.n_hashes != self.n_hashes:
+            raise ValueError(
+                f"row source holds {other.n_hashes} hashes, this store {self.n_hashes}"
+            )
+        self._matrix.extend_rows(other.values)
+        self._n_vectors += other.n_vectors
 
     @property
     def n_vectors(self) -> int:
@@ -467,6 +583,23 @@ class IntSignatures(SignatureStore):
         np.take(columns, left, axis=0, out=left_rows)
         np.take(columns, right, axis=0, out=right_rows)
         np.equal(left_rows, right_rows, out=equal)
+        return equal.sum(axis=1, dtype=np.int64)
+
+    def count_matches_cross(
+        self, rows: np.ndarray, other: SignatureStore, other_rows: np.ndarray,
+        start: int, end: int,
+    ) -> np.ndarray:
+        if not isinstance(other, IntSignatures):
+            raise TypeError(f"cannot cross-count against {type(other).__name__}")
+        if end > self.n_hashes or end > other.n_hashes:
+            raise IndexError(
+                f"hash index {end} out of range (have {self.n_hashes} / {other.n_hashes})"
+            )
+        if end <= start:
+            return np.zeros(len(rows), dtype=np.int64)
+        mine = self._matrix.columns_contiguous(start, end)
+        theirs = other._matrix.columns_contiguous(start, end)
+        equal = mine[np.asarray(rows)] == theirs[np.asarray(other_rows)]
         return equal.sum(axis=1, dtype=np.int64)
 
     def count_matches_rounds(

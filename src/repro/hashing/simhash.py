@@ -156,6 +156,29 @@ class SimHashFamily(HashFamily):
             bits[rows, cols] = (sub[row_pos, col_pos] >= 0.0).astype(np.uint8)
         return bits
 
+    def clone_for(self, collection: VectorCollection) -> "SimHashFamily":
+        clone = SimHashFamily(
+            collection,
+            seed=self._seed,
+            quantize=self._projections.quantized,
+            block_size=self._block_size,
+        )
+        # Projections are collection-independent (they depend only on the
+        # feature count and seed), so the clone shares the object: columns
+        # drawn through either family extend one common matrix and both sides
+        # always see identical direction vectors.
+        clone._projections = self._projections
+        return clone
+
+    def state_dict(self) -> dict:
+        return self._projections.state_dict()
+
+    def restore_state(self, state: dict) -> None:
+        self._projections.restore_state(state)
+        self._matrix32 = None
+        self._abs_matrix32 = None
+        self._row_bound = None
+
     def collision_similarity(self, exact_similarity: float) -> float:
         """Collision probability for a pair with the given *cosine* similarity."""
         return float(cosine_to_collision(exact_similarity))

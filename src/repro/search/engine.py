@@ -28,12 +28,27 @@ from repro.verification.base import Verifier
 __all__ = ["SearchEngine", "all_pairs_similarity", "as_collection"]
 
 
-def as_collection(data) -> VectorCollection:
+def as_collection(data, n_features: int | None = None) -> VectorCollection:
     """Coerce user data into a :class:`VectorCollection`.
 
     Accepts a :class:`Dataset`, a :class:`VectorCollection`, a scipy sparse
     matrix, a dense array, or a list of sets / dicts.
+
+    ``n_features`` pins the collection's feature space — the serving layer
+    passes an index's feature count so that inserted vectors and query
+    batches align with the indexed corpus.  Token-set and dict inputs are
+    built directly in that space; array-like inputs must already have exactly
+    that many columns (a mismatch raises ``ValueError``).
     """
+    collection = _coerce_collection(data, n_features)
+    if n_features is not None and collection.n_features != n_features:
+        raise ValueError(
+            f"data has {collection.n_features} features, expected {n_features}"
+        )
+    return collection
+
+
+def _coerce_collection(data, n_features: int | None) -> VectorCollection:
     if isinstance(data, Dataset):
         return data.collection
     if isinstance(data, VectorCollection):
@@ -42,12 +57,34 @@ def as_collection(data) -> VectorCollection:
         return VectorCollection(data)
     if isinstance(data, np.ndarray):
         return VectorCollection.from_dense(data)
-    if isinstance(data, (list, tuple)) and data:
+    if isinstance(data, (list, tuple)):
+        if not data:
+            if n_features is None:
+                raise ValueError(
+                    "cannot build a collection from an empty sequence without n_features"
+                )
+            return VectorCollection(sp.csr_matrix((0, n_features), dtype=np.float64))
         first = data[0]
         if isinstance(first, dict):
-            return VectorCollection.from_dicts(data)
-        if isinstance(first, (set, frozenset, list, tuple, np.ndarray)):
-            return VectorCollection.from_sets(data)
+            return VectorCollection.from_dicts(data, n_features=n_features)
+        if isinstance(first, (set, frozenset)):
+            return VectorCollection.from_sets(data, n_features=n_features)
+        if isinstance(first, (list, tuple, np.ndarray)):
+            if n_features is None:
+                return VectorCollection.from_sets(data)
+            # With the feature space pinned, a batch of integer rows is a
+            # batch of token-id sets *unless* every row has exactly
+            # n_features entries — then it can only plausibly be a dense
+            # matrix (a token set naming every feature is degenerate), and
+            # treating it as ids would silently corrupt the vectors.
+            integer_rows = all(
+                len(row) == 0 or np.issubdtype(np.asarray(row).dtype, np.integer)
+                for row in data
+            )
+            dense_shaped = all(len(row) == n_features for row in data)
+            if integer_rows and not dense_shaped:
+                return VectorCollection.from_sets(data, n_features=n_features)
+            return VectorCollection.from_dense(np.asarray(data, dtype=np.float64))
     # Last resort: let numpy try.
     return VectorCollection.from_dense(np.asarray(data, dtype=np.float64))
 

@@ -1,4 +1,4 @@
-"""Query-centric similarity search: one query object against an indexed collection.
+"""Query-centric similarity search: a persistent, updatable serving index.
 
 The paper focuses on the *all-pairs* problem, but its introduction frames the
 general similarity-search problem ("given a query q, retrieve all objects
@@ -6,18 +6,26 @@ with s(x, q) > t"), and BayesLSH applies to that setting unchanged: the
 candidate generation index is built once over the collection, and each query
 is verified against its candidates with the same Bayesian pruning.
 
-:class:`QueryIndex` packages that workflow:
+:class:`QueryIndex` packages that workflow as a serving subsystem:
 
-* at build time the collection is hashed and an LSH banding index is built
-  (the same signatures are reused for verification, as in the all-pairs
-  pipelines);
-* ``query(vector, ...)`` hashes the query, collects the rows sharing at least
-  one signature band, and verifies them either exactly or with BayesLSH-style
-  pruning depending on ``verification``;
-* ``top_k(vector, k)`` returns the ``k`` most similar objects among the
-  pairs that pass a (low) threshold — the paper's suggested future-work
-  direction of nearest-neighbour retrieval, implemented on top of the
-  threshold machinery.
+* at build time the collection is hashed and an LSH banding index
+  (:class:`~repro.candidates.lsh_index.BandPostings`) is built — the same
+  signatures are reused for verification, as in the all-pairs pipelines;
+* ``query_many(matrix, ...)`` / ``top_k_many(matrix, k)`` serve a *batch* of
+  queries: the whole batch is hashed in one kernel call, band probes are
+  unioned array-wise, and all (query, candidate) pairs are verified together
+  through the vectorised cross-store kernels — bit-identical to calling the
+  singular ``query(vector, ...)`` / ``top_k(vector, k)`` per row;
+* ``insert(vectors)`` / ``delete(rows)`` evolve the index without a rebuild:
+  inserted vectors are hashed with the *same* hash functions (the family's
+  determinism contract) and their signature rows spliced into the store,
+  while deletions tombstone rows and the band postings are lazily rebuilt
+  once the tombstoned fraction exceeds the ``staleness_budget``;
+* ``save(path)`` / ``load(path)`` round-trip the entire index — collection,
+  hash-family state (drawn coefficients/projections *and* RNG stream
+  position), signature store, band postings and tombstones — through a
+  versioned ``.npz`` snapshot (:mod:`repro.serving.snapshot`), bit-identically:
+  a loaded index answers every query exactly like the instance that saved it.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.candidates.lsh_index import signatures_for_false_negative_rate
+from repro.candidates.lsh_index import BandPostings, signatures_for_false_negative_rate
 from repro.core.concentration_cache import ConcentrationCache
 from repro.core.min_matches import MinMatchesTable
 from repro.core.params import BayesLSHParams
@@ -35,8 +43,11 @@ from repro.search.engine import as_collection
 from repro.search.results import ScoredPair
 from repro.similarity.measures import get_measure
 from repro.similarity.vectors import VectorCollection
+from repro.verification.base import cross_similarities_for_pairs
 
 __all__ = ["QueryIndex"]
+
+_ACTIVE, _PRUNED, _EMITTED = 0, 1, 2
 
 
 class QueryIndex:
@@ -63,6 +74,12 @@ class QueryIndex:
         BayesLSH parameters used when ``verification="bayes"``.
     seed:
         Seed for the hash family.
+    staleness_budget:
+        Maximum fraction of band-posting members that may be tombstoned by
+        :meth:`delete` before the next query triggers a posting rebuild.
+        ``0.0`` rebuilds on the first query after any deletion; ``1.0``
+        effectively never rebuilds (tombstones are always filtered from
+        results either way — the budget only bounds wasted probe work).
     """
 
     def __init__(
@@ -79,20 +96,27 @@ class QueryIndex:
         k: int = 32,
         max_hashes: int = 2048,
         seed: int = 0,
+        staleness_budget: float = 0.2,
     ):
         if verification not in ("bayes", "exact"):
             raise ValueError(f"verification must be 'bayes' or 'exact', got {verification!r}")
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        if not 0.0 <= staleness_budget <= 1.0:
+            raise ValueError(
+                f"staleness_budget must lie in [0, 1], got {staleness_budget}"
+            )
         self._measure = get_measure(measure)
         self._collection = as_collection(data)
         self._prepared = self._measure.prepare(self._collection)
         self._threshold = float(threshold)
+        self._false_negative_rate = float(false_negative_rate)
         self._verification = verification
         self._params = BayesLSHParams(
             threshold=threshold, epsilon=epsilon, delta=delta, gamma=gamma, k=k, max_hashes=max_hashes
         )
         self._seed = int(seed)
+        self._staleness_budget = float(staleness_budget)
         self._family = get_hash_family(self._measure.lsh_family, self._prepared, seed=seed)
 
         if signature_width is None:
@@ -108,160 +132,449 @@ class QueryIndex:
         )
         self._store = self._family.signatures(self._n_signatures * self._signature_width)
 
-        # band key -> list of row ids
-        self._buckets: list[dict[bytes, list[int]]] = []
+        self._deleted = np.zeros(self._prepared.n_vectors, dtype=bool)
+        self._n_stale_postings = 0
         non_empty = np.flatnonzero(self._prepared.row_nnz > 0)
-        for band in range(self._n_signatures):
-            bucket: dict[bytes, list[int]] = {}
-            for row in non_empty:
-                key = self._store.band_key(int(row), band, self._signature_width)
-                bucket.setdefault(key, []).append(int(row))
-            self._buckets.append(bucket)
+        self._postings = BandPostings.build(
+            self._store, non_empty, self._n_signatures, self._signature_width
+        )
+        self._wire_tables()
 
-        # BayesLSH machinery shared across queries.
+    def _wire_tables(self) -> None:
+        """(Re)build the BayesLSH decision machinery shared across queries.
+
+        Deterministic functions of the parameters, so snapshots never need to
+        serialise them.
+        """
+        params = self._params
         self._posterior = make_posterior(self._measure.name)
         self._min_matches = MinMatchesTable(
-            self._posterior, self._threshold, epsilon, k, max_hashes
+            self._posterior, self._threshold, params.epsilon, params.k, params.max_hashes
         )
-        self._concentration = ConcentrationCache(self._posterior, delta, gamma)
+        self._concentration = ConcentrationCache(
+            self._posterior, params.delta, params.gamma
+        )
 
+    # ------------------------------------------------------------------ #
+    # introspection
     # ------------------------------------------------------------------ #
     @property
     def n_indexed(self) -> int:
-        """Number of vectors in the indexed collection."""
+        """Number of vector slots in the index (including tombstoned rows)."""
         return self._prepared.n_vectors
+
+    @property
+    def n_alive(self) -> int:
+        """Number of indexed vectors that have not been deleted."""
+        return int(self._prepared.n_vectors - self._deleted.sum())
+
+    @property
+    def n_deleted(self) -> int:
+        """Number of tombstoned rows still occupying index slots."""
+        return int(self._deleted.sum())
 
     @property
     def n_signatures(self) -> int:
         return self._n_signatures
 
-    def _query_collection(self, vector) -> VectorCollection:
-        """Wrap a raw query vector as a 1-row collection aligned with the index."""
-        if isinstance(vector, (set, frozenset)) or (
-            isinstance(vector, (list, tuple)) and vector and isinstance(vector[0], (int, np.integer))
-            and not isinstance(vector, np.ndarray)
-        ):
-            collection = VectorCollection.from_sets([vector], n_features=self._prepared.n_features)
-        elif isinstance(vector, dict):
-            collection = VectorCollection.from_dicts([vector], n_features=self._prepared.n_features)
-        elif sp.issparse(vector):
-            collection = VectorCollection(sp.csr_matrix(vector))
-        else:
-            collection = VectorCollection.from_dense(np.atleast_2d(np.asarray(vector, dtype=np.float64)))
-        if collection.n_features != self._prepared.n_features:
-            raise ValueError(
-                f"query has {collection.n_features} features, index expects {self._prepared.n_features}"
-            )
-        return self._measure.prepare(collection)
+    @property
+    def signature_width(self) -> int:
+        return self._signature_width
 
-    def _candidate_rows(self, query_prepared: VectorCollection) -> np.ndarray:
-        """Rows of the indexed collection sharing at least one band with the query."""
-        query_family = get_hash_family(
-            self._measure.lsh_family, query_prepared, seed=self._seed
-        )
-        query_store = query_family.signatures(self._n_signatures * self._signature_width)
-        rows: set[int] = set()
-        for band in range(self._n_signatures):
-            key = query_store.band_key(0, band, self._signature_width)
-            rows.update(self._buckets[band].get(key, ()))
-        self._last_query_store = query_store
-        return np.array(sorted(rows), dtype=np.int64)
+    @property
+    def staleness_budget(self) -> float:
+        return self._staleness_budget
 
-    def _exact_similarity_to_query(self, query_prepared: VectorCollection, row: int) -> float:
-        joint = VectorCollection(
-            sp.vstack([query_prepared.matrix, self._prepared.row(row)])
-        )
-        return self._measure.exact(self._measure.prepare(joint), 0, 1)
+    @property
+    def n_stale_postings(self) -> int:
+        """Tombstoned rows still present in the band postings."""
+        return self._n_stale_postings
+
+    @property
+    def verification(self) -> str:
+        return self._verification
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
 
     # ------------------------------------------------------------------ #
-    def query(self, vector, threshold: float | None = None) -> list[ScoredPair]:
-        """All indexed objects with similarity to ``vector`` above the threshold.
+    # query coercion
+    # ------------------------------------------------------------------ #
+    def _queries_collection(self, queries) -> VectorCollection:
+        """Coerce a query batch into a prepared collection in the index's space."""
+        collection = as_collection(queries, n_features=self._prepared.n_features)
+        return self._measure.prepare(collection)
 
-        Returns :class:`ScoredPair` entries whose ``i`` field is always -1
-        (the query is not part of the collection) and whose ``j`` field is the
-        index of the matching row.  Similarities are estimates under
-        ``verification="bayes"`` and exact values under ``"exact"``.
+    def _single_query_batch(self, vector):
+        """Wrap one query vector as a 1-row batch for the batched kernels."""
+        if isinstance(vector, (set, frozenset, dict)):
+            return [vector]
+        if sp.issparse(vector):
+            return vector
+        if (
+            isinstance(vector, (list, tuple))
+            and vector
+            and isinstance(vector[0], (int, np.integer))
+        ):
+            return [vector]
+        return np.atleast_2d(np.asarray(vector, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # candidate generation
+    # ------------------------------------------------------------------ #
+    def _maybe_rebuild_postings(self) -> None:
+        """Lazily rebuild the band postings once past the staleness budget."""
+        if self._n_stale_postings == 0:
+            return
+        if self._n_stale_postings <= self._staleness_budget * self._postings.n_members:
+            return
+        alive_non_empty = np.flatnonzero((self._prepared.row_nnz > 0) & ~self._deleted)
+        self._postings = BandPostings.build(
+            self._store, alive_non_empty, self._n_signatures, self._signature_width
+        )
+        self._n_stale_postings = 0
+
+    def _probe(self, query_prepared: VectorCollection):
+        """Candidate ``(query row, collection row)`` pairs from the band index.
+
+        Only non-empty query rows probe (empty vectors share no features with
+        anything, and their hashes are degenerate), and tombstoned collection
+        rows are filtered out.  Pairs come back deduplicated and sorted by
+        ``(query row, collection row)``, together with the query batch's hash
+        family (the whole batch is hashed in one kernel call; the Bayesian
+        verifier extends the same family — and hence the same hash stream —
+        past the banding hashes).
+        """
+        self._maybe_rebuild_postings()
+        query_rows = np.flatnonzero(query_prepared.row_nnz > 0)
+        if len(query_rows) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, None
+        query_family = self._family.clone_for(query_prepared)
+        # Probing only reads the banding hashes; verification lazily extends
+        # the family when (and only when) the bayes path needs more.
+        query_store = query_family.signatures(self._n_signatures * self._signature_width)
+        positions, rows = self._postings.probe_many(
+            query_store, query_rows, self._prepared.n_vectors
+        )
+        keep = ~self._deleted[rows]
+        return query_rows[positions[keep]], rows[keep], query_family
+
+    # ------------------------------------------------------------------ #
+    # verification kernels
+    # ------------------------------------------------------------------ #
+    def _verify_bayes(
+        self, query_family, query_rows: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Round-synchronous BayesLSH verification of (query, candidate) pairs.
+
+        The batched twin of Algorithm 1's per-pair loop, with hash agreements
+        counted across the query store (``query_family``'s, from the probe
+        phase) and the collection store.  Every prune/emit decision depends
+        only on the pair's own ``(m, n)``, so the outcome per pair is
+        independent of which other pairs share the batch — the bit-identity
+        contract between ``query_many`` and looped ``query``.
+
+        Returns the pair estimates with NaN marking pruned pairs.
+        """
+        params = self._params
+        n_pairs = len(query_rows)
+        status = np.full(n_pairs, _ACTIVE, dtype=np.int8)
+        matches = np.zeros(n_pairs, dtype=np.int64)
+        hashes_seen = np.zeros(n_pairs, dtype=np.int64)
+        for round_index in range(params.n_rounds if n_pairs else 0):
+            active = np.flatnonzero(status == _ACTIVE)
+            if len(active) == 0:
+                break
+            n_prev = round_index * params.k
+            n_now = n_prev + params.k
+            # Lazy, round-synchronous hashing — exactly the core verifier's
+            # pattern: rounds most pairs never reach are never hashed (the
+            # families round requests up to their block size, so the whole
+            # batch still extends in a handful of kernel calls).
+            collection_store = self._family.signatures(n_now)
+            query_store = query_family.signatures(n_now)
+            matches[active] += query_store.count_matches_cross(
+                query_rows[active], collection_store, rows[active], n_prev, n_now
+            )
+            hashes_seen[active] = n_now
+            keep_mask = self._min_matches.passes_many(matches[active], n_now)
+            status[active[~keep_mask]] = _PRUNED
+            survivors = active[keep_mask]
+            if len(survivors):
+                concentrated = self._concentration.is_concentrated_many(
+                    matches[survivors], n_now
+                )
+                status[survivors[concentrated]] = _EMITTED
+
+        estimates = np.full(n_pairs, np.nan, dtype=np.float64)
+        emitted = np.flatnonzero(status != _PRUNED)
+        if len(emitted):
+            estimates[emitted] = np.where(
+                hashes_seen[emitted] > 0,
+                self._posterior.map_estimate_many(matches[emitted], hashes_seen[emitted]),
+                0.0,
+            )
+        return estimates
+
+    def _cross_exact(
+        self, query_prepared: VectorCollection, query_rows: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        return cross_similarities_for_pairs(
+            query_prepared, self._prepared, self._measure, query_rows, rows
+        )
+
+    @staticmethod
+    def _group_pairs(
+        n_queries: int, query_rows: np.ndarray, rows: np.ndarray, values: np.ndarray
+    ) -> list[list[ScoredPair]]:
+        """Split sorted (query, row, value) triples into per-query result lists."""
+        results: list[list[ScoredPair]] = [[] for _ in range(n_queries)]
+        for q, j, value in zip(query_rows.tolist(), rows.tolist(), values.tolist()):
+            results[q].append(ScoredPair(-1, j, float(value)))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query_many(self, queries, threshold: float | None = None) -> list[list[ScoredPair]]:
+        """Threshold queries for a whole batch at once.
+
+        ``queries`` is anything ``as_collection`` accepts — typically a dense
+        or CSR matrix with one query per row, or a list of token sets /
+        feature dicts.  Returns one result list per query row, each exactly
+        equal to ``self.query(row)``: the batch is hashed in one kernel call
+        and verified through the same vectorised kernels, and every per-pair
+        decision is independent of the rest of the batch.
+
+        Result entries are :class:`ScoredPair` values whose ``i`` field is
+        always -1 (the query is not part of the collection) and whose ``j``
+        field is the index of the matching row.  Similarities are estimates
+        under ``verification="bayes"`` and exact values under ``"exact"``;
+        either way only pairs whose reported similarity exceeds the
+        (per-call) threshold are returned.  Note that the Bayesian pruning
+        tables stay tuned to the *index* threshold: overriding per call
+        filters the estimates, but a threshold far below the index's cannot
+        recover pairs the index-level pruning already discarded.
         """
         threshold = self._threshold if threshold is None else float(threshold)
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
-        query_prepared = self._query_collection(vector)
-        if query_prepared.row_nnz[0] == 0:
-            return []
-        candidates = self._candidate_rows(query_prepared)
-        if len(candidates) == 0:
-            return []
+        query_prepared = self._queries_collection(queries)
+        query_rows, rows, query_family = self._probe(query_prepared)
+        if len(query_rows) == 0:
+            return [[] for _ in range(query_prepared.n_vectors)]
 
         if self._verification == "exact":
-            scored = [
-                (row, self._exact_similarity_to_query(query_prepared, int(row)))
-                for row in candidates
-            ]
-            return [
-                ScoredPair(-1, int(row), float(sim)) for row, sim in scored if sim > threshold
-            ]
+            values = self._cross_exact(query_prepared, query_rows, rows)
+            keep = values > threshold
+        else:
+            values = self._verify_bayes(query_family, query_rows, rows)
+            keep = ~np.isnan(values) & (values > threshold)
+        return self._group_pairs(
+            query_prepared.n_vectors, query_rows[keep], rows[keep], values[keep]
+        )
 
-        # Bayesian verification: compare the query's hashes to each candidate's.
-        # The query is hashed with a family built on the same seed and feature
-        # space as the collection's, so hash function i agrees on both sides.
-        params = self._params
-        query_family = get_hash_family(self._measure.lsh_family, query_prepared, seed=self._seed)
-        query_store = query_family.signatures(params.max_hashes)
-        collection_store = self._family.signatures(params.max_hashes)
+    def query(self, vector, threshold: float | None = None) -> list[ScoredPair]:
+        """All indexed objects with similarity to ``vector`` above the threshold.
 
-        def block_matches(row: int, start: int, end: int) -> int:
-            if hasattr(query_store, "get_bits"):
-                return int(
-                    np.sum(
-                        query_store.get_bits(0, start, end)
-                        == collection_store.get_bits(row, start, end)
-                    )
-                )
-            return int(
-                np.sum(
-                    query_store.values[0, start:end] == collection_store.values[row, start:end]
-                )
-            )
+        Equivalent to ``query_many([vector])[0]`` — the singular entry point
+        simply runs the batched kernels on a batch of one.
+        """
+        return self.query_many(self._single_query_batch(vector), threshold=threshold)[0]
 
-        results: list[ScoredPair] = []
-        for row in candidates:
-            row = int(row)
-            matches = 0
-            n_seen = 0
-            pruned = False
-            while n_seen < params.max_hashes:
-                matches += block_matches(row, n_seen, n_seen + params.k)
-                n_seen += params.k
-                if not self._min_matches.passes(matches, n_seen):
-                    pruned = True
-                    break
-                if self._concentration.is_concentrated(matches, n_seen):
-                    break
-            if pruned:
-                continue
-            estimate = self._posterior.map_estimate(matches, n_seen)
-            results.append(ScoredPair(-1, row, float(estimate)))
+    def top_k_many(
+        self, queries, k: int = 10, floor_threshold: float = 0.1
+    ) -> list[list[ScoredPair]]:
+        """The ``k`` most similar indexed objects for each query in a batch.
+
+        Returns one list per query row, each exactly equal to
+        ``self.top_k(row, k, floor_threshold)``: candidates are collected from
+        the band postings, verified exactly with the cross-collection kernel,
+        and the best ``k`` above ``floor_threshold`` are returned in
+        decreasing order of similarity.  With an LSH index tuned for
+        ``threshold`` the result is approximate in the same sense as the
+        underlying index: objects the index misses cannot be returned.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query_prepared = self._queries_collection(queries)
+        query_rows, rows, _ = self._probe(query_prepared)
+        n_queries = query_prepared.n_vectors
+        if len(query_rows) == 0:
+            return [[] for _ in range(n_queries)]
+        values = self._cross_exact(query_prepared, query_rows, rows)
+        grouped = self._group_pairs(n_queries, query_rows, rows, values)
+        results: list[list[ScoredPair]] = []
+        for scored in grouped:
+            scored = [pair for pair in scored if pair.similarity > floor_threshold]
+            scored.sort(key=lambda pair: pair.similarity, reverse=True)
+            results.append(scored[:k])
         return results
 
     def top_k(self, vector, k: int = 10, floor_threshold: float = 0.1) -> list[ScoredPair]:
         """The ``k`` indexed objects most similar to ``vector``.
 
-        Candidates are collected from the LSH index and verified exactly, then
-        the best ``k`` above ``floor_threshold`` are returned in decreasing
-        order of similarity.  With an LSH index tuned for ``threshold`` the
-        result is approximate in the same sense as the underlying index:
-        objects the index misses cannot be returned.
+        Equivalent to ``top_k_many([vector], k, floor_threshold)[0]``.
         """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        query_prepared = self._query_collection(vector)
-        if query_prepared.row_nnz[0] == 0:
-            return []
-        candidates = self._candidate_rows(query_prepared)
-        scored = [
-            ScoredPair(-1, int(row), self._exact_similarity_to_query(query_prepared, int(row)))
-            for row in candidates
-        ]
-        scored = [pair for pair in scored if pair.similarity > floor_threshold]
-        scored.sort(key=lambda pair: pair.similarity, reverse=True)
-        return scored[:k]
+        return self.top_k_many(
+            self._single_query_batch(vector), k=k, floor_threshold=floor_threshold
+        )[0]
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def insert(self, data, ids=None) -> np.ndarray:
+        """Append new vectors to the index without rebuilding it.
+
+        The new vectors are hashed with the *same* hash functions as the
+        existing corpus (the family's determinism contract guarantees hash
+        function ``i`` agrees across collections), their signature rows are
+        spliced into the store, and non-empty rows are added to the band
+        postings immediately.  Returns the row indices assigned to the new
+        vectors.
+
+        ``ids`` optionally supplies external identifiers for the new rows
+        (defaulting to their row indices).
+        """
+        new_collection = as_collection(data, n_features=self._collection.n_features)
+        n_new = new_collection.n_vectors
+        n_before = self._collection.n_vectors
+        new_rows = np.arange(n_before, n_before + n_new, dtype=np.int64)
+        if n_new == 0:
+            return new_rows
+        new_prepared = self._measure.prepare(new_collection)
+
+        # Hash the fresh rows with a clone sharing the family's generator
+        # state, then splice the resulting signature rows under the existing
+        # ones.  The clone consumes no RNG (all needed hash functions are
+        # already drawn), so the main family's stream is untouched.
+        ingest_family = self._family.clone_for(new_prepared)
+        new_store = ingest_family.signatures(self._store.n_hashes)
+        if new_store.n_hashes != self._store.n_hashes:
+            raise RuntimeError(
+                f"ingest hashing produced {new_store.n_hashes} hashes, "
+                f"index store holds {self._store.n_hashes}"
+            )
+        self._store.append_rows_from(new_store)
+
+        if ids is None:
+            merged_ids = np.concatenate([np.asarray(self._collection.ids), new_rows])
+        else:
+            ids = np.asarray(list(ids))
+            if len(ids) != n_new:
+                raise ValueError(f"ids has length {len(ids)} but {n_new} rows were inserted")
+            merged_ids = np.concatenate([np.asarray(self._collection.ids), ids])
+        self._collection = VectorCollection(
+            sp.vstack([self._collection.matrix, new_collection.matrix], format="csr"),
+            ids=merged_ids,
+        )
+        self._prepared = self._measure.prepare(self._collection)
+        family = self._family.clone_for(self._prepared)
+        family.attach_store(self._store)
+        self._family = family
+
+        self._deleted = np.concatenate([self._deleted, np.zeros(n_new, dtype=bool)])
+        self._postings.add(self._store, new_rows[new_prepared.row_nnz > 0])
+        return new_rows
+
+    def delete(self, rows) -> int:
+        """Tombstone indexed rows (by row index); returns how many were live.
+
+        Deleted rows stay in the signature store and (until the staleness
+        budget forces a posting rebuild) in the band postings, but are
+        filtered from every query result immediately.  Deleting an already
+        deleted row is a no-op.
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
+        if len(rows) and (rows[0] < 0 or rows[-1] >= self._prepared.n_vectors):
+            raise IndexError(
+                f"row indices must lie in [0, {self._prepared.n_vectors}), got "
+                f"[{rows[0]}, {rows[-1]}]"
+            )
+        fresh = rows[~self._deleted[rows]]
+        self._deleted[fresh] = True
+        self._n_stale_postings += int(np.sum(self._prepared.row_nnz[fresh] > 0))
+        return len(fresh)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_snapshot(
+        cls,
+        *,
+        collection: VectorCollection,
+        meta: dict,
+        family_state: dict,
+        store,
+        deleted: np.ndarray,
+        postings_members: np.ndarray,
+    ) -> "QueryIndex":
+        """Rewire an index from deserialised snapshot state.
+
+        Only the state a snapshot carries is taken from the arguments; the
+        prepared view, hash family object, band postings and BayesLSH
+        decision tables are deterministic functions of it and are rebuilt
+        here (see :mod:`repro.serving.snapshot` for the format).
+        """
+        index = cls.__new__(cls)
+        index._measure = get_measure(meta["measure"])
+        index._collection = collection
+        index._prepared = index._measure.prepare(collection)
+        index._threshold = float(meta["threshold"])
+        index._false_negative_rate = float(meta["false_negative_rate"])
+        index._verification = meta["verification"]
+        index._params = BayesLSHParams(
+            threshold=float(meta["threshold"]),
+            epsilon=float(meta["epsilon"]),
+            delta=float(meta["delta"]),
+            gamma=float(meta["gamma"]),
+            k=int(meta["k"]),
+            max_hashes=int(meta["max_hashes"]),
+        )
+        index._seed = int(meta["seed"])
+        index._staleness_budget = float(meta["staleness_budget"])
+        index._signature_width = int(meta["signature_width"])
+        index._n_signatures = int(meta["n_signatures"])
+        if len(deleted) != index._prepared.n_vectors:
+            raise ValueError(
+                f"tombstone mask covers {len(deleted)} rows, collection has "
+                f"{index._prepared.n_vectors}"
+            )
+        index._family = get_hash_family(
+            index._measure.lsh_family,
+            index._prepared,
+            seed=index._seed,
+            **meta.get("family_kwargs", {}),
+        )
+        index._family.restore_state(family_state)
+        index._family.attach_store(store)
+        index._store = store
+        index._deleted = deleted
+        index._n_stale_postings = int(meta["n_stale_postings"])
+        index._postings = BandPostings.build(
+            store, postings_members, index._n_signatures, index._signature_width
+        )
+        index._wire_tables()
+        return index
+
+    def save(self, path):
+        """Write a versioned snapshot of the index to ``path`` (``.npz``).
+
+        See :mod:`repro.serving.snapshot` for the format; loading the file
+        with :meth:`load` reproduces this index bit for bit — including the
+        hash family's RNG position, so even hash functions drawn *after* the
+        round trip are identical on both sides.
+        """
+        from repro.serving.snapshot import save_query_index
+
+        return save_query_index(self, path)
+
+    @classmethod
+    def load(cls, path) -> "QueryIndex":
+        """Load an index previously written by :meth:`save`."""
+        from repro.serving.snapshot import load_query_index
+
+        return load_query_index(path)

@@ -1,0 +1,22 @@
+"""Serving-layer persistence for query indices.
+
+The serving subsystem turns the in-memory :class:`~repro.search.query.QueryIndex`
+into something a long-running process can operate: versioned on-disk
+snapshots (:mod:`repro.serving.snapshot`) plus the incremental
+``insert``/``delete`` and batched ``query_many``/``top_k_many`` entry points
+on the index itself.
+"""
+
+from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    load_query_index,
+    save_query_index,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "load_query_index",
+    "save_query_index",
+]

@@ -1,0 +1,175 @@
+"""Versioned on-disk snapshots of a :class:`~repro.search.query.QueryIndex`.
+
+A snapshot is a single ``.npz`` archive (no pickling anywhere) holding every
+piece of state the index cannot re-derive bit-identically on its own:
+
+``format`` / ``version``
+    The magic string ``"repro-query-index"`` and the integer format version.
+    Loaders reject archives whose magic is missing or whose version they do
+    not understand, so the format can evolve without silent misreads.
+``meta``
+    A JSON document with the index's scalar configuration (measure,
+    threshold, verification mode, BayesLSH parameters, seed, staleness
+    budget and counters) plus the hash family's scalar state — including the
+    JSON-encoded RNG bit-generator state.
+``collection_*``
+    The raw indexed collection as CSR components plus external ids, packed
+    by :func:`repro.datasets.io.collection_arrays` (the exact layout
+    ``save_collection`` writes to standalone files).
+``family_*``
+    The hash family's array state: drawn minhash coefficients, or the
+    (quantised) simhash projection matrix.  Together with the RNG state in
+    ``meta`` this makes hash generation *resume* identically after a round
+    trip — hash function ``i`` is the same before and after, whether it was
+    drawn before the save or after the load.
+``store_matrix``
+    The signature store contents (packed ``uint32`` words for the bit store,
+    the raw integer matrix for the minhash store).
+``deleted`` / ``postings_members``
+    The tombstone mask and the band postings' member sequence in insertion
+    order — replaying that sequence rebuilds every posting list in the exact
+    order incremental inserts created it, so probe results (and hence query
+    answers) are bit-identical to the saved instance's.
+
+What is *not* serialised is exactly the state that is a deterministic
+function of the above: the measure's prepared view, the BayesLSH decision
+tables and the posting dictionaries themselves are rebuilt on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.io import collection_arrays, collection_from_arrays
+from repro.hashing.signatures import BitSignatures, IntSignatures
+
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_query_index", "load_query_index"]
+
+#: magic string identifying QueryIndex snapshot archives
+SNAPSHOT_FORMAT = "repro-query-index"
+#: current snapshot format version
+SNAPSHOT_VERSION = 1
+
+
+def _snapshot_path(path) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    return path
+
+
+def save_query_index(index, path) -> Path:
+    """Write ``index`` to ``path`` (``.npz`` appended if missing)."""
+    from repro.search.query import QueryIndex
+
+    if not isinstance(index, QueryIndex):
+        raise TypeError(f"expected a QueryIndex, got {type(index).__name__}")
+    path = _snapshot_path(path)
+
+    family_state = index._family.state_dict()
+    family_arrays: dict[str, np.ndarray] = {}
+    family_scalars: dict[str, object] = {}
+    for key, value in family_state.items():
+        if isinstance(value, np.ndarray):
+            family_arrays[f"family_{key}"] = value
+        else:
+            family_scalars[key] = value
+    # Constructor arguments a fresh family needs *before* restore_state can
+    # validate against them (currently just the simhash quantisation flag).
+    family_kwargs = (
+        {"quantize": bool(family_state["quantize"])} if "quantize" in family_state else {}
+    )
+
+    store = index._store
+    if isinstance(store, BitSignatures):
+        store_kind, store_matrix = "bits", store.words
+    elif isinstance(store, IntSignatures):
+        store_kind, store_matrix = "ints", store.values
+    else:
+        raise TypeError(f"cannot snapshot a {type(store).__name__} signature store")
+
+    params = index._params
+    meta = {
+        "measure": index._measure.name,
+        "threshold": index._threshold,
+        "false_negative_rate": index._false_negative_rate,
+        "signature_width": index._signature_width,
+        "n_signatures": index._n_signatures,
+        "verification": index._verification,
+        "epsilon": params.epsilon,
+        "delta": params.delta,
+        "gamma": params.gamma,
+        "k": params.k,
+        "max_hashes": params.max_hashes,
+        "seed": index._seed,
+        "staleness_budget": index._staleness_budget,
+        "n_stale_postings": index._n_stale_postings,
+        "family": index._family.name,
+        "family_scalars": family_scalars,
+        "family_kwargs": family_kwargs,
+        "store_kind": store_kind,
+        "store_n_hashes": store.n_hashes,
+    }
+    np.savez_compressed(
+        path,
+        format=np.array(SNAPSHOT_FORMAT),
+        version=np.array(SNAPSHOT_VERSION, dtype=np.int64),
+        meta=np.array(json.dumps(meta)),
+        deleted=index._deleted,
+        postings_members=index._postings.members,
+        store_matrix=store_matrix,
+        **collection_arrays(index._collection, prefix="collection_"),
+        **family_arrays,
+    )
+    return path
+
+
+def load_query_index(path):
+    """Load an index snapshot written by :func:`save_query_index`."""
+    from repro.search.query import QueryIndex
+
+    path = _snapshot_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        names = set(archive.files)
+        if "format" not in names or str(archive["format"][()]) != SNAPSHOT_FORMAT:
+            raise ValueError(f"{path} is not a QueryIndex snapshot")
+        version = int(archive["version"][()])
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {version} is not supported "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        meta = json.loads(str(archive["meta"][()]))
+        collection = collection_from_arrays(archive, prefix="collection_")
+        deleted = np.asarray(archive["deleted"], dtype=bool)
+        postings_members = np.asarray(archive["postings_members"], dtype=np.int64)
+        store_matrix = archive["store_matrix"]
+
+        family_state: dict[str, object] = dict(meta["family_scalars"])
+        for name in names:
+            if name.startswith("family_"):
+                family_state[name[len("family_"):]] = archive[name]
+
+        if meta["store_kind"] == "bits":
+            store = BitSignatures.from_words(store_matrix, int(meta["store_n_hashes"]))
+        elif meta["store_kind"] == "ints":
+            store = IntSignatures.from_values(store_matrix)
+            if store.n_hashes != int(meta["store_n_hashes"]):
+                raise ValueError(
+                    f"snapshot declares {meta['store_n_hashes']} hashes but the "
+                    f"store matrix holds {store.n_hashes}"
+                )
+        else:
+            raise ValueError(f"unknown signature store kind {meta['store_kind']!r}")
+
+    return QueryIndex._from_snapshot(
+        collection=collection,
+        meta=meta,
+        family_state=family_state,
+        store=store,
+        deleted=deleted,
+        postings_members=postings_members,
+    )

@@ -11,7 +11,7 @@ from repro.core.bayeslsh import VerificationOutput
 from repro.similarity.measures import SimilarityMeasure, get_measure
 from repro.similarity.vectors import VectorCollection
 
-__all__ = ["Verifier", "exact_similarities_for_pairs"]
+__all__ = ["Verifier", "cross_similarities_for_pairs", "exact_similarities_for_pairs"]
 
 
 def exact_similarities_for_pairs(
@@ -26,38 +26,70 @@ def exact_similarities_for_pairs(
     ``prepared`` must already be the measure's preferred view
     (``measure.prepare(collection)``).
     """
+    return cross_similarities_for_pairs(prepared, prepared, measure, left, right, chunk_size)
+
+
+def cross_similarities_for_pairs(
+    prepared_left: VectorCollection,
+    prepared_right: VectorCollection,
+    measure: SimilarityMeasure,
+    left: np.ndarray,
+    right: np.ndarray,
+    chunk_size: int = 8192,
+) -> np.ndarray:
+    """Exact similarities between rows of *two* prepared collections.
+
+    Entry ``p`` is the similarity of row ``left[p]`` of ``prepared_left`` to
+    row ``right[p]`` of ``prepared_right`` — the cross-collection kernel the
+    serving layer uses to verify a batch of queries against an indexed
+    corpus.  Every operation is per-pair and row-local, so results do not
+    depend on how pairs are batched (a batch of one reproduces the batched
+    value bit for bit).  With ``prepared_left is prepared_right`` this is
+    exactly :func:`exact_similarities_for_pairs`.
+    """
     left = np.asarray(left, dtype=np.int64)
     right = np.asarray(right, dtype=np.int64)
     n_pairs = len(left)
     result = np.empty(n_pairs, dtype=np.float64)
-    matrix = prepared.matrix
-    row_nnz = prepared.row_nnz
-    norms = prepared.norms
     name = measure.name
     for start in range(0, n_pairs, chunk_size):
         end = min(start + chunk_size, n_pairs)
-        rows_l = matrix[left[start:end]]
-        rows_r = matrix[right[start:end]]
+        chunk_l = left[start:end]
+        chunk_r = right[start:end]
+        rows_l = prepared_left.matrix[chunk_l]
+        rows_r = prepared_right.matrix[chunk_r]
         inner = np.asarray(rows_l.multiply(rows_r).sum(axis=1)).ravel()
         if name == "cosine":
-            denom = norms[left[start:end]] * norms[right[start:end]]
+            denom = prepared_left.norms[chunk_l] * prepared_right.norms[chunk_r]
             values = np.divide(inner, denom, out=np.zeros_like(inner), where=denom > 0)
         elif name == "jaccard":
-            union = row_nnz[left[start:end]] + row_nnz[right[start:end]] - inner
+            union = prepared_left.row_nnz[chunk_l] + prepared_right.row_nnz[chunk_r] - inner
             values = np.divide(inner, union, out=np.zeros_like(inner), where=union > 0)
         elif name == "binary_cosine":
             denom = np.sqrt(
-                row_nnz[left[start:end]].astype(np.float64)
-                * row_nnz[right[start:end]].astype(np.float64)
+                prepared_left.row_nnz[chunk_l].astype(np.float64)
+                * prepared_right.row_nnz[chunk_r].astype(np.float64)
             )
             values = np.divide(inner, denom, out=np.zeros_like(inner), where=denom > 0)
-        else:  # fall back to the measure's scalar implementation
+        elif prepared_left is prepared_right:
+            # fall back to the measure's scalar implementation
             values = np.array(
                 [
-                    measure.exact(prepared, int(i), int(j))
-                    for i, j in zip(left[start:end], right[start:end])
+                    measure.exact(prepared_left, int(i), int(j))
+                    for i, j in zip(chunk_l, chunk_r)
                 ]
             )
+        else:  # cross-collection fallback: scalar measure on a joint pair view
+            import scipy.sparse as sp
+
+            values = np.empty(end - start, dtype=np.float64)
+            for offset, (i, j) in enumerate(zip(chunk_l, chunk_r)):
+                joint = VectorCollection(
+                    sp.vstack(
+                        [prepared_left.matrix.getrow(int(i)), prepared_right.matrix.getrow(int(j))]
+                    )
+                )
+                values[offset] = measure.exact(measure.prepare(joint), 0, 1)
         result[start:end] = np.minimum(values, 1.0)
     return result
 

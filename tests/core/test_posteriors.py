@@ -10,7 +10,6 @@ from repro.core.posteriors import (
     make_posterior,
 )
 from repro.core.priors import BetaPrior, UniformCollisionPrior
-from repro.hashing.simhash import cosine_to_collision
 
 
 class TestBetaPosterior:

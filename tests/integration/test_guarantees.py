@@ -13,7 +13,6 @@ These are statistical statements; the assertions use slack factors so they
 hold for every seed while still being meaningful.
 """
 
-import numpy as np
 import pytest
 
 from repro.evaluation.ground_truth import exact_all_pairs

@@ -11,7 +11,6 @@ decisions depend on nothing but the pair itself.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets.synthetic import synthetic_text_corpus

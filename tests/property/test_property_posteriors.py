@@ -9,7 +9,6 @@ arbitrary valid observation counts and parameters:
 * the concentration probability is monotone in delta.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.posteriors import BetaPosterior, TruncatedCollisionPosterior

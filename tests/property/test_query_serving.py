@@ -1,0 +1,187 @@
+"""Property tests for the serving layer's bit-identity contracts.
+
+Three contracts (see ``repro/search/query.py``):
+
+* **batched == looped** — ``query_many`` / ``top_k_many`` on a batch equal
+  the singular ``query`` / ``top_k`` called per row, bit for bit;
+* **brute-force agreement** — under ``verification="exact"`` every returned
+  pair carries the true exact similarity and lies above the threshold, the
+  result is a subset of the brute-force answer set, and an indexed vector
+  queried against its own index always retrieves itself;
+* **update equivalence** — an index grown by ``insert`` answers exactly like
+  an index built from scratch over the final collection, and ``delete``
+  filters tombstoned rows immediately whether or not the staleness budget
+  has forced a posting rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro.search.query import QueryIndex
+from repro.similarity.vectors import VectorCollection
+
+MEASURES = ["cosine", "jaccard", "binary_cosine"]
+
+
+def _random_collection(seed: int, n: int = 50, features: int = 80) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, features)) * (rng.random((n, features)) < 0.2)
+    # Plant near-duplicate pairs so thresholded queries have true positives.
+    half = n // 2
+    planted = min(8, n - half)
+    dense[:planted] = dense[half : half + planted]
+    mask = rng.random((planted, features)) < 0.1
+    dense[:planted][mask] = 0.0
+    return dense
+
+
+def _brute_force_matrix(queries: np.ndarray, corpus: np.ndarray, measure: str) -> np.ndarray:
+    """Independent dense implementation of the three measures."""
+    if measure == "cosine":
+        def norm(matrix):
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            return np.divide(matrix, norms, out=np.zeros_like(matrix), where=norms > 0)
+
+        return norm(queries) @ norm(corpus).T
+    binary_q = (queries > 0).astype(np.float64)
+    binary_c = (corpus > 0).astype(np.float64)
+    inner = binary_q @ binary_c.T
+    if measure == "binary_cosine":
+        denom = np.sqrt(np.outer(binary_q.sum(axis=1), binary_c.sum(axis=1)))
+    else:  # jaccard
+        denom = binary_q.sum(axis=1)[:, None] + binary_c.sum(axis=1)[None, :] - inner
+    return np.divide(inner, denom, out=np.zeros_like(inner), where=denom > 0)
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("verification", ["bayes", "exact"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_batched_queries_equal_looped_queries(measure, verification, seed):
+    corpus = _random_collection(seed)
+    index = QueryIndex(
+        corpus, measure=measure, threshold=0.6, verification=verification, seed=seed
+    )
+    queries = _random_collection(seed + 100, n=9)[:, : corpus.shape[1]]
+    queries[:4] = corpus[:4]  # mix indexed rows into the batch
+
+    batched = index.query_many(queries, threshold=0.55)
+    looped = [index.query(queries[i], threshold=0.55) for i in range(len(queries))]
+    assert batched == looped
+
+    batched_topk = index.top_k_many(queries, k=5, floor_threshold=0.2)
+    looped_topk = [
+        index.top_k(queries[i], k=5, floor_threshold=0.2) for i in range(len(queries))
+    ]
+    assert batched_topk == looped_topk
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_exact_queries_agree_with_brute_force(measure, seed):
+    corpus = _random_collection(seed)
+    threshold = 0.55
+    index = QueryIndex(
+        corpus,
+        measure=measure,
+        threshold=threshold,
+        verification="exact",
+        false_negative_rate=0.01,
+        seed=seed,
+    )
+    queries = corpus[:10]
+    brute = _brute_force_matrix(queries, corpus, measure)
+
+    for position, hits in enumerate(index.query_many(queries, threshold=threshold)):
+        returned = {pair.j: pair.similarity for pair in hits}
+        # Subset of the brute-force answer set, with the true similarities.
+        for j, similarity in returned.items():
+            assert similarity > threshold
+            assert similarity == pytest.approx(brute[position, j], abs=1e-9)
+        # An indexed vector always finds itself: it shares every band.
+        if np.any(queries[position] != 0):
+            assert position in returned
+            assert returned[position] == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+def test_top_k_matches_brute_force_ranking(measure):
+    corpus = _random_collection(7)
+    index = QueryIndex(corpus, measure=measure, threshold=0.6, verification="exact", seed=7)
+    queries = corpus[:6]
+    brute = _brute_force_matrix(queries, corpus, measure)
+    for position, ranked in enumerate(index.top_k_many(queries, k=4, floor_threshold=0.3)):
+        similarities = [pair.similarity for pair in ranked]
+        assert similarities == sorted(similarities, reverse=True)
+        assert all(s > 0.3 for s in similarities)
+        for pair in ranked:
+            assert pair.similarity == pytest.approx(brute[position, pair.j], abs=1e-9)
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("verification", ["bayes", "exact"])
+def test_incremental_insert_equals_scratch_build(measure, verification):
+    corpus = _random_collection(11, n=60)
+    queries = corpus[:8]
+    scratch = QueryIndex(
+        corpus, measure=measure, threshold=0.6, verification=verification, seed=3
+    )
+    grown = QueryIndex(
+        corpus[:25], measure=measure, threshold=0.6, verification=verification, seed=3
+    )
+    first = grown.insert(corpus[25:45])
+    second = grown.insert(corpus[45:])
+    assert np.array_equal(first, np.arange(25, 45))
+    assert np.array_equal(second, np.arange(45, 60))
+    assert grown.n_indexed == scratch.n_indexed
+
+    assert grown.query_many(queries, threshold=0.55) == scratch.query_many(
+        queries, threshold=0.55
+    )
+    assert grown.top_k_many(queries, k=5) == scratch.top_k_many(queries, k=5)
+
+
+@pytest.mark.parametrize("budget", [0.0, 0.5, 1.0])
+def test_delete_filters_immediately_and_rebuild_preserves_answers(budget):
+    corpus = _random_collection(13, n=60)
+    queries = corpus[:8]
+    index = QueryIndex(
+        corpus, measure="cosine", threshold=0.6, verification="exact",
+        seed=5, staleness_budget=budget,
+    )
+    victims = list(range(0, 12))
+    assert index.delete(victims) == 12
+    assert index.delete(victims) == 0  # tombstoning is idempotent
+    assert index.n_deleted == 12
+
+    results = index.query_many(queries, threshold=0.4)
+    for hits in results:
+        assert all(pair.j not in set(victims) for pair in hits)
+    if budget == 0.0:
+        # The query above crossed the (zero) budget and rebuilt the postings.
+        assert index.n_stale_postings == 0
+    # Answers are identical before and after a forced rebuild.
+    reference = QueryIndex(
+        corpus, measure="cosine", threshold=0.6, verification="exact",
+        seed=5, staleness_budget=0.0,
+    )
+    reference.delete(victims)
+    assert reference.query_many(queries, threshold=0.4) == results
+
+
+def test_insert_accepts_token_sets_and_dicts():
+    sets = [{0, 3, 5}, {1, 2}, {0, 3, 6}, {2, 4, 7}, {1, 5, 6}, {0, 1, 2, 3}]
+    index = QueryIndex(
+        VectorCollection.from_sets(sets, n_features=16),
+        measure="jaccard",
+        threshold=0.4,
+        verification="exact",
+        seed=0,
+    )
+    rows = index.insert([{0, 3, 5, 9}, {8, 9}])
+    assert rows.tolist() == [6, 7]
+    hits = index.query({0, 3, 5}, threshold=0.5)
+    assert 6 in {pair.j for pair in hits}
+
+    dict_rows = index.insert([{10: 1.0, 11: 2.0}])
+    assert dict_rows.tolist() == [8]
+    assert index.n_indexed == 9

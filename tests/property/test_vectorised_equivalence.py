@@ -199,9 +199,9 @@ class TestArrayOps:
     @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 8)), max_size=12))
     def test_ragged_arange(self, segments):
         starts = np.array([s for s, _ in segments], dtype=np.int64)
-        lengths = np.array([l for _, l in segments], dtype=np.int64)
+        lengths = np.array([length for _, length in segments], dtype=np.int64)
         expected = (
-            np.concatenate([np.arange(s, s + l) for s, l in segments])
+            np.concatenate([np.arange(s, s + length) for s, length in segments])
             if segments and lengths.sum()
             else np.zeros(0, dtype=np.int64)
         )

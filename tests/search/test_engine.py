@@ -5,7 +5,6 @@ import pytest
 import scipy.sparse as sp
 
 from repro.candidates.lsh_index import LSHGenerator
-from repro.datasets.base import Dataset
 from repro.search.engine import SearchEngine, all_pairs_similarity, as_collection
 from repro.similarity.vectors import VectorCollection
 from repro.verification.exact import ExactVerifier

@@ -5,7 +5,6 @@ import pytest
 
 from repro.search.query import QueryIndex
 from repro.similarity.measures import get_measure
-from repro.similarity.vectors import VectorCollection
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +72,82 @@ class TestQueryIndexCosine:
     def test_index_properties(self, sparse_text_collection, cosine_index):
         assert cosine_index.n_indexed == sparse_text_collection.n_vectors
         assert cosine_index.n_signatures >= 1
+
+
+class TestQueryIndexServing:
+    def test_query_many_accepts_matrix_and_row_lists(self, sparse_text_collection):
+        index = QueryIndex(
+            sparse_text_collection, measure="cosine", threshold=0.7, verification="exact", seed=3
+        )
+        dense = sparse_text_collection.matrix[:4].toarray()
+        from_matrix = index.query_many(dense, threshold=0.8)
+        from_sparse = index.query_many(sparse_text_collection.matrix[:4], threshold=0.8)
+        assert from_matrix == from_sparse
+        assert len(from_matrix) == 4
+        for row, hits in enumerate(from_matrix):
+            assert row in {pair.j for pair in hits}
+
+    def test_insert_then_query_finds_new_rows(self, sparse_text_collection):
+        index = QueryIndex(
+            sparse_text_collection, measure="cosine", threshold=0.7, verification="exact", seed=3
+        )
+        fresh = sparse_text_collection.matrix[:3].toarray() * 1.5  # same directions
+        rows = index.insert(fresh)
+        assert rows.tolist() == [150, 151, 152]
+        assert index.n_indexed == 153
+        assert index.n_alive == 153
+        hits = index.query(fresh[0], threshold=0.95)
+        assert {0, 150} <= {pair.j for pair in hits}
+
+    def test_insert_validates_shapes_and_ids(self, sparse_text_collection):
+        index = QueryIndex(sparse_text_collection, measure="cosine", seed=3)
+        with pytest.raises(ValueError, match="features"):
+            index.insert(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="ids"):
+            index.insert(
+                sparse_text_collection.matrix[:2].toarray(), ids=["only-one"]
+            )
+        assert index.insert([]).size == 0
+
+    def test_delete_tombstones_and_staleness_accounting(self, sparse_text_collection):
+        index = QueryIndex(
+            sparse_text_collection,
+            measure="cosine",
+            threshold=0.7,
+            verification="exact",
+            seed=3,
+            staleness_budget=1.0,  # never rebuild during this test
+        )
+        query = sparse_text_collection.matrix[5].toarray().ravel()
+        assert 5 in {pair.j for pair in index.query(query, threshold=0.9)}
+        assert index.delete([5]) == 1
+        assert index.n_deleted == 1
+        assert index.n_alive == index.n_indexed - 1
+        assert index.n_stale_postings == 1
+        assert 5 not in {pair.j for pair in index.query(query, threshold=0.9)}
+        # Idempotent, and bounds are validated.
+        assert index.delete([5]) == 0
+        with pytest.raises(IndexError):
+            index.delete([index.n_indexed])
+
+    def test_zero_staleness_budget_rebuilds_on_next_query(self, sparse_text_collection):
+        index = QueryIndex(
+            sparse_text_collection,
+            measure="cosine",
+            threshold=0.7,
+            verification="exact",
+            seed=3,
+            staleness_budget=0.0,
+        )
+        index.delete([1, 2])
+        assert index.n_stale_postings == 2
+        index.query(sparse_text_collection.matrix[7].toarray().ravel())
+        assert index.n_stale_postings == 0
+        assert index.n_deleted == 2  # tombstones survive the rebuild
+
+    def test_invalid_staleness_budget_rejected(self, sparse_text_collection):
+        with pytest.raises(ValueError, match="staleness_budget"):
+            QueryIndex(sparse_text_collection, staleness_budget=1.5)
 
 
 class TestQueryIndexJaccard:

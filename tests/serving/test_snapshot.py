@@ -1,0 +1,154 @@
+"""Snapshot round-trip tests for the serving layer.
+
+The contract under test (see ``repro/serving/snapshot.py``): a loaded index
+is indistinguishable from the instance that saved it — same query answers bit
+for bit, same counters, and the *same future*: hash functions drawn after the
+round trip match hash functions the original would have drawn.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.search.query import QueryIndex
+from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    load_query_index,
+    save_query_index,
+)
+
+
+def _corpus(seed: int, n: int = 60, features: int = 120):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, features)) * (rng.random((n, features)) < 0.15)
+    dense[: n // 4] = dense[n // 2 : n // 2 + n // 4]  # planted near-duplicates
+    return dense
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _corpus(101)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    return corpus[:7] + 0.0
+
+
+@pytest.mark.parametrize(
+    "measure,verification",
+    [
+        ("cosine", "bayes"),
+        ("cosine", "exact"),
+        ("jaccard", "bayes"),
+        ("jaccard", "exact"),
+        ("binary_cosine", "bayes"),
+    ],
+)
+def test_round_trip_is_bit_identical(tmp_path, corpus, queries, measure, verification):
+    index = QueryIndex(
+        corpus, measure=measure, threshold=0.6, verification=verification, seed=9
+    )
+    before_query = index.query_many(queries, threshold=0.5)
+    before_topk = index.top_k_many(queries, k=5)
+
+    path = index.save(tmp_path / f"{measure}-{verification}")
+    assert path.suffix == ".npz"
+    loaded = QueryIndex.load(path)
+
+    assert loaded.n_indexed == index.n_indexed
+    assert loaded.n_signatures == index.n_signatures
+    assert loaded.threshold == index.threshold
+    assert loaded.verification == verification
+    # ScoredPair equality is exact (ints and the float similarity), so these
+    # assertions enforce bit-identity of every estimate.
+    assert loaded.query_many(queries, threshold=0.5) == before_query
+    assert loaded.top_k_many(queries, k=5) == before_topk
+
+
+@pytest.mark.parametrize("measure", ["cosine", "jaccard"])
+def test_rng_stream_resumes_after_load(tmp_path, corpus, queries, measure):
+    """Hashes drawn *after* the round trip match hashes drawn without it.
+
+    The index is saved before any Bayesian query runs, so the signature store
+    holds only the banding hashes; the first query then forces both instances
+    to draw ~2000 more hash functions.  Identical answers prove the RNG
+    stream position (not just the drawn state) survived serialisation.
+    """
+    index = QueryIndex(corpus, measure=measure, threshold=0.6, seed=4)
+    path = save_query_index(index, tmp_path / "pre-query")
+    loaded = load_query_index(path)
+    assert loaded.query_many(queries, threshold=0.5) == index.query_many(
+        queries, threshold=0.5
+    )
+
+
+def test_round_trip_preserves_updates_and_counters(tmp_path, corpus, queries):
+    index = QueryIndex(
+        corpus, measure="cosine", threshold=0.6, seed=2, staleness_budget=0.9
+    )
+    index.insert(_corpus(55, n=12))
+    index.delete([0, 3, 5])
+    expected = index.query_many(queries, threshold=0.5)
+
+    loaded = QueryIndex.load(index.save(tmp_path / "updated"))
+    assert loaded.n_indexed == index.n_indexed
+    assert loaded.n_deleted == 3
+    assert loaded.n_stale_postings == index.n_stale_postings
+    assert loaded.staleness_budget == index.staleness_budget
+    assert loaded.query_many(queries, threshold=0.5) == expected
+    # The loaded index keeps evolving: further updates behave identically.
+    extra = _corpus(56, n=6)
+    assert np.array_equal(index.insert(extra), loaded.insert(extra))
+    assert loaded.query_many(queries, threshold=0.5) == index.query_many(
+        queries, threshold=0.5
+    )
+
+
+def test_round_trip_preserves_external_ids(tmp_path):
+    from repro.similarity.vectors import VectorCollection
+
+    collection = VectorCollection.from_dense(
+        _corpus(77, n=10), ids=[f"doc-{i}" for i in range(10)]
+    )
+    index = QueryIndex(collection, measure="cosine", threshold=0.6, seed=1)
+    loaded = QueryIndex.load(index.save(tmp_path / "ids"))
+    assert list(loaded._collection.ids) == [f"doc-{i}" for i in range(10)]
+
+
+def test_rejects_foreign_and_future_archives(tmp_path, corpus):
+    foreign = tmp_path / "foreign.npz"
+    np.savez(foreign, something=np.arange(3))
+    with pytest.raises(ValueError, match="not a QueryIndex snapshot"):
+        load_query_index(foreign)
+
+    index = QueryIndex(corpus, measure="cosine", threshold=0.6, seed=0)
+    path = index.save(tmp_path / "current")
+    with np.load(path, allow_pickle=False) as archive:
+        contents = {name: archive[name] for name in archive.files}
+    assert str(contents["format"][()]) == SNAPSHOT_FORMAT
+    contents["version"] = np.array(SNAPSHOT_VERSION + 1, dtype=np.int64)
+    future = tmp_path / "future.npz"
+    np.savez(future, **contents)
+    with pytest.raises(ValueError, match="version"):
+        load_query_index(future)
+
+
+def test_snapshot_is_pickle_free(tmp_path, corpus):
+    """Every payload loads under ``allow_pickle=False`` and meta is plain JSON."""
+    index = QueryIndex(corpus, measure="jaccard", threshold=0.55, seed=8)
+    path = index.save(tmp_path / "no-pickle")
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"][()]))
+        for name in archive.files:
+            archive[name]  # raises if any array would need pickling
+    assert meta["measure"] == "jaccard"
+    assert meta["store_kind"] == "ints"
+    assert meta["family"] == "minhash"
+
+
+def test_save_rejects_non_index():
+    with pytest.raises(TypeError, match="QueryIndex"):
+        save_query_index(object(), "nowhere")
