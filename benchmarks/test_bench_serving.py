@@ -1,4 +1,4 @@
-"""Serving-layer benchmarks: batched queries, ingest and snapshot round trips.
+"""Serving-layer benchmarks: batched queries, ingest scaling and snapshots.
 
 Measures the online-serving workloads the :class:`~repro.search.query.QueryIndex`
 subsystem introduces, at a scale comparable to the hot-path benchmarks:
@@ -10,13 +10,23 @@ subsystem introduces, at a scale comparable to the hot-path benchmarks:
 * **looped threshold queries** — the same 64 queries served one ``query``
   call at a time, so the batch-vs-loop amortisation stays visible in the
   benchmark history;
+* **exact vs estimate top-k** — ``top_k_many`` under both ranking modes on
+  the same index and batch; the gap is the price of touching the raw
+  vectors for exact scores instead of reusing the BayesLSH hash agreements
+  (``rank_by="estimate"``; accuracy trade-off documented in
+  ``docs/serving.md``);
 * **incremental ingest** — ``insert`` of a 200-document batch into an
-  existing index (hash + splice + posting append, no rebuild);
+  existing index (seal a segment: prepare + hash + posting append);
+* **ingest scaling** — the acceptance check for the segmented store:
+  ``insert`` of a fixed 500-document batch into indices of 10k, 50k and
+  100k documents.  Segmented ingest is O(batch), so the three timings
+  should be near-flat in the collection size (the monolithic design they
+  replace re-concatenated and re-prepared all N rows per insert);
 * **snapshot round trip** — ``save`` + ``load`` of a fully built index.
 
-These benchmarks have no committed baseline entries yet (the regression gate
-reports them as NEW); they gain gating power once the baseline is refreshed
-with ``check_regression.py --update`` on the CI reference machine.
+These benchmarks have no committed baseline entries (the regression gate
+only covers ``test_bench_hotpaths.py``); they exist to keep the serving
+numbers visible in the benchmark history.
 """
 
 from __future__ import annotations
@@ -30,6 +40,9 @@ from repro.similarity.transforms import tfidf_weighting
 _N_DOCUMENTS = 2000
 _N_QUERIES = 64
 _N_INSERT = 200
+
+_INGEST_SIZES = [10_000, 50_000, 100_000]
+_INGEST_BATCH = 500
 
 
 @pytest.fixture(scope="module")
@@ -87,6 +100,15 @@ def test_top_k_many_batched(benchmark, serving_index, query_batch):
     assert len(results) == _N_QUERIES
 
 
+def test_top_k_many_estimate(benchmark, serving_index, query_batch):
+    """Estimate-ranked top-k: reuses pruning-round posteriors, no exact scores."""
+    results = benchmark(
+        serving_index.top_k_many, query_batch, 10, rank_by="estimate"
+    )
+    assert len(results) == _N_QUERIES
+    assert any(results)
+
+
 def test_insert_batch(benchmark, serving_collection):
     fresh_rows = serving_collection.matrix[_N_DOCUMENTS:]
 
@@ -105,6 +127,42 @@ def test_insert_batch(benchmark, serving_collection):
         lambda index: index.insert(fresh_rows), setup=make_index, rounds=3
     )
     assert len(rows) == _N_INSERT
+
+
+@pytest.fixture(scope="module")
+def ingest_collection():
+    corpus = synthetic_text_corpus(
+        n_documents=max(_INGEST_SIZES) + _INGEST_BATCH,
+        vocabulary_size=4000,
+        average_length=40,
+        duplicate_fraction=0.5,
+        cluster_size=4,
+        mutation_rate=0.1,
+        seed=59,
+    )
+    return tfidf_weighting(corpus.collection)
+
+
+@pytest.fixture(scope="module", params=_INGEST_SIZES, ids=lambda n: f"N{n}")
+def ingest_index(request, ingest_collection):
+    return QueryIndex(
+        ingest_collection.subset(range(request.param)),
+        measure="cosine",
+        threshold=0.7,
+        seed=5,
+    )
+
+
+def test_insert_scaling(benchmark, ingest_index, ingest_collection):
+    """Fixed-batch ingest across N ∈ {10k, 50k, 100k}: must be near-flat.
+
+    Each round appends one sealed segment; the index grows by 500 rows per
+    round, which is negligible against the collection sizes under test and
+    does not change per-insert cost (appends never touch existing segments).
+    """
+    batch = ingest_collection.matrix[max(_INGEST_SIZES) :]
+    rows = benchmark.pedantic(ingest_index.insert, args=(batch,), rounds=5)
+    assert len(rows) == _INGEST_BATCH
 
 
 def test_snapshot_round_trip(benchmark, serving_index, tmp_path):

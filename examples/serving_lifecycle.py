@@ -1,0 +1,102 @@
+"""Serving lifecycle: build -> snapshot -> load -> insert -> delete -> compact.
+
+Walks a :class:`~repro.search.query.QueryIndex` through every stage of its
+operational life (see ``docs/serving.md`` for the full guide):
+
+1. **build** an index over a TF-IDF corpus;
+2. **snapshot** it to a versioned ``.npz`` file and **load** it back —
+   the loaded index answers bit-identically to the saved one;
+3. **insert** a fresh batch (sealed as a new segment, O(batch));
+4. **delete** a few rows (tombstoned, filtered immediately);
+5. **compact** on save — tombstones dropped, segments merged — and reload;
+6. serve a **batched top-k** query against the compacted index, in both the
+   exact and the estimate-ranked mode.
+
+Runs end-to-end in a couple of seconds and asserts its own invariants, so
+CI uses it as a smoke test.  Run with:  python examples/serving_lifecycle.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import QueryIndex
+from repro.datasets import synthetic_text_corpus
+from repro.similarity import tfidf_weighting
+
+
+def main() -> None:
+    # 1. Build.  The corpus becomes segment 0 of the index's segmented store.
+    corpus = synthetic_text_corpus(
+        n_documents=1200,
+        vocabulary_size=4000,
+        average_length=50,
+        duplicate_fraction=0.4,
+        seed=7,
+    )
+    vectors = tfidf_weighting(corpus.collection)
+    index = QueryIndex(
+        vectors.subset(range(1000)), measure="cosine", threshold=0.7, seed=0
+    )
+    print(f"built   : {index.n_indexed} docs, {index.n_signatures} bands, "
+          f"{index.n_segments} segment(s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 2. Snapshot and load.  The archive round-trips the hash family's
+        #    RNG position, so the loaded index is bit-identical — including
+        #    hashes it will draw in the future.
+        path = index.save(Path(tmp) / "corpus-index")
+        index = QueryIndex.load(path)
+        print(f"loaded  : {path.name} ({path.stat().st_size / 1024:.0f} KiB)")
+
+        # 3. Insert: each batch is sealed as a new segment in O(batch) —
+        #    nothing existing is re-hashed or re-concatenated.
+        new_rows = index.insert(vectors.matrix[1000:1200])
+        assert index.n_segments == 2
+        print(f"inserted: rows {new_rows[0]}..{new_rows[-1]}, "
+              f"now {index.n_segments} segments")
+
+        # 4. Delete: tombstoned rows vanish from results immediately; the
+        #    postings clean themselves up lazily via the staleness budget.
+        index.delete(range(0, 50))
+        probe = vectors.matrix[0]
+        assert all(pair.j != 0 for pair in index.query(probe, threshold=0.5))
+        print(f"deleted : {index.n_deleted} rows tombstoned "
+              f"({index.n_stale_postings} stale postings)")
+
+        # 5. Compact on save: the snapshot merges the segments and drops the
+        #    tombstoned rows; survivors are renumbered but keep their ids.
+        before = {
+            (index.ids[pair.j], round(pair.similarity, 12))
+            for pair in index.query(vectors.matrix[100], threshold=0.5)
+        }
+        compact_path = index.save(Path(tmp) / "corpus-index-compact", compact=True)
+        compacted = QueryIndex.load(compact_path)
+        after = {
+            (compacted.ids[pair.j], round(pair.similarity, 12))
+            for pair in compacted.query(vectors.matrix[100], threshold=0.5)
+        }
+        assert compacted.n_indexed == index.n_alive
+        assert compacted.n_deleted == 0 and compacted.n_segments == 1
+        assert before == after, "compaction must preserve (id, similarity) answers"
+        print(f"compact : {index.n_indexed} -> {compacted.n_indexed} rows, "
+              f"{compact_path.stat().st_size / 1024:.0f} KiB")
+
+        # 6. Batched top-k, exact vs estimate-ranked.  The estimate mode
+        #    ranks by the BayesLSH posterior estimates computed during
+        #    pruning — no exact similarity is evaluated (see docs/serving.md
+        #    for the measured latency/accuracy trade-off).
+        queries = vectors.matrix[100:108]
+        exact = compacted.top_k_many(queries, k=5)
+        estimated = compacted.top_k_many(queries, k=5, rank_by="estimate")
+        assert len(exact) == len(estimated) == 8
+        print("top-k   : query  exact-best           estimate-best")
+        for q, (hits_e, hits_m) in enumerate(zip(exact, estimated)):
+            best_e = f"id {compacted.ids[hits_e[0].j]:4d} @ {hits_e[0].similarity:.3f}" if hits_e else "-"
+            best_m = f"id {compacted.ids[hits_m[0].j]:4d} @ {hits_m[0].similarity:.3f}" if hits_m else "-"
+            print(f"          {q:5d}  {best_e:20s} {best_m}")
+
+    print("serving lifecycle OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -108,6 +108,12 @@ class AllPairsGenerator(CandidateGenerator):
         return self._stream(collection, hit_budget, block_size)
 
     def generate(self, collection: VectorCollection) -> CandidateSet:
+        """All candidate pairs at once (the streamed path with one unbounded block).
+
+        Deterministic in the collection alone: the index-then-probe sweep
+        involves no randomness, so repeated calls yield identical pairs,
+        counts and metadata.
+        """
         return CandidateSet.from_stream(
             self._stream(collection, _HIT_BATCH, UNBOUNDED_BLOCK)
         )

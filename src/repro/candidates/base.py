@@ -154,10 +154,12 @@ class CandidateGenerator(ABC):
 
     @property
     def measure(self) -> SimilarityMeasure:
+        """The similarity measure candidates are generated for."""
         return self._measure
 
     @property
     def threshold(self) -> float:
+        """The similarity threshold the candidate set targets."""
         return self._threshold
 
     @abstractmethod

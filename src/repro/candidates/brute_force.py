@@ -32,6 +32,7 @@ class BruteForceGenerator(CandidateGenerator):
         self._require_shared_feature = bool(require_shared_feature)
 
     def generate(self, collection: VectorCollection) -> CandidateSet:
+        """Every pair (optionally restricted to pairs sharing a feature)."""
         n = collection.n_vectors
         if n < 2:
             return CandidateSet.from_pairs([], generator=self.name)

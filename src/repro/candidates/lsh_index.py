@@ -31,7 +31,7 @@ import math
 
 import numpy as np
 
-from typing import Iterator
+from typing import Iterator, Protocol
 
 from repro.candidates.arrayops import pairs_within_groups
 from repro.candidates.base import (
@@ -44,7 +44,23 @@ from repro.hashing.base import HashFamily, get_hash_family
 from repro.hashing.signatures import SignatureStore
 from repro.similarity.vectors import VectorCollection
 
-__all__ = ["BandPostings", "LSHGenerator", "signatures_for_false_negative_rate"]
+__all__ = ["BandKeySource", "BandPostings", "LSHGenerator", "signatures_for_false_negative_rate"]
+
+
+class BandKeySource(Protocol):
+    """Anything band contents can be gathered from, addressed by row index.
+
+    The postings deliberately depend only on this one operation, so they
+    work over a plain :class:`~repro.hashing.signatures.SignatureStore` and
+    equally over the serving layer's
+    :class:`~repro.serving.segments.SegmentedCollection`, which routes the
+    gather to per-segment stores (bit-identically, since band keys are
+    row-local).
+    """
+
+    def band_keys_many(self, rows: np.ndarray, band: int, band_width: int) -> np.ndarray:
+        """Band contents for many rows, one row of band content per input row."""
+        ...
 
 
 def group_by_band_content(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -130,7 +146,7 @@ class BandPostings:
 
     @classmethod
     def build(
-        cls, store: SignatureStore, rows: np.ndarray, n_bands: int, band_width: int
+        cls, store: BandKeySource, rows: np.ndarray, n_bands: int, band_width: int
     ) -> "BandPostings":
         """Postings over ``rows`` of ``store`` (order defines bucket order)."""
         postings = cls(n_bands, band_width)
@@ -139,14 +155,17 @@ class BandPostings:
 
     @property
     def n_bands(self) -> int:
+        """Number of independent LSH bands."""
         return self._n_bands
 
     @property
     def band_width(self) -> int:
+        """Hashes concatenated per band."""
         return self._band_width
 
     @property
     def n_members(self) -> int:
+        """Total member rows inserted (tombstoned members included)."""
         return len(self._members)
 
     @property
@@ -154,7 +173,7 @@ class BandPostings:
         """Member rows in insertion order (the serialisable postings state)."""
         return np.asarray(self._members, dtype=np.int64)
 
-    def add(self, store: SignatureStore, rows) -> None:
+    def add(self, store: BandKeySource, rows) -> None:
         """Insert ``rows`` of ``store`` into every band's buckets."""
         rows = np.asarray(rows, dtype=np.int64)
         if len(rows) == 0:
@@ -254,6 +273,7 @@ class LSHGenerator(CandidateGenerator):
 
     @property
     def signature_width(self) -> int:
+        """Hashes concatenated per signature (``k`` in Section 2)."""
         return self._signature_width
 
     @property
@@ -326,6 +346,12 @@ class LSHGenerator(CandidateGenerator):
         return BlockStream(blocks(), metadata)
 
     def generate(self, collection: VectorCollection) -> CandidateSet:
+        """All banded-LSH collision pairs at once.
+
+        Deterministic in ``(collection, seed)``: hash functions are pure
+        functions of ``(seed, hash index)``, so repeated calls — or a
+        streamed call with any block size — produce identical candidates.
+        """
         return CandidateSet.from_stream(
             self.generate_blocks(collection, block_size=UNBOUNDED_BLOCK)
         )

@@ -113,6 +113,11 @@ class PPJoinGenerator(CandidateGenerator):
         return self._stream(collection, hit_budget, block_size)
 
     def generate(self, collection: VectorCollection) -> CandidateSet:
+        """All candidate pairs at once (the streamed path with one unbounded block).
+
+        Deterministic in the collection alone — no randomness is involved,
+        and the accept-skip accounting makes the counters exact.
+        """
         return CandidateSet.from_stream(
             self._stream(collection, _HIT_BATCH, UNBOUNDED_BLOCK)
         )

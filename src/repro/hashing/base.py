@@ -44,10 +44,12 @@ class HashFamily(ABC):
 
     @property
     def collection(self) -> VectorCollection:
+        """The collection this family instance hashes."""
         return self._collection
 
     @property
     def seed(self) -> int:
+        """The seed that (with the hash index) determines every hash function."""
         return self._seed
 
     @property

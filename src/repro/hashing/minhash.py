@@ -285,6 +285,13 @@ class MinHashFamily(HashFamily):
         store.append_values(values)
 
     def clone_for(self, collection: VectorCollection) -> "MinHashFamily":
+        """A family over ``collection`` evaluating the *same* hash functions.
+
+        Drawn coefficients and the RNG position are copied, so hash function
+        ``i`` of the clone is hash function ``i`` of this family and future
+        lazy draws continue the identical deterministic stream (see
+        :meth:`HashFamily.clone_for` for the contract).
+        """
         clone = MinHashFamily(collection, seed=self._seed, block_size=self._block_size)
         clone._coef_a = self._coef_a.copy()
         clone._coef_b = self._coef_b.copy()
@@ -292,6 +299,7 @@ class MinHashFamily(HashFamily):
         return clone
 
     def state_dict(self) -> dict:
+        """Drawn ``(a, b)`` coefficients plus the JSON-encoded RNG position."""
         return {
             "coef_a": self._coef_a.copy(),
             "coef_b": self._coef_b.copy(),
@@ -299,6 +307,7 @@ class MinHashFamily(HashFamily):
         }
 
     def restore_state(self, state: dict) -> None:
+        """Restore coefficients and RNG position captured by :meth:`state_dict`."""
         coef_a = np.asarray(state["coef_a"], dtype=np.int64)
         coef_b = np.asarray(state["coef_b"], dtype=np.int64)
         if coef_a.shape != coef_b.shape:

@@ -89,6 +89,7 @@ class QuantizedGaussian:
 
     @property
     def n_features(self) -> int:
+        """Dimensionality of the vectors the projections act on."""
         return self._n_features
 
     @property
@@ -99,6 +100,7 @@ class QuantizedGaussian:
 
     @property
     def quantized(self) -> bool:
+        """Whether entries are stored as 2-byte codes (the paper's setting)."""
         return self._quantize
 
     @property

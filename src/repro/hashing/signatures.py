@@ -271,6 +271,7 @@ class BitSignatures(SignatureStore):
         return store
 
     def append_rows_from(self, other: SignatureStore) -> None:
+        """Append every row of ``other`` below the existing rows (see base)."""
         if not isinstance(other, BitSignatures):
             raise TypeError(f"cannot append rows of {type(other).__name__} to BitSignatures")
         if other.n_hashes != self._n_hashes:
@@ -282,10 +283,12 @@ class BitSignatures(SignatureStore):
 
     @property
     def n_vectors(self) -> int:
+        """Number of signature rows stored."""
         return self._n_vectors
 
     @property
     def n_hashes(self) -> int:
+        """Number of hash bits materialised per row."""
         return self._n_hashes
 
     @property
@@ -347,6 +350,7 @@ class BitSignatures(SignatureStore):
         return bits[offset : offset + (end - start)]
 
     def count_matches(self, i: int, j: int, start: int, end: int) -> int:
+        """Agreeing bits between rows ``i`` and ``j`` in hash window ``[start, end)``."""
         if end > self._n_hashes:
             raise IndexError(f"hash index {end} out of range (have {self._n_hashes})")
         if end <= start:
@@ -395,6 +399,7 @@ class BitSignatures(SignatureStore):
         self, rows: np.ndarray, other: SignatureStore, other_rows: np.ndarray,
         start: int, end: int,
     ) -> np.ndarray:
+        """Cross-store agreement counts (see base); both stores must share hash functions."""
         if not isinstance(other, BitSignatures):
             raise TypeError(f"cannot cross-count against {type(other).__name__}")
         if end > self._n_hashes or end > other.n_hashes:
@@ -440,6 +445,7 @@ class BitSignatures(SignatureStore):
         return round_width - disagreements
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
+        """Hashable bytes of band ``band`` (bits ``band*width .. (band+1)*width``) of row ``i``."""
         start = band * band_width
         end = start + band_width
         if start % _WORD_BITS == 0 and end % _WORD_BITS == 0:
@@ -448,6 +454,7 @@ class BitSignatures(SignatureStore):
         return self.get_bits(i, start, end).tobytes()
 
     def band_keys_many(self, rows: np.ndarray, band: int, band_width: int) -> np.ndarray:
+        """Band contents for many rows at once (packed words when word-aligned)."""
         start = band * band_width
         end = start + band_width
         if end > self._n_hashes:
@@ -495,6 +502,7 @@ class IntSignatures(SignatureStore):
         return store
 
     def append_rows_from(self, other: SignatureStore) -> None:
+        """Append every row of ``other`` below the existing rows (see base)."""
         if not isinstance(other, IntSignatures):
             raise TypeError(f"cannot append rows of {type(other).__name__} to IntSignatures")
         if other.n_hashes != self.n_hashes:
@@ -506,10 +514,12 @@ class IntSignatures(SignatureStore):
 
     @property
     def n_vectors(self) -> int:
+        """Number of signature rows stored."""
         return self._n_vectors
 
     @property
     def n_hashes(self) -> int:
+        """Number of integer hashes materialised per row."""
         return self._matrix.n_columns
 
     def _scratch_for(
@@ -559,6 +569,7 @@ class IntSignatures(SignatureStore):
         self._matrix.append(np.ascontiguousarray(values))
 
     def count_matches(self, i: int, j: int, start: int, end: int) -> int:
+        """Agreeing hashes between rows ``i`` and ``j`` in window ``[start, end)``."""
         if end > self.n_hashes:
             raise IndexError(f"hash index {end} out of range (have {self.n_hashes})")
         if end <= start:
@@ -589,6 +600,7 @@ class IntSignatures(SignatureStore):
         self, rows: np.ndarray, other: SignatureStore, other_rows: np.ndarray,
         start: int, end: int,
     ) -> np.ndarray:
+        """Cross-store agreement counts (see base); both stores must share hash functions."""
         if not isinstance(other, IntSignatures):
             raise TypeError(f"cannot cross-count against {type(other).__name__}")
         if end > self.n_hashes or end > other.n_hashes:
@@ -639,6 +651,7 @@ class IntSignatures(SignatureStore):
         return self._matrix.columns_contiguous(start, end)
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
+        """Hashable bytes of band ``band`` of row ``i`` (``band_width`` hashes)."""
         start = band * band_width
         end = start + band_width
         if end > self.n_hashes:
@@ -646,6 +659,7 @@ class IntSignatures(SignatureStore):
         return np.ascontiguousarray(self._matrix.columns(start, end)[i]).tobytes()
 
     def band_keys_many(self, rows: np.ndarray, band: int, band_width: int) -> np.ndarray:
+        """Band contents for many rows at once, as an integer matrix."""
         start = band * band_width
         end = start + band_width
         if end > self.n_hashes:

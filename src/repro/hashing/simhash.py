@@ -157,6 +157,12 @@ class SimHashFamily(HashFamily):
         return bits
 
     def clone_for(self, collection: VectorCollection) -> "SimHashFamily":
+        """A family over ``collection`` evaluating the *same* hash functions.
+
+        The clone shares this family's projection matrix object, so both
+        sides always see identical direction vectors — including columns
+        drawn *after* the clone (see :meth:`HashFamily.clone_for`).
+        """
         clone = SimHashFamily(
             collection,
             seed=self._seed,
@@ -171,9 +177,11 @@ class SimHashFamily(HashFamily):
         return clone
 
     def state_dict(self) -> dict:
+        """The projection matrix (quantised codes) plus the RNG position."""
         return self._projections.state_dict()
 
     def restore_state(self, state: dict) -> None:
+        """Restore projections and RNG position captured by :meth:`state_dict`."""
         self._projections.restore_state(state)
         self._matrix32 = None
         self._abs_matrix32 = None

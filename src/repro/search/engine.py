@@ -31,8 +31,10 @@ __all__ = ["SearchEngine", "all_pairs_similarity", "as_collection"]
 def as_collection(data, n_features: int | None = None) -> VectorCollection:
     """Coerce user data into a :class:`VectorCollection`.
 
-    Accepts a :class:`Dataset`, a :class:`VectorCollection`, a scipy sparse
-    matrix, a dense array, or a list of sets / dicts.
+    Accepts a :class:`Dataset`, a :class:`VectorCollection`, a
+    :class:`~repro.serving.segments.SegmentedCollection` (consolidated into
+    one monolithic collection — the all-pairs pipelines operate on a single
+    matrix), a scipy sparse matrix, a dense array, or a list of sets / dicts.
 
     ``n_features`` pins the collection's feature space — the serving layer
     passes an index's feature count so that inserted vectors and query
@@ -49,10 +51,16 @@ def as_collection(data, n_features: int | None = None) -> VectorCollection:
 
 
 def _coerce_collection(data, n_features: int | None) -> VectorCollection:
+    # Imported lazily: the serving layer sits above the search layer, and
+    # the engine only needs the type for this isinstance dispatch.
+    from repro.serving.segments import SegmentedCollection
+
     if isinstance(data, Dataset):
         return data.collection
     if isinstance(data, VectorCollection):
         return data
+    if isinstance(data, SegmentedCollection):
+        return data.to_collection()
     if sp.issparse(data):
         return VectorCollection(data)
     if isinstance(data, np.ndarray):
@@ -121,14 +129,17 @@ class SearchEngine:
 
     @property
     def name(self) -> str:
+        """Pipeline name used in reports (``"<generator>+<verifier>"`` by default)."""
         return self._name
 
     @property
     def generator(self) -> CandidateGenerator:
+        """The phase-1 candidate generator."""
         return self._generator
 
     @property
     def verifier(self) -> Verifier:
+        """The phase-2 candidate verifier."""
         return self._verifier
 
     def run(

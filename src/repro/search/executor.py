@@ -129,6 +129,7 @@ class PairBlockSource:
 
     @property
     def block_size(self) -> int:
+        """Pairs per verification slice (the executor's memory bound)."""
         return self._block_size
 
     def __len__(self) -> int:

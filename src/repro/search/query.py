@@ -8,24 +8,32 @@ is verified against its candidates with the same Bayesian pruning.
 
 :class:`QueryIndex` packages that workflow as a serving subsystem:
 
-* at build time the collection is hashed and an LSH banding index
-  (:class:`~repro.candidates.lsh_index.BandPostings`) is built — the same
-  signatures are reused for verification, as in the all-pairs pipelines;
+* the collection lives in a **segmented store**
+  (:class:`~repro.serving.segments.SegmentedCollection`): ``insert(vectors)``
+  seals the batch as a new segment — prepared, hashed and indexed in
+  isolation, O(batch) — instead of re-concatenating and re-preparing the
+  whole corpus; candidate generation, verification and exact scoring route
+  global rows to their owning segments and run the same kernels with local
+  indices, bit-identically to a monolithic rebuild;
 * ``query_many(matrix, ...)`` / ``top_k_many(matrix, k)`` serve a *batch* of
   queries: the whole batch is hashed in one kernel call, band probes are
   unioned array-wise, and all (query, candidate) pairs are verified together
   through the vectorised cross-store kernels — bit-identical to calling the
   singular ``query(vector, ...)`` / ``top_k(vector, k)`` per row;
-* ``insert(vectors)`` / ``delete(rows)`` evolve the index without a rebuild:
-  inserted vectors are hashed with the *same* hash functions (the family's
-  determinism contract) and their signature rows spliced into the store,
-  while deletions tombstone rows and the band postings are lazily rebuilt
-  once the tombstoned fraction exceeds the ``staleness_budget``;
-* ``save(path)`` / ``load(path)`` round-trip the entire index — collection,
+* ``top_k_many(..., rank_by="estimate")`` skips exact verification and ranks
+  survivors by the BayesLSH posterior MAP estimates already computed during
+  pruning — the estimate-driven path trades exact scores for latency (see
+  ``docs/serving.md`` for the measured trade-off);
+* ``delete(rows)`` tombstones rows (filtered from every result immediately;
+  band postings are lazily rebuilt once past the ``staleness_budget``);
+* ``save(path)`` / ``load(path)`` round-trip the entire index — segments,
   hash-family state (drawn coefficients/projections *and* RNG stream
-  position), signature store, band postings and tombstones — through a
-  versioned ``.npz`` snapshot (:mod:`repro.serving.snapshot`), bit-identically:
-  a loaded index answers every query exactly like the instance that saved it.
+  position), per-segment signature stores, band postings and tombstones —
+  through a versioned ``.npz`` snapshot (:mod:`repro.serving.snapshot`),
+  bit-identically: a loaded index answers every query exactly like the
+  instance that saved it.  ``save(path, compact=True)`` additionally merges
+  all segments into one and drops tombstoned rows (renumbering the survivors
+  while preserving their external ids).
 """
 
 from __future__ import annotations
@@ -38,12 +46,11 @@ from repro.core.concentration_cache import ConcentrationCache
 from repro.core.min_matches import MinMatchesTable
 from repro.core.params import BayesLSHParams
 from repro.core.posteriors import make_posterior
-from repro.hashing.base import get_hash_family
 from repro.search.engine import as_collection
 from repro.search.results import ScoredPair
+from repro.serving.segments import SegmentedCollection
 from repro.similarity.measures import get_measure
 from repro.similarity.vectors import VectorCollection
-from repro.verification.base import cross_similarities_for_pairs
 
 __all__ = ["QueryIndex"]
 
@@ -80,6 +87,11 @@ class QueryIndex:
         ``0.0`` rebuilds on the first query after any deletion; ``1.0``
         effectively never rebuilds (tombstones are always filtered from
         results either way — the budget only bounds wasted probe work).
+
+    Determinism contract: for a fixed ``(seed, measure, parameters)``, query
+    answers are a pure function of the *logical* collection — independent of
+    the batch size queries arrive in, of how the corpus was segmented by
+    ``insert`` history, and of ``save``/``load`` round trips.
     """
 
     def __init__(
@@ -107,8 +119,7 @@ class QueryIndex:
                 f"staleness_budget must lie in [0, 1], got {staleness_budget}"
             )
         self._measure = get_measure(measure)
-        self._collection = as_collection(data)
-        self._prepared = self._measure.prepare(self._collection)
+        initial = as_collection(data)
         self._threshold = float(threshold)
         self._false_negative_rate = float(false_negative_rate)
         self._verification = verification
@@ -117,7 +128,10 @@ class QueryIndex:
         )
         self._seed = int(seed)
         self._staleness_budget = float(staleness_budget)
-        self._family = get_hash_family(self._measure.lsh_family, self._prepared, seed=seed)
+        self._segments = SegmentedCollection(
+            self._measure, initial.n_features, seed=self._seed
+        )
+        self._family = self._segments.family
 
         if signature_width is None:
             signature_width = 8 if self._measure.lsh_family == "simhash" else 4
@@ -130,15 +144,34 @@ class QueryIndex:
         self._n_signatures = signatures_for_false_negative_rate(
             collision, self._signature_width, false_negative_rate
         )
-        self._store = self._family.signatures(self._n_signatures * self._signature_width)
 
-        self._deleted = np.zeros(self._prepared.n_vectors, dtype=bool)
+        first = self._segments.append(initial, self._banding_hashes)
+        self._next_default_id = self._initial_next_default_id()
+        self._deleted = np.zeros(first.n_vectors, dtype=bool)
         self._n_stale_postings = 0
-        non_empty = np.flatnonzero(self._prepared.row_nnz > 0)
+        non_empty = np.flatnonzero(first.prepared.row_nnz > 0)
         self._postings = BandPostings.build(
-            self._store, non_empty, self._n_signatures, self._signature_width
+            self._segments, non_empty, self._n_signatures, self._signature_width
         )
         self._wire_tables()
+
+    @property
+    def _banding_hashes(self) -> int:
+        """Hashes every segment is materialised to at ingest (the band probe span)."""
+        return self._n_signatures * self._signature_width
+
+    def _initial_next_default_id(self) -> int:
+        """First default id :meth:`insert` may assign, derived from current ids.
+
+        Computed once per build/load (an O(N) scan) and maintained as a
+        running counter afterwards, so default-id inserts stay O(batch).
+        Integer ids advance the counter past their maximum; non-integer ids
+        fall back to the row-count floor (the historical row-index default).
+        """
+        existing = self._segments.ids
+        if len(existing) and np.issubdtype(np.asarray(existing).dtype, np.integer):
+            return max(int(existing.max()) + 1, self._segments.n_vectors)
+        return self._segments.n_vectors
 
     def _wire_tables(self) -> None:
         """(Re)build the BayesLSH decision machinery shared across queries.
@@ -161,12 +194,12 @@ class QueryIndex:
     @property
     def n_indexed(self) -> int:
         """Number of vector slots in the index (including tombstoned rows)."""
-        return self._prepared.n_vectors
+        return self._segments.n_vectors
 
     @property
     def n_alive(self) -> int:
         """Number of indexed vectors that have not been deleted."""
-        return int(self._prepared.n_vectors - self._deleted.sum())
+        return int(self._segments.n_vectors - self._deleted.sum())
 
     @property
     def n_deleted(self) -> int:
@@ -174,15 +207,28 @@ class QueryIndex:
         return int(self._deleted.sum())
 
     @property
+    def n_segments(self) -> int:
+        """Number of sealed collection segments (1 after a build or compaction)."""
+        return self._segments.n_segments
+
+    @property
+    def ids(self) -> np.ndarray:
+        """External identifiers, one per indexed row (stable under compaction)."""
+        return self._segments.ids
+
+    @property
     def n_signatures(self) -> int:
+        """Number of LSH bands (signatures) the candidate index probes."""
         return self._n_signatures
 
     @property
     def signature_width(self) -> int:
+        """Hashes concatenated per band."""
         return self._signature_width
 
     @property
     def staleness_budget(self) -> float:
+        """Tombstoned posting fraction tolerated before a lazy rebuild."""
         return self._staleness_budget
 
     @property
@@ -192,18 +238,30 @@ class QueryIndex:
 
     @property
     def verification(self) -> str:
+        """The verification mode: ``"bayes"`` or ``"exact"``."""
         return self._verification
 
     @property
     def threshold(self) -> float:
+        """The index-level similarity threshold."""
         return self._threshold
+
+    def as_collection(self) -> VectorCollection:
+        """The indexed corpus merged into one monolithic collection.
+
+        Tombstoned rows are *included* (they still occupy index slots); this
+        is the O(N) consolidation ingest avoids, intended for handing the
+        corpus to the all-pairs pipelines or for tests that rebuild an
+        equivalent index from scratch.
+        """
+        return self._segments.to_collection()
 
     # ------------------------------------------------------------------ #
     # query coercion
     # ------------------------------------------------------------------ #
     def _queries_collection(self, queries) -> VectorCollection:
         """Coerce a query batch into a prepared collection in the index's space."""
-        collection = as_collection(queries, n_features=self._prepared.n_features)
+        collection = as_collection(queries, n_features=self._segments.n_features)
         return self._measure.prepare(collection)
 
     def _single_query_batch(self, vector):
@@ -229,9 +287,9 @@ class QueryIndex:
             return
         if self._n_stale_postings <= self._staleness_budget * self._postings.n_members:
             return
-        alive_non_empty = np.flatnonzero((self._prepared.row_nnz > 0) & ~self._deleted)
+        alive_non_empty = np.flatnonzero((self._segments.row_nnz > 0) & ~self._deleted)
         self._postings = BandPostings.build(
-            self._store, alive_non_empty, self._n_signatures, self._signature_width
+            self._segments, alive_non_empty, self._n_signatures, self._signature_width
         )
         self._n_stale_postings = 0
 
@@ -254,9 +312,9 @@ class QueryIndex:
         query_family = self._family.clone_for(query_prepared)
         # Probing only reads the banding hashes; verification lazily extends
         # the family when (and only when) the bayes path needs more.
-        query_store = query_family.signatures(self._n_signatures * self._signature_width)
+        query_store = query_family.signatures(self._banding_hashes)
         positions, rows = self._postings.probe_many(
-            query_store, query_rows, self._prepared.n_vectors
+            query_store, query_rows, self._segments.n_vectors
         )
         keep = ~self._deleted[rows]
         return query_rows[positions[keep]], rows[keep], query_family
@@ -270,11 +328,13 @@ class QueryIndex:
         """Round-synchronous BayesLSH verification of (query, candidate) pairs.
 
         The batched twin of Algorithm 1's per-pair loop, with hash agreements
-        counted across the query store (``query_family``'s, from the probe
-        phase) and the collection store.  Every prune/emit decision depends
-        only on the pair's own ``(m, n)``, so the outcome per pair is
-        independent of which other pairs share the batch — the bit-identity
-        contract between ``query_many`` and looped ``query``.
+        counted between the query store (``query_family``'s, from the probe
+        phase) and the per-segment collection stores (global rows routed to
+        their owning segments, which extend round-lazily and independently).
+        Every prune/emit decision depends only on the pair's own ``(m, n)``,
+        so the outcome per pair is independent of which other pairs share the
+        batch — the bit-identity contract between ``query_many`` and looped
+        ``query`` — and of how the collection is segmented.
 
         Returns the pair estimates with NaN marking pruned pairs.
         """
@@ -290,13 +350,13 @@ class QueryIndex:
             n_prev = round_index * params.k
             n_now = n_prev + params.k
             # Lazy, round-synchronous hashing — exactly the core verifier's
-            # pattern: rounds most pairs never reach are never hashed (the
-            # families round requests up to their block size, so the whole
-            # batch still extends in a handful of kernel calls).
-            collection_store = self._family.signatures(n_now)
+            # pattern: rounds most pairs never reach are never hashed, and
+            # only segments that still own active pairs extend their stores
+            # (the families round requests up to their block size, so the
+            # whole batch still extends in a handful of kernel calls).
             query_store = query_family.signatures(n_now)
-            matches[active] += query_store.count_matches_cross(
-                query_rows[active], collection_store, rows[active], n_prev, n_now
+            matches[active] += self._segments.count_matches_cross(
+                query_store, query_rows[active], rows[active], n_prev, n_now
             )
             hashes_seen[active] = n_now
             keep_mask = self._min_matches.passes_many(matches[active], n_now)
@@ -321,9 +381,8 @@ class QueryIndex:
     def _cross_exact(
         self, query_prepared: VectorCollection, query_rows: np.ndarray, rows: np.ndarray
     ) -> np.ndarray:
-        return cross_similarities_for_pairs(
-            query_prepared, self._prepared, self._measure, query_rows, rows
-        )
+        """Exact similarities for (query, global row) pairs, segment-routed."""
+        return self._segments.cross_similarities(query_prepared, query_rows, rows)
 
     @staticmethod
     def _group_pairs(
@@ -385,26 +444,57 @@ class QueryIndex:
         return self.query_many(self._single_query_batch(vector), threshold=threshold)[0]
 
     def top_k_many(
-        self, queries, k: int = 10, floor_threshold: float = 0.1
+        self,
+        queries,
+        k: int = 10,
+        floor_threshold: float = 0.1,
+        rank_by: str = "exact",
     ) -> list[list[ScoredPair]]:
         """The ``k`` most similar indexed objects for each query in a batch.
 
         Returns one list per query row, each exactly equal to
-        ``self.top_k(row, k, floor_threshold)``: candidates are collected from
-        the band postings, verified exactly with the cross-collection kernel,
-        and the best ``k`` above ``floor_threshold`` are returned in
-        decreasing order of similarity.  With an LSH index tuned for
+        ``self.top_k(row, k, floor_threshold, rank_by)`` — the batch is
+        bit-identical to the per-query loop.  With an LSH index tuned for
         ``threshold`` the result is approximate in the same sense as the
         underlying index: objects the index misses cannot be returned.
+
+        ``rank_by`` selects the scoring path:
+
+        * ``"exact"`` (default) — candidates from the band postings are
+          scored with the exact cross-collection similarity kernel; the
+          best ``k`` above ``floor_threshold`` are returned in decreasing
+          order of (exact) similarity.
+        * ``"estimate"`` — candidates are run through the BayesLSH pruning
+          rounds (requires ``verification="bayes"``) and ranked by the
+          posterior MAP estimates those rounds already computed; no exact
+          similarity is ever evaluated.  Estimates wobble within the
+          ``epsilon``/``delta``/``gamma`` accuracy envelope, and candidates
+          the pruning discards as below the *index* threshold cannot appear
+          even when ``floor_threshold`` is lower — the trade-off is latency:
+          ranking reuses hash agreements instead of touching the raw
+          vectors (measured in ``benchmarks/test_bench_serving.py`` and
+          documented in ``docs/serving.md``).
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        if rank_by not in ("exact", "estimate"):
+            raise ValueError(f"rank_by must be 'exact' or 'estimate', got {rank_by!r}")
+        if rank_by == "estimate" and self._verification != "bayes":
+            raise ValueError(
+                "rank_by='estimate' requires verification='bayes' "
+                "(the exact index computes no posterior estimates)"
+            )
         query_prepared = self._queries_collection(queries)
-        query_rows, rows, _ = self._probe(query_prepared)
+        query_rows, rows, query_family = self._probe(query_prepared)
         n_queries = query_prepared.n_vectors
         if len(query_rows) == 0:
             return [[] for _ in range(n_queries)]
-        values = self._cross_exact(query_prepared, query_rows, rows)
+        if rank_by == "estimate":
+            values = self._verify_bayes(query_family, query_rows, rows)
+            keep = ~np.isnan(values)
+            query_rows, rows, values = query_rows[keep], rows[keep], values[keep]
+        else:
+            values = self._cross_exact(query_prepared, query_rows, rows)
         grouped = self._group_pairs(n_queries, query_rows, rows, values)
         results: list[list[ScoredPair]] = []
         for scored in grouped:
@@ -413,13 +503,22 @@ class QueryIndex:
             results.append(scored[:k])
         return results
 
-    def top_k(self, vector, k: int = 10, floor_threshold: float = 0.1) -> list[ScoredPair]:
+    def top_k(
+        self,
+        vector,
+        k: int = 10,
+        floor_threshold: float = 0.1,
+        rank_by: str = "exact",
+    ) -> list[ScoredPair]:
         """The ``k`` indexed objects most similar to ``vector``.
 
-        Equivalent to ``top_k_many([vector], k, floor_threshold)[0]``.
+        Equivalent to ``top_k_many([vector], k, floor_threshold, rank_by)[0]``.
         """
         return self.top_k_many(
-            self._single_query_batch(vector), k=k, floor_threshold=floor_threshold
+            self._single_query_batch(vector),
+            k=k,
+            floor_threshold=floor_threshold,
+            rank_by=rank_by,
         )[0]
 
     # ------------------------------------------------------------------ #
@@ -428,55 +527,39 @@ class QueryIndex:
     def insert(self, data, ids=None) -> np.ndarray:
         """Append new vectors to the index without rebuilding it.
 
-        The new vectors are hashed with the *same* hash functions as the
-        existing corpus (the family's determinism contract guarantees hash
-        function ``i`` agrees across collections), their signature rows are
-        spliced into the store, and non-empty rows are added to the band
-        postings immediately.  Returns the row indices assigned to the new
-        vectors.
+        The batch is sealed as a fresh collection segment: prepared, hashed
+        with the *same* hash functions as the existing corpus (the family's
+        determinism contract guarantees hash function ``i`` agrees across
+        collections) and added to the band postings — all in O(batch), no
+        existing segment is touched.  Returns the row indices assigned to
+        the new vectors.
 
-        ``ids`` optionally supplies external identifiers for the new rows
-        (defaulting to their row indices).
+        ``ids`` optionally supplies external identifiers for the new rows.
+        The default continues after the largest existing integer id — equal
+        to the row indices on an index that never had custom ids, but still
+        collision-free after a compacted snapshot load, where surviving rows
+        keep ids larger than their (renumbered) row indices.
         """
-        new_collection = as_collection(data, n_features=self._collection.n_features)
+        new_collection = as_collection(data, n_features=self._segments.n_features)
         n_new = new_collection.n_vectors
-        n_before = self._collection.n_vectors
+        n_before = self._segments.n_vectors
         new_rows = np.arange(n_before, n_before + n_new, dtype=np.int64)
         if n_new == 0:
             return new_rows
-        new_prepared = self._measure.prepare(new_collection)
-
-        # Hash the fresh rows with a clone sharing the family's generator
-        # state, then splice the resulting signature rows under the existing
-        # ones.  The clone consumes no RNG (all needed hash functions are
-        # already drawn), so the main family's stream is untouched.
-        ingest_family = self._family.clone_for(new_prepared)
-        new_store = ingest_family.signatures(self._store.n_hashes)
-        if new_store.n_hashes != self._store.n_hashes:
-            raise RuntimeError(
-                f"ingest hashing produced {new_store.n_hashes} hashes, "
-                f"index store holds {self._store.n_hashes}"
-            )
-        self._store.append_rows_from(new_store)
-
         if ids is None:
-            merged_ids = np.concatenate([np.asarray(self._collection.ids), new_rows])
+            ids = np.arange(
+                self._next_default_id, self._next_default_id + n_new, dtype=np.int64
+            )
         else:
             ids = np.asarray(list(ids))
             if len(ids) != n_new:
                 raise ValueError(f"ids has length {len(ids)} but {n_new} rows were inserted")
-            merged_ids = np.concatenate([np.asarray(self._collection.ids), ids])
-        self._collection = VectorCollection(
-            sp.vstack([self._collection.matrix, new_collection.matrix], format="csr"),
-            ids=merged_ids,
-        )
-        self._prepared = self._measure.prepare(self._collection)
-        family = self._family.clone_for(self._prepared)
-        family.attach_store(self._store)
-        self._family = family
-
+        if len(ids) and np.issubdtype(ids.dtype, np.integer):
+            self._next_default_id = max(self._next_default_id, int(ids.max()) + 1)
+        self._next_default_id = max(self._next_default_id, n_before + n_new)
+        segment = self._segments.append(new_collection, self._banding_hashes, ids=ids)
         self._deleted = np.concatenate([self._deleted, np.zeros(n_new, dtype=bool)])
-        self._postings.add(self._store, new_rows[new_prepared.row_nnz > 0])
+        self._postings.add(self._segments, new_rows[segment.prepared.row_nnz > 0])
         return new_rows
 
     def delete(self, rows) -> int:
@@ -485,17 +568,18 @@ class QueryIndex:
         Deleted rows stay in the signature store and (until the staleness
         budget forces a posting rebuild) in the band postings, but are
         filtered from every query result immediately.  Deleting an already
-        deleted row is a no-op.
+        deleted row is a no-op.  Tombstones are physically dropped only by
+        ``save(path, compact=True)``.
         """
         rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
-        if len(rows) and (rows[0] < 0 or rows[-1] >= self._prepared.n_vectors):
+        if len(rows) and (rows[0] < 0 or rows[-1] >= self._segments.n_vectors):
             raise IndexError(
-                f"row indices must lie in [0, {self._prepared.n_vectors}), got "
+                f"row indices must lie in [0, {self._segments.n_vectors}), got "
                 f"[{rows[0]}, {rows[-1]}]"
             )
         fresh = rows[~self._deleted[rows]]
         self._deleted[fresh] = True
-        self._n_stale_postings += int(np.sum(self._prepared.row_nnz[fresh] > 0))
+        self._n_stale_postings += int(np.sum(self._segments.row_nnz[fresh] > 0))
         return len(fresh)
 
     # ------------------------------------------------------------------ #
@@ -505,24 +589,24 @@ class QueryIndex:
     def _from_snapshot(
         cls,
         *,
-        collection: VectorCollection,
+        segments_data: list,
+        n_features: int,
         meta: dict,
         family_state: dict,
-        store,
         deleted: np.ndarray,
         postings_members: np.ndarray,
     ) -> "QueryIndex":
         """Rewire an index from deserialised snapshot state.
 
-        Only the state a snapshot carries is taken from the arguments; the
-        prepared view, hash family object, band postings and BayesLSH
-        decision tables are deterministic functions of it and are rebuilt
-        here (see :mod:`repro.serving.snapshot` for the format).
+        ``segments_data`` is a list of ``(collection, store, ids)`` triples,
+        one per sealed segment.  Only the state a snapshot carries is taken
+        from the arguments; the prepared views, hash family clones, band
+        postings and BayesLSH decision tables are deterministic functions of
+        it and are rebuilt here (see :mod:`repro.serving.snapshot` for the
+        format).
         """
         index = cls.__new__(cls)
         index._measure = get_measure(meta["measure"])
-        index._collection = collection
-        index._prepared = index._measure.prepare(collection)
         index._threshold = float(meta["threshold"])
         index._false_negative_rate = float(meta["false_negative_rate"])
         index._verification = meta["verification"]
@@ -538,39 +622,48 @@ class QueryIndex:
         index._staleness_budget = float(meta["staleness_budget"])
         index._signature_width = int(meta["signature_width"])
         index._n_signatures = int(meta["n_signatures"])
-        if len(deleted) != index._prepared.n_vectors:
+        index._segments = SegmentedCollection(
+            index._measure,
+            int(n_features),
+            seed=index._seed,
+            family_kwargs=meta.get("family_kwargs", {}),
+        )
+        index._family = index._segments.family
+        index._family.restore_state(family_state)
+        for collection, store, ids in segments_data:
+            index._segments.append_restored(collection, store, ids=ids)
+        if len(deleted) != index._segments.n_vectors:
             raise ValueError(
                 f"tombstone mask covers {len(deleted)} rows, collection has "
-                f"{index._prepared.n_vectors}"
+                f"{index._segments.n_vectors}"
             )
-        index._family = get_hash_family(
-            index._measure.lsh_family,
-            index._prepared,
-            seed=index._seed,
-            **meta.get("family_kwargs", {}),
-        )
-        index._family.restore_state(family_state)
-        index._family.attach_store(store)
-        index._store = store
+        index._next_default_id = index._initial_next_default_id()
         index._deleted = deleted
         index._n_stale_postings = int(meta["n_stale_postings"])
         index._postings = BandPostings.build(
-            store, postings_members, index._n_signatures, index._signature_width
+            index._segments, postings_members, index._n_signatures, index._signature_width
         )
         index._wire_tables()
         return index
 
-    def save(self, path):
+    def save(self, path, compact: bool = False):
         """Write a versioned snapshot of the index to ``path`` (``.npz``).
 
         See :mod:`repro.serving.snapshot` for the format; loading the file
         with :meth:`load` reproduces this index bit for bit — including the
         hash family's RNG position, so even hash functions drawn *after* the
         round trip are identical on both sides.
+
+        With ``compact=True`` the snapshot is written in **compacted** form:
+        all segments are merged into one and tombstoned rows are physically
+        dropped.  Surviving rows are renumbered (their relative order and
+        external ids are preserved), so a loaded compacted index returns the
+        same ``(id, similarity)`` answers the uncompacted index returns with
+        tombstones filtered.  The in-memory index is not modified.
         """
         from repro.serving.snapshot import save_query_index
 
-        return save_query_index(self, path)
+        return save_query_index(self, path, compact=compact)
 
     @classmethod
     def load(cls, path) -> "QueryIndex":

@@ -1,12 +1,23 @@
-"""Serving-layer persistence for query indices.
+"""Serving-layer storage and persistence for query indices.
 
 The serving subsystem turns the in-memory :class:`~repro.search.query.QueryIndex`
-into something a long-running process can operate: versioned on-disk
-snapshots (:mod:`repro.serving.snapshot`) plus the incremental
-``insert``/``delete`` and batched ``query_many``/``top_k_many`` entry points
-on the index itself.
+into something a long-running process can operate:
+
+* **segmented collection storage** (:mod:`repro.serving.segments`) — the
+  corpus is an append-only sequence of sealed segments, so incremental
+  ``insert`` costs O(batch) instead of an O(N) re-concatenation, while every
+  query kernel routes global rows segment-wise with bit-identical results;
+* **versioned snapshots** (:mod:`repro.serving.snapshot`) — pickle-free
+  ``.npz`` archives that round-trip the whole index including the hash
+  family's RNG stream position, with optional compaction (merge segments,
+  drop tombstoned rows) at save time.
+
+See ``docs/serving.md`` for the operational guide (snapshot format and
+version history, staleness budget, compaction semantics, the batched-query
+API and the estimate-vs-exact top-k trade-off).
 """
 
+from repro.serving.segments import CollectionSegment, SegmentedCollection
 from repro.serving.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
@@ -15,8 +26,10 @@ from repro.serving.snapshot import (
 )
 
 __all__ = [
+    "CollectionSegment",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SegmentedCollection",
     "load_query_index",
     "save_query_index",
 ]

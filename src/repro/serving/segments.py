@@ -1,0 +1,465 @@
+"""Segmented, ingest-friendly storage of an indexed collection.
+
+The serving layer's original design held the corpus as one monolithic CSR
+matrix plus one monolithic signature store, so every ``insert`` paid an
+O(N) re-concatenation and re-preparation of the whole collection.  This
+module replaces that with a *log-structured* layout: the collection is an
+ordered list of immutable, sealed **segments**, and ingest appends a new
+segment instead of rewriting the old ones — ``insert`` cost becomes
+O(batch).
+
+A :class:`CollectionSegment` bundles everything one ingest batch needs:
+
+* the raw :class:`~repro.similarity.vectors.VectorCollection` slice,
+* the measure's *prepared* view of it (normalised / binarised),
+* a :class:`~repro.hashing.base.HashFamily` clone evaluating the index's
+  hash functions on exactly these rows, and
+* the segment's own :class:`~repro.hashing.signatures.SignatureStore`,
+  extended lazily and independently of the other segments.
+
+:class:`SegmentedCollection` presents the segments as one logical
+collection addressed by **global row index**: segment ``s`` owns rows
+``[offset_s, offset_s + n_s)``.  The batched kernels the serving layer
+needs — band-key gathers for the LSH postings, cross-store hash-agreement
+counts for BayesLSH verification, exact cross-similarities — are routed
+segment-wise: global rows are grouped by owning segment with one
+``searchsorted`` against the offset table, each segment runs the exact
+same kernel the monolithic path ran (with local row indices), and results
+are scattered back into pair order.
+
+Bit-identity contract
+---------------------
+Every kernel routed through this class is **row-local**: a hash value, a
+band key, an agreement count or an exact similarity depends only on the
+vector(s) involved and on the hash functions, never on which rows happen
+to share a matrix.  Hash functions themselves are deterministic in
+``(seed, hash index)`` (the hashing layer's contract), so hashing a batch
+inside its own segment produces the same signature rows a monolithic
+re-hash would.  Consequently a segmented index answers every query
+bit-identically to a monolithic scratch rebuild over the same rows —
+enforced by ``tests/property/test_query_serving.py``.
+
+RNG-stream authority
+--------------------
+The :attr:`SegmentedCollection.family` is the **master** family: it is
+bound to an empty collection (it never hashes anything itself) and serves
+as the single authority for hash-function state.  Per-segment families and
+per-query-batch families are clones of it; a clone re-draws any
+coefficients it is missing from the same seeded stream, which by the
+determinism contract yields identical hash functions on every clone.
+Snapshots serialise only the master's state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hashing.base import HashFamily, get_hash_family
+from repro.hashing.signatures import SignatureStore
+from repro.similarity.measures import SimilarityMeasure
+from repro.similarity.vectors import VectorCollection
+from repro.verification.base import cross_similarities_for_pairs
+
+__all__ = ["CollectionSegment", "SegmentedCollection"]
+
+
+class CollectionSegment:
+    """One sealed, immutable slice of a segmented collection.
+
+    Segments are created by :meth:`SegmentedCollection.append` (ingest) or
+    :meth:`SegmentedCollection.append_restored` (snapshot load) and are
+    never mutated afterwards, except for lazily extending the signature
+    store with more hash *columns* (never rows) via :meth:`ensure_hashes`.
+    """
+
+    def __init__(
+        self,
+        collection: VectorCollection,
+        prepared: VectorCollection,
+        family: HashFamily,
+        store: SignatureStore,
+        offset: int,
+        ids: np.ndarray,
+    ):
+        self.collection = collection
+        self.prepared = prepared
+        self.family = family
+        self.store = store
+        self.offset = int(offset)
+        self.ids = ids
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of rows this segment owns."""
+        return self.collection.n_vectors
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The global row indices this segment owns, in order."""
+        return np.arange(self.offset, self.offset + self.n_vectors, dtype=np.int64)
+
+    def ensure_hashes(self, n_hashes: int) -> SignatureStore:
+        """Extend this segment's store to hold at least ``n_hashes`` hashes.
+
+        Extension draws hash functions through the segment's family clone;
+        by the hashing layer's determinism contract the drawn functions are
+        identical on every clone, so segments extended at different times
+        (or after a snapshot round trip) still agree on hash function ``i``.
+        """
+        if self.store.n_hashes < n_hashes:
+            self.family.signatures(n_hashes)
+        return self.store
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectionSegment(offset={self.offset}, n_vectors={self.n_vectors}, "
+            f"n_hashes={self.store.n_hashes})"
+        )
+
+
+class SegmentedCollection:
+    """An append-only sequence of segments behaving as one logical collection.
+
+    Parameters
+    ----------
+    measure:
+        The similarity measure whose ``prepare`` defines each segment's
+        prepared view and whose ``lsh_family`` names the hash family.
+    n_features:
+        The fixed feature space every segment must live in.
+    seed:
+        Seed of the master hash family (ignored when ``family`` is given).
+    family:
+        Optionally a pre-built master family (the snapshot loader passes a
+        restored one); it must be bound to an empty collection.
+    family_kwargs:
+        Extra constructor arguments for the master family (currently the
+        simhash quantisation flag).
+
+    Determinism contract: all mutating operations are appends; global row
+    indices, once assigned, never change, and every batched read kernel
+    (:meth:`band_keys_many`, :meth:`count_matches_cross`,
+    :meth:`cross_similarities`) returns values bit-identical to the same
+    kernel run over a monolithic concatenation of the segments.
+    """
+
+    def __init__(
+        self,
+        measure: SimilarityMeasure,
+        n_features: int,
+        seed: int = 0,
+        family: HashFamily | None = None,
+        family_kwargs: dict | None = None,
+    ):
+        self._measure = measure
+        self._n_features = int(n_features)
+        if family is None:
+            empty = VectorCollection(
+                sp.csr_matrix((0, self._n_features), dtype=np.float64)
+            )
+            family = get_hash_family(
+                measure.lsh_family,
+                measure.prepare(empty),
+                seed=seed,
+                **(family_kwargs or {}),
+            )
+        self._family = family
+        self._segments: list[CollectionSegment] = []
+        #: cumulative row offsets; entry s is the first global row of segment s
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._row_nnz: np.ndarray | None = None
+        self._ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def measure(self) -> SimilarityMeasure:
+        """The similarity measure shared by every segment."""
+        return self._measure
+
+    @property
+    def family(self) -> HashFamily:
+        """The master hash family (RNG/coefficient authority; hashes nothing)."""
+        return self._family
+
+    @property
+    def segments(self) -> Sequence[CollectionSegment]:
+        """The sealed segments in append order (do not mutate)."""
+        return self._segments
+
+    @property
+    def n_segments(self) -> int:
+        """Number of sealed segments."""
+        return len(self._segments)
+
+    @property
+    def n_vectors(self) -> int:
+        """Total rows across all segments."""
+        return int(self._offsets[-1])
+
+    @property
+    def n_features(self) -> int:
+        """The fixed feature space every segment lives in."""
+        return self._n_features
+
+    @property
+    def row_nnz(self) -> np.ndarray:
+        """Per-row non-zero counts of the *prepared* views, globally indexed."""
+        if self._row_nnz is None:
+            if self._segments:
+                self._row_nnz = np.concatenate(
+                    [segment.prepared.row_nnz for segment in self._segments]
+                )
+            else:
+                self._row_nnz = np.zeros(0, dtype=np.int64)
+        return self._row_nnz
+
+    @property
+    def ids(self) -> np.ndarray:
+        """External identifiers, one per global row."""
+        if self._ids is None:
+            if self._segments:
+                self._ids = np.concatenate(
+                    [np.asarray(segment.ids) for segment in self._segments]
+                )
+            else:
+                self._ids = np.zeros(0, dtype=np.int64)
+        return self._ids
+
+    @property
+    def max_store_hashes(self) -> int:
+        """The widest signature store across segments (0 when empty)."""
+        if not self._segments:
+            return 0
+        return max(segment.store.n_hashes for segment in self._segments)
+
+    def __len__(self) -> int:
+        return self.n_vectors
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedCollection(n_segments={self.n_segments}, "
+            f"n_vectors={self.n_vectors}, n_features={self.n_features})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
+    def _seal(
+        self,
+        collection: VectorCollection,
+        prepared: VectorCollection,
+        family: HashFamily,
+        store: SignatureStore,
+        ids,
+    ) -> CollectionSegment:
+        ids = np.asarray(ids if ids is not None else collection.ids)
+        if len(ids) != collection.n_vectors:
+            raise ValueError(
+                f"ids has length {len(ids)} but the segment has "
+                f"{collection.n_vectors} rows"
+            )
+        segment = CollectionSegment(
+            collection, prepared, family, store, offset=self.n_vectors, ids=ids
+        )
+        self._segments.append(segment)
+        self._offsets = np.append(self._offsets, self.n_vectors + segment.n_vectors)
+        self._row_nnz = None
+        self._ids = None
+        return segment
+
+    def append(
+        self, collection: VectorCollection, n_hashes: int, ids=None
+    ) -> CollectionSegment:
+        """Seal ``collection`` as a new segment hashed to ``n_hashes`` hashes.
+
+        The cost is O(batch): the new rows are prepared and hashed in
+        isolation; no existing segment is touched.  ``ids`` defaults to the
+        collection's own identifiers.  Returns the sealed segment (its
+        :attr:`~CollectionSegment.rows` are the assigned global indices).
+        """
+        if collection.n_features != self._n_features:
+            raise ValueError(
+                f"segment has {collection.n_features} features, collection "
+                f"holds {self._n_features}"
+            )
+        prepared = self._measure.prepare(collection)
+        family = self._family.clone_for(prepared)
+        store = family.signatures(n_hashes)
+        return self._seal(collection, prepared, family, store, ids)
+
+    def append_restored(
+        self, collection: VectorCollection, store: SignatureStore, ids=None
+    ) -> CollectionSegment:
+        """Re-attach a deserialised segment (snapshot load path).
+
+        ``store`` already holds this segment's signature rows; the family
+        clone adopts it and keeps extending lazily from where it left off.
+        """
+        if collection.n_features != self._n_features:
+            raise ValueError(
+                f"segment has {collection.n_features} features, collection "
+                f"holds {self._n_features}"
+            )
+        prepared = self._measure.prepare(collection)
+        family = self._family.clone_for(prepared)
+        family.attach_store(store)
+        return self._seal(collection, prepared, family, store, ids)
+
+    # ------------------------------------------------------------------ #
+    # segment routing
+    # ------------------------------------------------------------------ #
+    def segment_of(self, rows: np.ndarray) -> np.ndarray:
+        """The owning segment index for each global row."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.n_vectors):
+            raise IndexError(
+                f"global row indices must lie in [0, {self.n_vectors})"
+            )
+        return np.searchsorted(self._offsets, rows, side="right") - 1
+
+    def _grouped(self, rows: np.ndarray) -> Iterable[tuple[CollectionSegment, np.ndarray]]:
+        """Yield ``(segment, positions-into-rows)`` for each involved segment.
+
+        One stable argsort groups equal segment ids into contiguous runs, so
+        the routing cost is O(P log P) in the pair count and independent of
+        how many segments exist (a per-segment mask scan would be O(P x S)).
+        """
+        if len(rows) == 0:
+            return
+        segment_ids = self.segment_of(rows)
+        order = np.argsort(segment_ids, kind="stable")
+        boundaries = np.flatnonzero(np.diff(segment_ids[order])) + 1
+        for positions in np.split(order, boundaries):
+            yield self._segments[segment_ids[positions[0]]], positions
+
+    def ensure_hashes(self, n_hashes: int) -> None:
+        """Extend every segment's store to at least ``n_hashes`` hashes."""
+        for segment in self._segments:
+            segment.ensure_hashes(n_hashes)
+
+    # ------------------------------------------------------------------ #
+    # batched kernels (segment-routed, bit-identical to monolithic)
+    # ------------------------------------------------------------------ #
+    def band_keys_many(
+        self, rows: np.ndarray, band: int, band_width: int
+    ) -> np.ndarray:
+        """Band contents for global ``rows``, stitched across segments.
+
+        The segment-routed twin of
+        :meth:`~repro.hashing.signatures.SignatureStore.band_keys_many`:
+        every segment gathers its own rows with the store kernel, and the
+        parts are scattered back into argument order.  Because band keys
+        are row-local, the result equals a monolithic store's gather bit
+        for bit — which is what lets :class:`~repro.candidates.lsh_index.BandPostings`
+        build and probe over a segmented store unchanged (this object is
+        duck-typed as the postings' store).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if not self._segments:
+            raise ValueError(
+                "cannot gather band keys from a segmented collection with no segments"
+            )
+        if len(rows) == 0:
+            # Delegate to a segment so the empty gather has the store's real
+            # shape and dtype (packed words for bit stores, ints for minhash).
+            segment = self._segments[0]
+            segment.ensure_hashes((band + 1) * band_width)
+            return segment.store.band_keys_many(rows, band, band_width)
+        result: np.ndarray | None = None
+        for segment, positions in self._grouped(rows):
+            segment.ensure_hashes((band + 1) * band_width)
+            part = segment.store.band_keys_many(
+                rows[positions] - segment.offset, band, band_width
+            )
+            if result is None:
+                result = np.empty((len(rows), part.shape[1]), dtype=part.dtype)
+            result[positions] = part
+        assert result is not None
+        return result
+
+    def count_matches_cross(
+        self,
+        other_store: SignatureStore,
+        other_rows: np.ndarray,
+        rows: np.ndarray,
+        start: int,
+        end: int,
+    ) -> np.ndarray:
+        """Hash agreements between ``other_store`` rows and global ``rows`` here.
+
+        The segment-offset-aware twin of
+        :meth:`~repro.hashing.signatures.SignatureStore.count_matches_cross`:
+        entry ``p`` counts hashes in ``[start, end)`` on which row
+        ``other_rows[p]`` of ``other_store`` (typically a query batch's
+        store) agrees with global row ``rows[p]`` of this collection.  Only
+        segments that actually own pairs are extended to ``end`` hashes —
+        the round-lazy hashing pattern of the BayesLSH verifier carries
+        over per segment.  Counts are per-pair and row-local, hence
+        independent of the segment layout.
+        """
+        other_rows = np.asarray(other_rows, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        result = np.zeros(len(rows), dtype=np.int64)
+        for segment, positions in self._grouped(rows):
+            store = segment.ensure_hashes(end)
+            result[positions] = store.count_matches_cross(
+                rows[positions] - segment.offset,
+                other_store,
+                other_rows[positions],
+                start,
+                end,
+            )
+        return result
+
+    def cross_similarities(
+        self,
+        query_prepared: VectorCollection,
+        query_rows: np.ndarray,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Exact similarities between query rows and global collection rows.
+
+        Segment-routed :func:`~repro.verification.base.cross_similarities_for_pairs`:
+        each segment runs the vectorised cross kernel on its own prepared
+        view with local row indices.  Exact similarities are row-local, so
+        the values equal the monolithic kernel's bit for bit.
+        """
+        query_rows = np.asarray(query_rows, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        result = np.zeros(len(rows), dtype=np.float64)
+        for segment, positions in self._grouped(rows):
+            result[positions] = cross_similarities_for_pairs(
+                query_prepared,
+                segment.prepared,
+                self._measure,
+                query_rows[positions],
+                rows[positions] - segment.offset,
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # consolidation
+    # ------------------------------------------------------------------ #
+    def to_collection(self) -> VectorCollection:
+        """The segments merged into one monolithic :class:`VectorCollection`.
+
+        This is the O(N) operation ingest no longer performs; it exists for
+        interoperability (handing the corpus to the all-pairs pipelines,
+        compaction) and is never on the serving hot path.
+        """
+        if not self._segments:
+            return VectorCollection(
+                sp.csr_matrix((0, self._n_features), dtype=np.float64)
+            )
+        if len(self._segments) == 1:
+            only = self._segments[0]
+            return VectorCollection(only.collection.matrix, ids=self.ids)
+        matrix = sp.vstack(
+            [segment.collection.matrix for segment in self._segments], format="csr"
+        )
+        return VectorCollection(matrix, ids=self.ids)

@@ -10,30 +10,44 @@ piece of state the index cannot re-derive bit-identically on its own:
 ``meta``
     A JSON document with the index's scalar configuration (measure,
     threshold, verification mode, BayesLSH parameters, seed, staleness
-    budget and counters) plus the hash family's scalar state — including the
+    budget and counters), the segment layout (``n_segments``, per-segment
+    ``store_n_hashes``) plus the hash family's scalar state — including the
     JSON-encoded RNG bit-generator state.
-``collection_*``
-    The raw indexed collection as CSR components plus external ids, packed
-    by :func:`repro.datasets.io.collection_arrays` (the exact layout
-    ``save_collection`` writes to standalone files).
+``seg{i}_collection_*``
+    Each sealed segment's raw collection as CSR components plus external
+    ids, packed by :func:`repro.datasets.io.collection_arrays` (the exact
+    layout ``save_collection`` writes to standalone files).
+``seg{i}_store``
+    Each segment's signature store contents (packed ``uint32`` words for the
+    bit store, the raw integer matrix for the minhash store).  Segments
+    extend their stores independently, so widths may differ; the per-segment
+    ``store_n_hashes`` list in ``meta`` records each width.
 ``family_*``
-    The hash family's array state: drawn minhash coefficients, or the
-    (quantised) simhash projection matrix.  Together with the RNG state in
-    ``meta`` this makes hash generation *resume* identically after a round
-    trip — hash function ``i`` is the same before and after, whether it was
-    drawn before the save or after the load.
-``store_matrix``
-    The signature store contents (packed ``uint32`` words for the bit store,
-    the raw integer matrix for the minhash store).
+    The *master* hash family's array state: drawn minhash coefficients, or
+    the (quantised) simhash projection matrix.  Together with the RNG state
+    in ``meta`` this makes hash generation *resume* identically after a
+    round trip — hash function ``i`` is the same before and after, whether
+    it was drawn before the save or after the load (clones of the master
+    re-draw any missing coefficients from the same deterministic stream).
 ``deleted`` / ``postings_members``
-    The tombstone mask and the band postings' member sequence in insertion
-    order — replaying that sequence rebuilds every posting list in the exact
-    order incremental inserts created it, so probe results (and hence query
-    answers) are bit-identical to the saved instance's.
+    The global tombstone mask and the band postings' member sequence in
+    insertion order — replaying that sequence rebuilds every posting list in
+    the exact order incremental inserts created it.
 
 What is *not* serialised is exactly the state that is a deterministic
-function of the above: the measure's prepared view, the BayesLSH decision
-tables and the posting dictionaries themselves are rebuilt on load.
+function of the above: the measures' prepared views, the per-segment family
+clones, the BayesLSH decision tables and the posting dictionaries themselves
+are rebuilt on load.
+
+Version history
+---------------
+* **v1** — monolithic layout: one ``collection_*`` group and one
+  ``store_matrix``.  Still readable; loads as a single-segment index.
+* **v2** (current) — segmented layout as described above, plus
+  **compaction**: :func:`save_query_index` with ``compact=True`` merges all
+  segments into one and physically drops tombstoned rows.  Surviving rows
+  are renumbered (order and external ids preserved), the postings member
+  sequence is remapped accordingly, and the written tombstone mask is empty.
 """
 
 from __future__ import annotations
@@ -42,16 +56,20 @@ import json
 from pathlib import Path
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.datasets.io import collection_arrays, collection_from_arrays
 from repro.hashing.signatures import BitSignatures, IntSignatures
+from repro.similarity.vectors import VectorCollection
 
 __all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_query_index", "load_query_index"]
 
 #: magic string identifying QueryIndex snapshot archives
 SNAPSHOT_FORMAT = "repro-query-index"
-#: current snapshot format version
-SNAPSHOT_VERSION = 1
+#: current snapshot format version (see module docstring for the history)
+SNAPSHOT_VERSION = 2
+#: versions this build can read
+_READABLE_VERSIONS = (1, 2)
 
 
 def _snapshot_path(path) -> Path:
@@ -61,8 +79,126 @@ def _snapshot_path(path) -> Path:
     return path
 
 
-def save_query_index(index, path) -> Path:
-    """Write ``index`` to ``path`` (``.npz`` appended if missing)."""
+def _store_parts(store) -> tuple[str, np.ndarray, int]:
+    """``(kind, matrix, n_hashes)`` of a signature store for serialisation."""
+    if isinstance(store, BitSignatures):
+        return "bits", store.words, store.n_hashes
+    if isinstance(store, IntSignatures):
+        return "ints", store.values, store.n_hashes
+    raise TypeError(f"cannot snapshot a {type(store).__name__} signature store")
+
+
+def _store_from_parts(kind: str, matrix: np.ndarray, n_hashes: int):
+    """Rebuild a signature store from its serialised parts."""
+    if kind == "bits":
+        return BitSignatures.from_words(matrix, int(n_hashes))
+    if kind == "ints":
+        store = IntSignatures.from_values(matrix)
+        if store.n_hashes != int(n_hashes):
+            raise ValueError(
+                f"snapshot declares {n_hashes} hashes but the store matrix "
+                f"holds {store.n_hashes}"
+            )
+        return store
+    raise ValueError(f"unknown signature store kind {kind!r}")
+
+
+def _segment_payload(index) -> tuple[list[dict], str, list[int], np.ndarray, np.ndarray]:
+    """Per-segment arrays for a plain (non-compacted) v2 snapshot."""
+    arrays: list[dict] = []
+    kinds: set[str] = set()
+    widths: list[int] = []
+    for segment in index._segments.segments:
+        kind, matrix, n_hashes = _store_parts(segment.store)
+        kinds.add(kind)
+        widths.append(int(n_hashes))
+        packed = collection_arrays(
+            VectorCollection(segment.collection.matrix, ids=segment.ids), prefix=""
+        )
+        packed["store"] = matrix
+        arrays.append(packed)
+    (kind,) = kinds or {"bits"}
+    return arrays, kind, widths, index._deleted, index._postings.members
+
+
+def _store_matrix_at_width(segment, width: int) -> np.ndarray:
+    """``segment``'s store matrix widened to ``width`` hashes, without
+    mutating the segment.
+
+    When the segment's store is already wide enough its matrix is returned
+    as-is; otherwise the store contents are copied into a scratch store and
+    a fresh family clone extends the *copy* — the extra hashes come from the
+    regular deterministic stream, so they match what any future query would
+    have materialised, but the live segment keeps its original width (and
+    memory footprint).
+    """
+    store = segment.store
+    if store.n_hashes >= width:
+        return _store_parts(store)[1]
+    if isinstance(store, BitSignatures):
+        scratch = BitSignatures.from_words(store.words.copy(), store.n_hashes)
+    else:
+        scratch = IntSignatures.from_values(store.values.copy())
+    family = segment.family.clone_for(segment.prepared)
+    family.attach_store(scratch)
+    family.signatures(width)
+    return _store_parts(scratch)[1]
+
+
+def _compacted_payload(index) -> tuple[list[dict], str, list[int], np.ndarray, np.ndarray]:
+    """A single merged segment with tombstoned rows physically dropped.
+
+    Surviving rows are renumbered monotonically (their relative order is
+    preserved, so sorted query results map one-to-one) and the postings
+    member sequence is remapped through the old-to-new row map.  The
+    *written copies* of narrower segment stores are extended to the widest
+    segment's hash count so the merged store has one uniform width; the
+    in-memory index is not touched (see :func:`_store_matrix_at_width`).
+    """
+    segments = index._segments
+    width = segments.max_store_hashes
+    alive = ~index._deleted
+
+    matrix_parts = []
+    ids_parts = []
+    store_parts = []
+    kinds: set[str] = set()
+    for segment in segments.segments:
+        local_alive = np.flatnonzero(alive[segment.offset : segment.offset + segment.n_vectors])
+        matrix_parts.append(segment.collection.matrix[local_alive])
+        ids_parts.append(np.asarray(segment.ids)[local_alive])
+        kinds.add(_store_parts(segment.store)[0])
+        store_parts.append(_store_matrix_at_width(segment, width)[local_alive])
+    (kind,) = kinds or {"bits"}
+
+    if matrix_parts:
+        merged_matrix = sp.vstack(matrix_parts, format="csr")
+        merged_ids = np.concatenate(ids_parts)
+        merged_store = np.concatenate(store_parts, axis=0)
+    else:
+        merged_matrix = sp.csr_matrix((0, segments.n_features), dtype=np.float64)
+        merged_ids = np.zeros(0, dtype=np.int64)
+        merged_store = np.zeros((0, 0), dtype=np.uint32 if kind == "bits" else np.int64)
+
+    packed = collection_arrays(VectorCollection(merged_matrix, ids=merged_ids), prefix="")
+    packed["store"] = merged_store
+
+    # Old global row -> new compacted row (only defined for alive rows).
+    new_index = np.cumsum(alive, dtype=np.int64) - 1
+    members = index._postings.members
+    members = new_index[members[alive[members]]]
+
+    deleted = np.zeros(int(alive.sum()), dtype=bool)
+    return [packed], kind, [int(width)], deleted, members
+
+
+def save_query_index(index, path, compact: bool = False) -> Path:
+    """Write ``index`` to ``path`` (``.npz`` appended if missing).
+
+    With ``compact=True`` the snapshot merges all segments and drops
+    tombstoned rows (see :func:`_compacted_payload`); the in-memory index is
+    left untouched either way.
+    """
     from repro.search.query import QueryIndex
 
     if not isinstance(index, QueryIndex):
@@ -83,13 +219,12 @@ def save_query_index(index, path) -> Path:
         {"quantize": bool(family_state["quantize"])} if "quantize" in family_state else {}
     )
 
-    store = index._store
-    if isinstance(store, BitSignatures):
-        store_kind, store_matrix = "bits", store.words
-    elif isinstance(store, IntSignatures):
-        store_kind, store_matrix = "ints", store.values
+    if compact:
+        segment_arrays, store_kind, store_widths, deleted, members = _compacted_payload(index)
+        n_stale_postings = 0
     else:
-        raise TypeError(f"cannot snapshot a {type(store).__name__} signature store")
+        segment_arrays, store_kind, store_widths, deleted, members = _segment_payload(index)
+        n_stale_postings = index._n_stale_postings
 
     params = index._params
     meta = {
@@ -106,29 +241,62 @@ def save_query_index(index, path) -> Path:
         "max_hashes": params.max_hashes,
         "seed": index._seed,
         "staleness_budget": index._staleness_budget,
-        "n_stale_postings": index._n_stale_postings,
+        "n_stale_postings": n_stale_postings,
         "family": index._family.name,
         "family_scalars": family_scalars,
         "family_kwargs": family_kwargs,
         "store_kind": store_kind,
-        "store_n_hashes": store.n_hashes,
+        "store_n_hashes": store_widths,
+        "n_features": index._segments.n_features,
+        "n_segments": len(segment_arrays),
+        "compacted": bool(compact),
     }
+    payload: dict[str, np.ndarray] = {}
+    for i, packed in enumerate(segment_arrays):
+        for key, value in packed.items():
+            prefix = f"seg{i}_store" if key == "store" else f"seg{i}_collection_{key}"
+            payload[prefix] = value
     np.savez_compressed(
         path,
         format=np.array(SNAPSHOT_FORMAT),
         version=np.array(SNAPSHOT_VERSION, dtype=np.int64),
         meta=np.array(json.dumps(meta)),
-        deleted=index._deleted,
-        postings_members=index._postings.members,
-        store_matrix=store_matrix,
-        **collection_arrays(index._collection, prefix="collection_"),
+        deleted=deleted,
+        postings_members=members,
+        **payload,
         **family_arrays,
     )
     return path
 
 
+def _load_segments_v1(archive, meta) -> list[tuple]:
+    """Read the monolithic v1 layout as a single sealed segment."""
+    collection = collection_from_arrays(archive, prefix="collection_")
+    store = _store_from_parts(
+        meta["store_kind"], archive["store_matrix"], int(meta["store_n_hashes"])
+    )
+    return [(collection, store, collection.ids)]
+
+
+def _load_segments_v2(archive, meta) -> list[tuple]:
+    """Read the segmented v2 layout."""
+    widths = meta["store_n_hashes"]
+    segments = []
+    for i in range(int(meta["n_segments"])):
+        collection = collection_from_arrays(archive, prefix=f"seg{i}_collection_")
+        store = _store_from_parts(
+            meta["store_kind"], archive[f"seg{i}_store"], int(widths[i])
+        )
+        segments.append((collection, store, collection.ids))
+    return segments
+
+
 def load_query_index(path):
-    """Load an index snapshot written by :func:`save_query_index`."""
+    """Load an index snapshot written by :func:`save_query_index`.
+
+    Reads both the current segmented v2 layout and the legacy monolithic v1
+    layout (loaded as a single-segment index); anything else is rejected.
+    """
     from repro.search.query import QueryIndex
 
     path = _snapshot_path(path)
@@ -137,39 +305,34 @@ def load_query_index(path):
         if "format" not in names or str(archive["format"][()]) != SNAPSHOT_FORMAT:
             raise ValueError(f"{path} is not a QueryIndex snapshot")
         version = int(archive["version"][()])
-        if version != SNAPSHOT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(
                 f"snapshot version {version} is not supported "
-                f"(this build reads version {SNAPSHOT_VERSION})"
+                f"(this build reads versions {list(_READABLE_VERSIONS)})"
             )
         meta = json.loads(str(archive["meta"][()]))
-        collection = collection_from_arrays(archive, prefix="collection_")
         deleted = np.asarray(archive["deleted"], dtype=bool)
         postings_members = np.asarray(archive["postings_members"], dtype=np.int64)
-        store_matrix = archive["store_matrix"]
 
         family_state: dict[str, object] = dict(meta["family_scalars"])
         for name in names:
             if name.startswith("family_"):
                 family_state[name[len("family_"):]] = archive[name]
 
-        if meta["store_kind"] == "bits":
-            store = BitSignatures.from_words(store_matrix, int(meta["store_n_hashes"]))
-        elif meta["store_kind"] == "ints":
-            store = IntSignatures.from_values(store_matrix)
-            if store.n_hashes != int(meta["store_n_hashes"]):
-                raise ValueError(
-                    f"snapshot declares {meta['store_n_hashes']} hashes but the "
-                    f"store matrix holds {store.n_hashes}"
-                )
+        if version == 1:
+            segments_data = _load_segments_v1(archive, meta)
         else:
-            raise ValueError(f"unknown signature store kind {meta['store_kind']!r}")
+            segments_data = _load_segments_v2(archive, meta)
+
+    n_features = meta.get("n_features")
+    if n_features is None:  # v1 archives predate the explicit field
+        n_features = segments_data[0][0].n_features
 
     return QueryIndex._from_snapshot(
-        collection=collection,
+        segments_data=segments_data,
+        n_features=int(n_features),
         meta=meta,
         family_state=family_state,
-        store=store,
         deleted=deleted,
         postings_members=postings_members,
     )

@@ -117,10 +117,12 @@ class Verifier(ABC):
 
     @property
     def measure(self) -> SimilarityMeasure:
+        """The similarity measure candidates are verified under."""
         return self._measure
 
     @property
     def threshold(self) -> float:
+        """The similarity threshold emitted pairs must exceed."""
         return self._threshold
 
     @property

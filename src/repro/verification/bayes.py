@@ -146,6 +146,7 @@ class BayesLSHVerifier(_BayesVerifierBase):
 
     @property
     def params(self) -> BayesLSHParams:
+        """The ``epsilon``/``delta``/``gamma``/``k``/``max_hashes`` knobs in force."""
         return self._params
 
     @property
@@ -154,6 +155,13 @@ class BayesLSHVerifier(_BayesVerifierBase):
         return self._last_algorithm
 
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        """Run Algorithm 1 over the candidate pairs; emits posterior estimates.
+
+        Deterministic in ``(candidates, family seed, params)``: every
+        prune/emit decision depends only on the pair's own hash-agreement
+        counts, so the output is independent of pair batching or ordering
+        (the execution-invariance contract).
+        """
         posterior = self._posterior_for(candidates)
         algorithm = BayesLSH(self._family, posterior, self._params)
         self._last_algorithm = algorithm
@@ -227,12 +235,18 @@ class BayesLSHLiteVerifier(_BayesVerifierBase):
 
     @property
     def params(self) -> BayesLSHLiteParams:
+        """The ``epsilon``/``h``/``k`` knobs in force."""
         return self._params
 
     def _exact_many(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         return exact_similarities_for_pairs(self._prepared, self._measure, left, right)
 
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        """BayesLSH-Lite: Bayesian pruning, exact similarities for survivors.
+
+        Deterministic in ``(candidates, family seed, params)`` — per-pair
+        decisions are independent of batching, as for the full verifier.
+        """
         posterior = self._posterior_for(candidates)
         # Deliberately NOT wired to exact_similarities_for_pairs: its chunked
         # sparse products round differently from measure.exact in the last

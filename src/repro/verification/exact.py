@@ -34,6 +34,11 @@ class ExactVerifier(Verifier):
         )
 
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        """Exact similarity for every candidate; emits pairs above the threshold.
+
+        Deterministic and batching-independent: similarities are row-local
+        computations on the prepared collection.
+        """
         similarities = exact_similarities_for_pairs(
             self._prepared, self._measure, candidates.left, candidates.right
         )

@@ -69,10 +69,12 @@ class LSHApproxVerifier(Verifier):
 
     @property
     def num_hashes(self) -> int:
+        """Fixed number of hashes every pair is compared on."""
         return self._num_hashes
 
     @property
     def family(self) -> HashFamily:
+        """The hash family whose signatures the estimates are read from."""
         return self._family
 
     def _estimates_from_matches(self, matches: np.ndarray) -> np.ndarray:
@@ -96,6 +98,12 @@ class LSHApproxVerifier(Verifier):
         )
 
     def verify(self, candidates: CandidateSet) -> VerificationOutput:
+        """MLE estimates from a fixed hash budget; emits pairs above the threshold.
+
+        Deterministic in ``(candidates, family seed, num_hashes)`` and
+        independent of pair batching (each pair's estimate reads only its
+        own signature rows).
+        """
         store = self._family.signatures(self._num_hashes)
         matches = store.count_matches_many(
             candidates.left, candidates.right, 0, self._num_hashes

@@ -1,6 +1,6 @@
 """Property tests for the serving layer's bit-identity contracts.
 
-Three contracts (see ``repro/search/query.py``):
+Four contracts (see ``repro/search/query.py``):
 
 * **batched == looped** — ``query_many`` / ``top_k_many`` on a batch equal
   the singular ``query`` / ``top_k`` called per row, bit for bit;
@@ -11,7 +11,11 @@ Three contracts (see ``repro/search/query.py``):
 * **update equivalence** — an index grown by ``insert`` answers exactly like
   an index built from scratch over the final collection, and ``delete``
   filters tombstoned rows immediately whether or not the staleness budget
-  has forced a posting rebuild.
+  has forced a posting rebuild;
+* **segmentation invariance** — query answers are independent of how the
+  corpus is split across sealed segments: an index grown through any insert
+  history is bit-identical to a monolithic scratch rebuild over
+  ``index.as_collection()`` (the segmented store's kernels are row-local).
 """
 
 import numpy as np
@@ -166,6 +170,86 @@ def test_delete_filters_immediately_and_rebuild_preserves_answers(budget):
     )
     reference.delete(victims)
     assert reference.query_many(queries, threshold=0.4) == results
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("verification", ["bayes", "exact"])
+def test_segmented_store_bit_identical_to_monolithic_rebuild(measure, verification):
+    """Queries over a many-segment store equal a monolithic scratch rebuild.
+
+    The index is grown through an uneven insert history (including a
+    single-row segment) and interleaved deletes; the reference index is
+    built in one shot over ``as_collection()`` with the same tombstones.
+    """
+    corpus = _random_collection(17, n=70)
+    queries = corpus[:9]
+    grown = QueryIndex(
+        corpus[:20], measure=measure, threshold=0.6, verification=verification, seed=11
+    )
+    grown.insert(corpus[20:21])   # single-row segment
+    grown.insert(corpus[21:50])
+    grown.delete([3, 21, 40])
+    grown.insert(corpus[50:])
+    assert grown.n_segments == 4
+
+    scratch = QueryIndex(
+        grown.as_collection(),
+        measure=measure,
+        threshold=0.6,
+        verification=verification,
+        seed=11,
+    )
+    assert scratch.n_segments == 1
+    scratch.delete([3, 21, 40])
+
+    assert grown.query_many(queries, threshold=0.55) == scratch.query_many(
+        queries, threshold=0.55
+    )
+    assert grown.top_k_many(queries, k=6) == scratch.top_k_many(queries, k=6)
+    if verification == "bayes":
+        assert grown.top_k_many(queries, k=6, rank_by="estimate") == scratch.top_k_many(
+            queries, k=6, rank_by="estimate"
+        )
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+def test_estimate_top_k_batched_equals_looped_and_matches_query_estimates(measure):
+    corpus = _random_collection(19, n=60)
+    index = QueryIndex(corpus, measure=measure, threshold=0.6, seed=2)
+    index.insert(_random_collection(20, n=15))
+    queries = _random_collection(21, n=7)[:, : corpus.shape[1]]
+    queries[:3] = corpus[:3]
+
+    batched = index.top_k_many(queries, k=5, floor_threshold=0.3, rank_by="estimate")
+    looped = [
+        index.top_k(queries[i], k=5, floor_threshold=0.3, rank_by="estimate")
+        for i in range(len(queries))
+    ]
+    assert batched == looped
+
+    # The ranking values are exactly the posterior MAP estimates the
+    # threshold path reports for the same (query, candidate) pairs.
+    by_pair = {
+        (position, pair.j): pair.similarity
+        for position, hits in enumerate(index.query_many(queries, threshold=0.35))
+        for pair in hits
+    }
+    for position, ranked in enumerate(batched):
+        similarities = [pair.similarity for pair in ranked]
+        assert similarities == sorted(similarities, reverse=True)
+        for pair in ranked:
+            key = (position, pair.j)
+            if key in by_pair:
+                assert pair.similarity == by_pair[key]
+
+
+def test_estimate_top_k_requires_bayes_verification():
+    corpus = _random_collection(23, n=30)
+    index = QueryIndex(corpus, measure="cosine", threshold=0.6, verification="exact")
+    with pytest.raises(ValueError, match="estimate"):
+        index.top_k_many(corpus[:2], k=3, rank_by="estimate")
+    with pytest.raises(ValueError, match="rank_by"):
+        index.top_k_many(corpus[:2], k=3, rank_by="approximate")
 
 
 def test_insert_accepts_token_sets_and_dicts():

@@ -115,7 +115,7 @@ def test_round_trip_preserves_external_ids(tmp_path):
     )
     index = QueryIndex(collection, measure="cosine", threshold=0.6, seed=1)
     loaded = QueryIndex.load(index.save(tmp_path / "ids"))
-    assert list(loaded._collection.ids) == [f"doc-{i}" for i in range(10)]
+    assert list(loaded.ids) == [f"doc-{i}" for i in range(10)]
 
 
 def test_rejects_foreign_and_future_archives(tmp_path, corpus):
@@ -152,3 +152,154 @@ def test_snapshot_is_pickle_free(tmp_path, corpus):
 def test_save_rejects_non_index():
     with pytest.raises(TypeError, match="QueryIndex"):
         save_query_index(object(), "nowhere")
+
+
+def test_multi_segment_round_trip_preserves_segmentation(tmp_path, corpus, queries):
+    index = QueryIndex(corpus, measure="cosine", threshold=0.6, seed=6)
+    index.insert(_corpus(60, n=9))
+    index.insert(_corpus(61, n=5))
+    assert index.n_segments == 3
+    expected = index.query_many(queries, threshold=0.5)
+
+    loaded = QueryIndex.load(index.save(tmp_path / "multi"))
+    assert loaded.n_segments == 3
+    assert loaded.query_many(queries, threshold=0.5) == expected
+    # Both instances keep evolving identically after the round trip.
+    extra = _corpus(62, n=4)
+    assert np.array_equal(index.insert(extra), loaded.insert(extra))
+    assert loaded.query_many(queries, threshold=0.5) == index.query_many(
+        queries, threshold=0.5
+    )
+
+
+@pytest.mark.parametrize("verification", ["bayes", "exact"])
+def test_compacted_snapshot_drops_tombstones_and_answers_identically(
+    tmp_path, corpus, queries, verification
+):
+    """The compaction contract (see ``docs/serving.md``).
+
+    A compacted snapshot physically contains no tombstoned rows, loads as a
+    single segment with nothing deleted, and answers every query identically
+    to the uncompacted index (whose tombstones are filtered at query time) —
+    compared by ``(external id, similarity)``, since compaction renumbers
+    the surviving rows while preserving ids and relative order.
+    """
+    index = QueryIndex(
+        corpus, measure="cosine", threshold=0.6, verification=verification, seed=12,
+        staleness_budget=1.0,
+    )
+    index.insert(_corpus(63, n=14))
+    victims = [0, 2, 7, 61, 65, 70]
+    index.delete(victims)
+    expected = index.query_many(queries, threshold=0.5)
+    expected_topk = index.top_k_many(queries, k=5)
+
+    path = index.save(tmp_path / "compacted", compact=True)
+    # The archive holds exactly the alive rows, in one segment, none deleted.
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"][()]))
+        assert meta["compacted"] is True
+        assert meta["n_segments"] == 1
+        assert int(archive["seg0_collection_shape"][0]) == index.n_alive
+        assert archive["seg0_store"].shape[0] == index.n_alive
+        assert not archive["deleted"].any()
+
+    loaded = QueryIndex.load(path)
+    assert loaded.n_segments == 1
+    assert loaded.n_indexed == index.n_alive
+    assert loaded.n_deleted == 0
+    assert loaded.n_stale_postings == 0
+
+    def by_id(instance, results):
+        ids = instance.ids
+        return [
+            [(ids[pair.j], pair.similarity) for pair in hits] for hits in results
+        ]
+
+    assert by_id(loaded, loaded.query_many(queries, threshold=0.5)) == by_id(
+        index, expected
+    )
+    assert by_id(loaded, loaded.top_k_many(queries, k=5)) == by_id(
+        index, expected_topk
+    )
+    # The in-memory index was not modified by the compacting save.
+    assert index.n_deleted == len(victims)
+    assert index.query_many(queries, threshold=0.5) == expected
+
+
+def test_compacted_snapshot_keeps_evolving(tmp_path, corpus, queries):
+    """Insert/delete on a loaded compacted index behaves like a fresh build."""
+    index = QueryIndex(corpus, measure="jaccard", threshold=0.5, seed=4)
+    index.delete([1, 3])
+    loaded = QueryIndex.load(index.save(tmp_path / "compact-evolve", compact=True))
+
+    fresh = QueryIndex(loaded.as_collection(), measure="jaccard", threshold=0.5, seed=4)
+    extra = _corpus(64, n=6)
+    assert np.array_equal(loaded.insert(extra), fresh.insert(extra))
+    assert loaded.query_many(queries, threshold=0.45) == fresh.query_many(
+        queries, threshold=0.45
+    )
+
+
+def test_default_insert_ids_stay_unique_after_compacted_load(tmp_path, corpus):
+    """Default ids continue past the surviving ids, never colliding with them."""
+    index = QueryIndex(corpus, measure="cosine", threshold=0.6, seed=3)
+    index.delete([1, 3])
+    loaded = QueryIndex.load(index.save(tmp_path / "renumbered", compact=True))
+    assert loaded.n_indexed == len(corpus) - 2
+
+    inserted = loaded.insert(_corpus(70, n=4))
+    assert len(inserted) == 4
+    ids = loaded.ids
+    assert len(np.unique(ids)) == len(ids)
+    # The fresh ids continue after the largest surviving id (59), not from
+    # the (smaller) row count the compaction left behind.
+    assert ids[-4:].tolist() == [60, 61, 62, 63]
+
+
+def test_compacting_save_does_not_mutate_the_live_index(tmp_path, corpus, queries):
+    """save(compact=True) widens only the written copies of segment stores."""
+    index = QueryIndex(corpus, measure="cosine", threshold=0.6, seed=8)
+    # Widen the first segment (as long-surviving verification rounds would),
+    # then append a narrow fresh segment.
+    index._segments.segments[0].ensure_hashes(2048)
+    index.insert(_corpus(71, n=10))
+    widths_before = [seg.store.n_hashes for seg in index._segments.segments]
+    assert widths_before[0] > widths_before[-1]
+
+    index.save(tmp_path / "no-mutate", compact=True)
+    widths_after = [seg.store.n_hashes for seg in index._segments.segments]
+    assert widths_after == widths_before
+
+
+def test_legacy_v1_archive_loads_as_single_segment(tmp_path, corpus, queries):
+    """The v1 monolithic layout stays readable (loaded as one segment)."""
+    index = QueryIndex(corpus, measure="cosine", threshold=0.6, seed=9)
+    expected = index.query_many(queries, threshold=0.5)
+    path = index.save(tmp_path / "v2")
+    with np.load(path, allow_pickle=False) as archive:
+        contents = {name: archive[name] for name in archive.files}
+    meta = json.loads(str(contents["meta"][()]))
+
+    # Rewrite the v2 single-segment archive in the v1 monolithic layout.
+    legacy_meta = dict(meta)
+    legacy_meta["store_n_hashes"] = meta["store_n_hashes"][0]
+    for key in ("n_features", "n_segments", "compacted"):
+        legacy_meta.pop(key)
+    legacy = {
+        name: value
+        for name, value in contents.items()
+        if not name.startswith("seg0_") and name not in ("meta", "version")
+    }
+    for name, value in contents.items():
+        if name.startswith("seg0_collection_"):
+            legacy[name.replace("seg0_", "")] = value
+    legacy["store_matrix"] = contents["seg0_store"]
+    legacy["meta"] = np.array(json.dumps(legacy_meta))
+    legacy["version"] = np.array(1, dtype=np.int64)
+    legacy_path = tmp_path / "v1.npz"
+    np.savez(legacy_path, **legacy)
+
+    loaded = load_query_index(legacy_path)
+    assert loaded.n_segments == 1
+    assert loaded.query_many(queries, threshold=0.5) == expected

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Documentation gate for the public serving/search API.
+
+Walks the ASTs of the packages named on the command line (default:
+``src/repro/serving`` and ``src/repro/search``) and fails — exit code 1,
+one line per offender — when any of the following lacks a docstring:
+
+* a module,
+* a public class (name not starting with ``_``),
+* a public function or public method of a public class.
+
+Exempt from the gate: dunder methods (including ``__init__`` — constructor
+parameters are documented in the class docstring, per the repo's docstring
+style) and protocol/overload stubs whose whole body is ``...``/``pass``.
+
+The CI ``docs-check`` job runs this script; see ``docs/architecture.md`` for
+the documentation system this gate protects.  Run locally with::
+
+    python tools/docs_check.py            # default packages
+    python tools/docs_check.py src/repro  # widen the net
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PACKAGES = ("src/repro/serving", "src/repro/search")
+
+#: dunder methods whose meaning is fixed by the language; only __init__ would
+#: add signal, and its parameters belong in the class docstring instead.
+_EXEMPT_DUNDERS_PREFIX = "__"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_stub(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True for overload/protocol stubs whose whole body is ``...`` or ``pass``."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in node.body
+    )
+
+
+def _missing_in_class(node: ast.ClassDef, path: Path) -> list[str]:
+    problems = []
+    for child in node.body:
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if child.name.startswith(_EXEMPT_DUNDERS_PREFIX):
+            continue
+        if not _is_public(child.name) or _is_stub(child):
+            continue
+        if ast.get_docstring(child) is None:
+            problems.append(
+                f"{path}:{child.lineno}: public method "
+                f"{node.name}.{child.name} lacks a docstring"
+            )
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    """All documentation problems in one Python source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}:1: module lacks a docstring")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{path}:{node.lineno}: public class {node.name} lacks a docstring"
+                )
+            problems.extend(_missing_in_class(node, path))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name) and not _is_stub(node):
+                if ast.get_docstring(node) is None:
+                    problems.append(
+                        f"{path}:{node.lineno}: public function {node.name} "
+                        "lacks a docstring"
+                    )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every ``.py`` file under the given package roots."""
+    roots = [Path(arg) for arg in argv] or [Path(p) for p in DEFAULT_PACKAGES]
+    problems: list[str] = []
+    n_files = 0
+    for root in roots:
+        if not root.exists():
+            print(f"docs-check: no such path {root}", file=sys.stderr)
+            return 2
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            n_files += 1
+            problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems))
+        print(f"\ndocs-check: {len(problems)} problem(s) in {n_files} file(s)")
+        return 1
+    print(f"docs-check: OK ({n_files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
