@@ -22,7 +22,13 @@ fresh run are reported but never fail the gate (adding benchmarks does not
 require a lock-step baseline update); a benchmark present in the baseline
 but **missing from the fresh run** fails the gate with exit code 3 — a rename
 or removal must be accompanied by a ``--update`` so it cannot silently drop
-out of regression coverage.
+out of regression coverage.  ``--update`` rewrites the baseline from the
+fresh run and *prunes* (and reports) baseline keys the fresh run no longer
+contains, so renames cannot leave stale keys behind that would trip the
+exit-3 check forever after.  Run ``--update`` with a fresh JSON produced
+from the same benchmark file the baseline covers (one baseline per suite:
+``BENCH_hotpaths.json`` for ``test_bench_hotpaths.py``,
+``BENCH_serving.json`` for the gated subset of ``test_bench_serving.py``).
 """
 
 from __future__ import annotations
@@ -63,6 +69,19 @@ def main(argv=None) -> int:
         return 2
 
     if args.update:
+        try:
+            with open(args.baseline) as handle:
+                previous = json.load(handle).get("benchmarks", {})
+        except (FileNotFoundError, json.JSONDecodeError):
+            previous = {}
+        # The fresh run *is* the new baseline; keys that existed before but
+        # are absent from the fresh run are pruned (and reported, so a rename
+        # or removal is a visible, deliberate act rather than silent drift —
+        # the compare mode treats missing baseline keys as a hard failure,
+        # which is why stale keys must never linger).
+        pruned = sorted(set(previous) - set(fresh))
+        for name in pruned:
+            print(f"PRUNED    {name}: removed from the baseline (absent from fresh run)")
         with open(args.baseline, "w") as handle:
             json.dump(
                 {"unit": "seconds (min over rounds)", "benchmarks": fresh},
@@ -71,7 +90,10 @@ def main(argv=None) -> int:
                 sort_keys=True,
             )
             handle.write("\n")
-        print(f"baseline updated with {len(fresh)} benchmarks -> {args.baseline}")
+        summary = f"baseline updated with {len(fresh)} benchmarks"
+        if pruned:
+            summary += f" ({len(pruned)} stale key(s) pruned)"
+        print(f"{summary} -> {args.baseline}")
         return 0
 
     with open(args.baseline) as handle:

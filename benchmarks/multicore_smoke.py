@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""Wall-clock validation of the multicore verification pool.
+"""Wall-clock validation of the multicore execution and serving pools.
 
-The ``n_workers > 1`` path of :class:`repro.search.executor.StreamExecutor`
-is bit-identity tested on every run (``tests/property/test_execution_invariance``),
-but bit-identity says nothing about whether the round-synchronous pool
-actually *speeds verification up* on real hardware.  This script measures it:
-it runs the same workload serially and with a worker pool, checks the outputs
-are identical, prints the wall-clock ratio and writes the raw timings as JSON
-(uploaded as a CI artifact by the ``multicore-smoke`` job).
+The ``n_workers > 1`` paths — :class:`repro.search.executor.StreamExecutor`
+for the offline all-pairs engine and the serving pool behind
+``QueryIndex.query_many``/``top_k_many`` — are bit-identity tested on every
+run (``tests/property/test_execution_invariance`` and
+``tests/property/test_query_serving``), but bit-identity says nothing about
+whether the round-synchronous pools actually *speed things up* on real
+hardware.  This script measures both: each workload runs serially and with a
+worker pool, the outputs are checked identical, the wall-clock ratios are
+printed and the raw timings are written as JSON (uploaded as the
+``multicore-timing`` CI artifact).
 
-The speedup is *reported, not asserted*: shared CI runners are noisy and the
-pool only shards the verification phase, so the job fails only if the two
-paths disagree on results or the machine cannot fork workers at all.
+The speedups are *reported, not asserted*: shared CI runners are noisy, so
+the job fails only if a parallel path disagrees with its serial twin or the
+machine cannot fork workers at all.
 
 Usage::
 
@@ -44,28 +47,92 @@ def build_workload(n_documents: int, seed: int):
     return tfidf_weighting(corpus.collection)
 
 
-def run_once(collection, threshold: float, method: str, n_workers: int | None):
-    start = time.perf_counter()
-    result = all_pairs_similarity(
-        collection,
-        threshold=threshold,
-        measure="cosine",
-        method=method,
-        seed=0,
-        n_workers=n_workers,
-    )
-    wall = time.perf_counter() - start
-    return result, wall
+def timed_best(fn, repeats: int):
+    """Minimum wall clock over ``repeats`` calls (noise-robust on shared runners).
 
-
-def best_of(collection, threshold, method, n_workers, repeats):
-    """Minimum wall clock over ``repeats`` runs (noise-robust on shared runners)."""
+    Returns ``(result_of_fastest_call, wall_seconds)``; the single timing
+    helper shared by the all-pairs and serving smoke sections so both
+    measure with the same methodology.
+    """
     best_result, best_wall = None, float("inf")
     for _ in range(repeats):
-        result, wall = run_once(collection, threshold, method, n_workers)
+        start = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - start
         if wall < best_wall:
             best_result, best_wall = result, wall
     return best_result, best_wall
+
+
+def best_of(collection, threshold, method, n_workers, repeats):
+    """Best-of-N wrapper around :func:`run_once` for the all-pairs workload."""
+    return timed_best(
+        lambda: all_pairs_similarity(
+            collection,
+            threshold=threshold,
+            measure="cosine",
+            method=method,
+            seed=0,
+            n_workers=n_workers,
+        ),
+        repeats,
+    )
+
+
+def serving_smoke(n_documents: int, n_queries: int, n_workers: int, repeats: int) -> dict:
+    """Serial vs pooled batched serving (``top_k_many`` / ``query_many``).
+
+    Builds a cosine ``QueryIndex`` once, then times the same query batch
+    through the serial path and through the per-call serving pool; results
+    must be bit-identical (the forked pool shards probing, verification and
+    ranking, merging in serial order).
+    """
+    from repro.search.query import QueryIndex
+
+    collection = build_workload(n_documents + n_queries, seed=23)
+    index = QueryIndex(
+        collection.subset(range(n_documents)),
+        measure="cosine",
+        threshold=0.7,
+        verification="bayes",
+        seed=3,
+    )
+    queries = collection.matrix[n_documents:]
+    # Warm the lazy hash materialisation so both paths measure serving.
+    index.top_k_many(queries[:2], k=10)
+
+    report = {"n_documents": n_documents, "n_queries": n_queries, "n_workers": n_workers}
+    identical = True
+    for label, fn_serial, fn_pool in (
+        (
+            "top_k_many",
+            lambda: index.top_k_many(queries, k=10),
+            lambda: index.top_k_many(queries, k=10, n_workers=n_workers),
+        ),
+        (
+            "query_many",
+            lambda: index.query_many(queries, threshold=0.7),
+            lambda: index.query_many(queries, threshold=0.7, n_workers=n_workers),
+        ),
+    ):
+        serial_result, serial_wall = timed_best(fn_serial, repeats)
+        pooled_result, pooled_wall = timed_best(fn_pool, repeats)
+        same = serial_result == pooled_result
+        identical = identical and same
+        speedup = serial_wall / pooled_wall if pooled_wall > 0 else float("nan")
+        print(
+            f"serving {label}: serial {serial_wall * 1000:7.1f}ms, "
+            f"n_workers={n_workers} {pooled_wall * 1000:7.1f}ms, "
+            f"speedup x{speedup:.2f}, identical: {same}"
+        )
+        report[label] = {
+            "serial_s": serial_wall,
+            "parallel_s": pooled_wall,
+            "speedup": speedup,
+            "identical_results": same,
+        }
+    report["identical_results"] = identical
+    return report
 
 
 def main(argv=None) -> int:
@@ -76,6 +143,18 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.7)
     parser.add_argument("--method", default="lsh_bayeslsh")
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--serving-documents",
+        type=int,
+        default=12_000,
+        help="corpus size for the batched-serving smoke",
+    )
+    parser.add_argument(
+        "--serving-queries",
+        type=int,
+        default=512,
+        help="query batch size for the batched-serving smoke",
+    )
     args = parser.parse_args(argv)
 
     collection = build_workload(args.n_documents, seed=17)
@@ -114,6 +193,10 @@ def main(argv=None) -> int:
         f"results identical: {identical}"
     )
 
+    serving_report = serving_smoke(
+        args.serving_documents, args.serving_queries, args.n_workers, args.repeats
+    )
+
     report = {
         "workload": {
             "n_documents": args.n_documents,
@@ -130,6 +213,7 @@ def main(argv=None) -> int:
         "speedup_total": speedup_total,
         "speedup_verification": speedup_verify,
         "identical_results": identical,
+        "serving": serving_report,
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -138,6 +222,9 @@ def main(argv=None) -> int:
 
     if not identical:
         print("error: parallel results differ from the serial path", file=sys.stderr)
+        return 1
+    if not serving_report["identical_results"]:
+        print("error: parallel serving results differ from the serial path", file=sys.stderr)
         return 1
     return 0
 

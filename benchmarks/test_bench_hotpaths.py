@@ -157,6 +157,57 @@ def test_bench_bayeslsh_verify_cosine(benchmark, tfidf_collection, candidate_pai
     assert 0 < output.n_output < len(left)
 
 
+@pytest.fixture(scope="module")
+def minhash_store(binary_collection):
+    """A 512-hash integer signature store over the corpus (for kernel benches)."""
+    family = MinHashFamily(binary_collection, seed=19)
+    return family.signatures(_MAX_HASHES)
+
+
+def _kernel_pairs(n_vectors: int, n_pairs: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(23)
+    return (
+        rng.integers(0, n_vectors, size=n_pairs),
+        rng.integers(0, n_vectors, size=n_pairs),
+    )
+
+
+def test_bench_superblock_rounds_small(benchmark, minhash_store):
+    """Tiled super-block gather, small active set (one tile == former wide path).
+
+    Guards the 'no slower at small active sets' half of the tiling
+    crossover: 500 pairs x 4 rounds of 32 integer hashes.
+    """
+    left, right = _kernel_pairs(minhash_store.n_vectors, 500)
+    counts = benchmark(minhash_store.count_matches_rounds, left, right, 64, 192, 32)
+    assert counts.shape == (500, 4)
+
+
+def test_bench_superblock_rounds_large(benchmark, minhash_store):
+    """Tiled super-block gather, large active set (200k pairs x 4 rounds).
+
+    The regime the former wide gather lost (scratch fell out of cache —
+    ROADMAP); the L2-sized pair tiles are what make super-blocking win here.
+    """
+    left, right = _kernel_pairs(minhash_store.n_vectors, 200_000)
+    counts = benchmark(minhash_store.count_matches_rounds, left, right, 64, 192, 32)
+    assert counts.shape == (200_000, 4)
+
+
+def test_bench_cross_count_large(benchmark, minhash_store):
+    """Tiled cross-store agreement counts at a large active set.
+
+    The serving layer's per-round verification kernel
+    (``count_matches_cross``) on 200k (query row, collection row) pairs over
+    one 32-hash round — the large-active-set serving regime.
+    """
+    left, right = _kernel_pairs(minhash_store.n_vectors, 200_000)
+    counts = benchmark(
+        minhash_store.count_matches_cross, left, minhash_store, right, 64, 192
+    )
+    assert counts.shape == (200_000,)
+
+
 def test_bench_lsh_candidate_generation(benchmark, binary_collection):
     """LSH banding index over the corpus (Jaccard, threshold 0.5)."""
 

@@ -24,9 +24,18 @@ subsystem introduces, at a scale comparable to the hot-path benchmarks:
   replace re-concatenated and re-prepared all N rows per insert);
 * **snapshot round trip** — ``save`` + ``load`` of a fully built index.
 
-These benchmarks have no committed baseline entries (the regression gate
-only covers ``test_bench_hotpaths.py``); they exist to keep the serving
-numbers visible in the benchmark history.
+All benchmarks except the ingest-scaling sweep are gated against the
+committed baseline ``benchmarks/BENCH_serving.json`` in CI (same 1.3x
+regression rule as the hot paths, via ``check_regression.py``); the
+ingest-scaling sweep (``test_insert_scaling``) builds 10k–100k document
+indices and is excluded from the gate run (``-k "not insert_scaling"``) to
+keep the CI job bounded — refresh the baseline with the same filter::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serving.py \
+        -k "not insert_scaling" --benchmark-only \
+        --benchmark-json=bench_serving_raw.json
+    python benchmarks/check_regression.py bench_serving_raw.json \
+        benchmarks/BENCH_serving.json --update
 """
 
 from __future__ import annotations

@@ -132,6 +132,15 @@ class BandPostings:
     incremental adds created them (within one :meth:`add` call rows land in
     argument order, and consecutive calls append), which is what lets a
     snapshot serialise the postings as just that member sequence.
+
+    Concurrency contract: *one* mutator at a time (the owning
+    :class:`~repro.search.query.QueryIndex` serialises :meth:`add` and the
+    staleness rebuild under its update lock — the rebuild builds a fresh
+    instance and swaps the reference atomically), while :meth:`probe_many`
+    may run concurrently from reader threads: probes only ``get`` bucket
+    lists and snapshot them into arrays, and :meth:`add` grows buckets with
+    single atomic ``extend`` calls, so a concurrent probe observes each
+    bucket either before or after a batch — never a torn list.
     """
 
     def __init__(self, n_bands: int, band_width: int):
@@ -199,6 +208,14 @@ class BandPostings:
         ``(query position, member row)`` arrays — the union of all band hits,
         deduplicated and sorted lexicographically by ``(position, row)`` via
         the same integer-key encoding the streamed executor uses.
+
+        ``n_vectors`` is only a *lower bound* on the encoding span: the span
+        actually used is raised to cover the largest member row observed, so
+        a concurrent ingest that appends members beyond the caller's
+        snapshot mid-probe cannot corrupt the decode (any span above every
+        member row yields the identical ``(position, row)`` sort order, so
+        the result is span-independent — and hence identical to a
+        race-free probe over the rows that were visible).
         """
         query_rows = np.asarray(query_rows, dtype=np.int64)
         if len(query_rows) == 0:
@@ -216,10 +233,11 @@ class BandPostings:
                     position_parts.append(np.full(len(hits), position, dtype=np.int64))
         if not member_parts:
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        span = max(int(n_vectors), max(int(part.max()) for part in member_parts) + 1)
         encoded = np.unique(
-            np.concatenate(position_parts) * int(n_vectors) + np.concatenate(member_parts)
+            np.concatenate(position_parts) * span + np.concatenate(member_parts)
         )
-        return encoded // int(n_vectors), encoded % int(n_vectors)
+        return encoded // span, encoded % span
 
 
 class LSHGenerator(CandidateGenerator):

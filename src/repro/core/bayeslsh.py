@@ -126,15 +126,23 @@ class VerificationOutput:
 
 _ACTIVE, _PRUNED, _EMITTED = 0, 1, 2
 
-#: round index from which verify() starts gathering multi-round super-blocks
+#: Round index from which verify() starts gathering multi-round super-blocks.
+#: Rounds 0 and 1 prune the bulk of the candidates, so super-blocking them
+#: gathers columns most pairs never look at — measured ~1.5x slower on the
+#: 100k-pair hot-path workload.  From round 2 on the survivor set is stable
+#: and the wide gather amortises.
 _SUPERBLOCK_START = 2
 #: maximum number of rounds gathered per super-block
 _SUPERBLOCK_ROUNDS = 4
-#: only super-block when this few pairs are still active: small survivor sets
-#: are dominated by per-gather call overhead (which the super-block amortises),
-#: while for large active sets the wide gather scratch falls out of cache and
-#: per-round gathers are faster
-_SUPERBLOCK_MAX_ACTIVE = 600
+# NOTE: there is deliberately no active-count ceiling any more.  The former
+# _SUPERBLOCK_MAX_ACTIVE = 600 cap existed because the wide gather's
+# n_active x span scratch fell out of cache for large active sets; the store
+# kernels now tile the pair axis to an L2-sized scratch
+# (repro.hashing.signatures._TILE_BYTES), which makes the super-block no
+# slower at small active counts (a single tile is exactly the former wide
+# gather) and measurably faster at large ones (~2x kernel-level for integer
+# signatures at 200k pairs; end-to-end verify measured in
+# benchmarks/test_bench_hotpaths.py).
 
 
 class BayesLSH:
@@ -219,10 +227,7 @@ class BayesLSH:
                 # super-blocked, so the family's lazy hash-generation pattern
                 # (and hence its RNG stream consumption) is unchanged.
                 n_rounds_block = 1
-                if (
-                    round_index >= _SUPERBLOCK_START
-                    and len(active) <= _SUPERBLOCK_MAX_ACTIVE
-                ):
+                if round_index >= _SUPERBLOCK_START:
                     materialised = (self._family.n_hashes - n_prev) // params.k
                     n_rounds_block = max(
                         1,

@@ -33,7 +33,7 @@ from abc import ABC, abstractmethod
 from typing import Callable
 
 import numpy as np
-from scipy.special import betainc
+from scipy.special import betainc, betaincc
 
 from repro.core.priors import BetaPrior, UniformCollisionPrior
 from repro.hashing.simhash import collision_to_cosine, cosine_to_collision
@@ -224,6 +224,11 @@ class TruncatedCollisionPosterior(PosteriorModel):
     #: below this posterior mass on the support, closed-form incomplete-beta
     #: ratios lose too much precision and the numerical fallback is used
     _TAIL_MASS_CUTOFF = 1e-12
+    #: below this CDF-difference value the subtraction has cancelled to the
+    #: float64 resolution of the operands and the mass is recomputed from the
+    #: survival function instead (stable for thin upper tails); masses above
+    #: the guard keep the original expression bit for bit
+    _CANCELLATION_GUARD = 1e-9
 
     def __init__(self, prior: UniformCollisionPrior | None = None):
         self._prior = prior if prior is not None else UniformCollisionPrior()
@@ -250,13 +255,24 @@ class TruncatedCollisionPosterior(PosteriorModel):
         return self._grid_fallback
 
     def _mass(self, m: int, n: int, r_low: float, r_high: float) -> float:
-        """Unnormalised posterior mass of ``[r_low, r_high]`` (regularised units)."""
+        """Unnormalised posterior mass of ``[r_low, r_high]`` (regularised units).
+
+        A thin upper tail makes ``betainc(.., r_high) - betainc(.., r_low)``
+        cancel catastrophically (both operands round to 1.0 and the mass
+        collapses to exactly 0 even when the true value is ~1e-18, which
+        breaks monotonicity of ``prob_above_threshold`` in ``m``); masses
+        below the cancellation guard are recomputed from the survival
+        function ``betaincc``, which is exact in that regime.
+        """
         a, b = m + 1.0, (n - m) + 1.0
         r_low = float(np.clip(r_low, 0.0, 1.0))
         r_high = float(np.clip(r_high, 0.0, 1.0))
         if r_high <= r_low:
             return 0.0
-        return float(betainc(a, b, r_high) - betainc(a, b, r_low))
+        mass = float(betainc(a, b, r_high) - betainc(a, b, r_low))
+        if mass < self._CANCELLATION_GUARD:
+            mass = max(0.0, float(betaincc(a, b, r_low) - betaincc(a, b, r_high)))
+        return mass
 
     def _normaliser(self, m: int, n: int) -> float:
         return self._mass(m, n, self._prior.low, self._prior.high)
@@ -310,10 +326,19 @@ class TruncatedCollisionPosterior(PosteriorModel):
     def _mass_many(
         self, a: np.ndarray, b: np.ndarray, r_low: np.ndarray, r_high: np.ndarray
     ) -> np.ndarray:
-        """Vectorised :meth:`_mass` with per-element posterior parameters."""
+        """Vectorised :meth:`_mass` with per-element posterior parameters.
+
+        Applies the same survival-function recomputation as the scalar path
+        to elements whose CDF difference cancelled below the guard, so the
+        batched probabilities stay bit-identical to the scalar ones.
+        """
         r_low = np.clip(r_low, 0.0, 1.0)
         r_high = np.clip(r_high, 0.0, 1.0)
         mass = betainc(a, b, r_high) - betainc(a, b, r_low)
+        cancelled = mass < self._CANCELLATION_GUARD
+        if np.any(cancelled):
+            stable = np.maximum(0.0, betaincc(a, b, r_low) - betaincc(a, b, r_high))
+            mass = np.where(cancelled, stable, mass)
         return np.where(r_high <= r_low, 0.0, mass)
 
     def _normaliser_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:

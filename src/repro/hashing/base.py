@@ -21,6 +21,8 @@ set of signatures (advantage 3 in the paper's introduction).
 
 from __future__ import annotations
 
+import threading
+
 from abc import ABC, abstractmethod
 
 from repro.hashing.signatures import SignatureStore
@@ -41,6 +43,12 @@ class HashFamily(ABC):
         self._collection = collection
         self._seed = int(seed)
         self._store: SignatureStore | None = None
+        # Serialises lazy extension so concurrent reader threads (the serving
+        # layer's contract: many readers, one writer) cannot interleave
+        # _extend calls — an unguarded interleave would append duplicate hash
+        # columns and desynchronise the coefficient / projection streams.
+        # Reads of an already-materialised store take the lock-free fast path.
+        self._extend_lock = threading.Lock()
 
     @property
     def collection(self) -> VectorCollection:
@@ -69,16 +77,22 @@ class HashFamily(ABC):
         """Return a store holding *at least* ``n_hashes`` hashes per vector.
 
         Hashes are generated lazily and cached, so repeated calls with
-        growing ``n_hashes`` only pay for the new hash functions.
+        growing ``n_hashes`` only pay for the new hash functions.  Extension
+        is thread-safe (serialised under a lock); calls that need no new
+        hashes never take the lock.
         """
         if n_hashes < 0:
             raise ValueError(f"n_hashes must be non-negative, got {n_hashes}")
-        if self._store is None:
-            self._store = self._make_store()
-        missing = n_hashes - self._store.n_hashes
-        if missing > 0:
-            self._extend(self._store, missing)
-        return self._store
+        store = self._store
+        if store is not None and store.n_hashes >= n_hashes:
+            return store
+        with self._extend_lock:
+            if self._store is None:
+                self._store = self._make_store()
+            missing = n_hashes - self._store.n_hashes  # re-check under the lock
+            if missing > 0:
+                self._extend(self._store, missing)
+            return self._store
 
     def attach_store(self, store: SignatureStore) -> None:
         """Adopt an externally built store as this family's signature cache.

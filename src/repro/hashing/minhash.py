@@ -47,6 +47,7 @@ indexed corpus and a single query vector agree on hash function ``i``.
 from __future__ import annotations
 
 import json
+import threading
 
 import numpy as np
 
@@ -196,20 +197,30 @@ class MinHashFamily(HashFamily):
         self._coef_a = np.zeros(0, dtype=np.int64)
         self._coef_b = np.zeros(0, dtype=np.int64)
         self._layout: _SupportLayout | None = None
+        # Serialises coefficient draws against concurrent reader threads
+        # (coefficient arrays are replaced wholesale, prefix-preserving, so
+        # reads outside the lock stay consistent).
+        self._coef_lock = threading.Lock()
 
     def _grow_coefficients(self, n_hashes: int) -> None:
-        missing = n_hashes - len(self._coef_a)
-        if missing <= 0:
+        if n_hashes <= len(self._coef_a):
             return
-        # One broadcast draw whose stream consumption matches the historical
-        # per-index interleaved scalar draws (a_i, b_i, a_{i+1}, ...), so a
-        # given (seed, hash index) always produces the same hash function
-        # regardless of how the store grew — families built on different
-        # collections (e.g. an indexed corpus and a single query vector) must
-        # agree on hash function i.
-        draws = self._rng.integers([1, 0], _PRIME, size=(missing, 2), dtype=np.int64)
-        self._coef_a = np.concatenate([self._coef_a, draws[:, 0]])
-        self._coef_b = np.concatenate([self._coef_b, draws[:, 1]])
+        with self._coef_lock:
+            missing = n_hashes - len(self._coef_a)  # re-check under the lock
+            if missing <= 0:
+                return
+            # One broadcast draw whose stream consumption matches the historical
+            # per-index interleaved scalar draws (a_i, b_i, a_{i+1}, ...), so a
+            # given (seed, hash index) always produces the same hash function
+            # regardless of how the store grew — families built on different
+            # collections (e.g. an indexed corpus and a single query vector) must
+            # agree on hash function i.
+            draws = self._rng.integers([1, 0], _PRIME, size=(missing, 2), dtype=np.int64)
+            # Publish b before a: lock-free readers gate on len(_coef_a), so
+            # once they see the grown a-array the matching b-array must
+            # already be in place.
+            self._coef_b = np.concatenate([self._coef_b, draws[:, 1]])
+            self._coef_a = np.concatenate([self._coef_a, draws[:, 0]])
 
     def coefficients(self, n_hashes: int) -> tuple[np.ndarray, np.ndarray]:
         """The ``(a, b)`` coefficient arrays of hash functions ``0 .. n_hashes-1``.

@@ -20,6 +20,7 @@ not measurably change the LSH collision statistics (covered by tests).
 from __future__ import annotations
 
 import json
+import threading
 
 import numpy as np
 
@@ -86,6 +87,14 @@ class QuantizedGaussian:
         self._rng = np.random.default_rng(self._seed)
         self._codes = np.zeros((self._n_features, 0), dtype=np.uint16)
         self._exact = np.zeros((self._n_features, 0), dtype=np.float64)
+        # One projection matrix is shared by every clone of a simhash family
+        # (the serving layer's RNG-stream authority), so concurrent reader
+        # threads lazily extending through different clones must serialise
+        # their draws: an unguarded interleaved _grow would advance the RNG
+        # stream twice for the same column range and corrupt determinism.
+        # Readers need no lock — the stored matrix is replaced, never mutated
+        # in place, and any replacement preserves all previously drawn columns.
+        self._grow_lock = threading.Lock()
 
     @property
     def n_features(self) -> int:
@@ -110,19 +119,22 @@ class QuantizedGaussian:
         return int(store.nbytes)
 
     def _grow(self, n_columns: int) -> None:
-        missing = n_columns - self.n_columns
-        if missing <= 0:
+        if n_columns <= self.n_columns:
             return
-        # One batched draw: standard_normal fills C order, so row i of the
-        # (missing, n_features) draw consumes exactly the same generator
-        # stream as a separate per-column standard_normal(n_features) call —
-        # a given (seed, column index) always yields the same projection
-        # vector regardless of the growth pattern.
-        fresh = self._rng.standard_normal((missing, self._n_features)).T
-        if self._quantize:
-            self._codes = np.hstack([self._codes, quantize_floats(fresh)])
-        else:
-            self._exact = np.hstack([self._exact, np.ascontiguousarray(fresh)])
+        with self._grow_lock:
+            missing = n_columns - self.n_columns  # re-check under the lock
+            if missing <= 0:
+                return
+            # One batched draw: standard_normal fills C order, so row i of the
+            # (missing, n_features) draw consumes exactly the same generator
+            # stream as a separate per-column standard_normal(n_features) call —
+            # a given (seed, column index) always yields the same projection
+            # vector regardless of the growth pattern.
+            fresh = self._rng.standard_normal((missing, self._n_features)).T
+            if self._quantize:
+                self._codes = np.hstack([self._codes, quantize_floats(fresh)])
+            else:
+                self._exact = np.hstack([self._exact, np.ascontiguousarray(fresh)])
 
     def columns(self, start: int, end: int) -> np.ndarray:
         """Projection vectors ``start .. end-1`` as a float64 matrix ``(n_features, end-start)``."""

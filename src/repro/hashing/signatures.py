@@ -32,6 +32,8 @@ arrays so the per-pair work stays inside NumPy.
 
 from __future__ import annotations
 
+import threading
+
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -44,6 +46,25 @@ __all__ = [
 ]
 
 _WORD_BITS = 32
+
+#: Soft cap on the live gather scratch of the wide (multi-round / cross-store)
+#: kernels, in bytes per buffer.  Large pair batches are processed in pair
+#: tiles sized so the gathered left rows, right rows and comparison buffer of
+#: one tile together stay resident in a per-core L2 cache (three buffers of
+#: `_TILE_BYTES` plus source cache lines fit comfortably in 1 MiB); the wide
+#: gather previously round-tripped every buffer through DRAM once per pass,
+#: which is why super-blocked gathers used to *lose* at large active counts
+#: (see ROADMAP).  Tiling splits only the pair axis — every per-pair value is
+#: computed by the identical expressions, so results are bit-identical to the
+#: untiled kernel for any tile size.
+_TILE_BYTES = 1 << 18
+#: minimum pairs per tile (keeps per-tile Python overhead negligible)
+_MIN_TILE_ROWS = 256
+
+
+def _tile_rows(span_bytes: int) -> int:
+    """Pairs per tile so one gathered buffer stays within :data:`_TILE_BYTES`."""
+    return max(_MIN_TILE_ROWS, _TILE_BYTES // max(1, span_bytes))
 
 
 def count_packed_matches(
@@ -179,26 +200,38 @@ class _ChunkedMatrix:
         self._chunks: list[np.ndarray] = []
         self._offsets: list[int] = []  # starting column of each chunk
         self._n_columns = 0
+        # Serialises the mutating operations (append / consolidation /
+        # extend_rows) against each other.  Plain column reads stay lock-free:
+        # chunk contents are immutable once appended, the chunk/offset lists
+        # only ever grow or get replaced wholesale by equivalent consolidated
+        # state, and `_n_columns` is published *after* its chunk — so a
+        # lock-free reader sees a consistent prefix of the matrix.
+        self._lock = threading.Lock()
 
     @property
     def n_columns(self) -> int:
         return self._n_columns
 
     def append(self, block: np.ndarray) -> None:
-        self._offsets.append(self._n_columns)
-        self._chunks.append(block)
-        self._n_columns += block.shape[1]
+        with self._lock:
+            self._offsets.append(self._n_columns)
+            self._chunks.append(block)
+            self._n_columns += block.shape[1]
 
     def consolidated(self) -> np.ndarray:
         """The full matrix; concatenates (and caches) the chunks on demand."""
-        if len(self._chunks) == 1:
-            return self._chunks[0]
-        if not self._chunks:
-            return np.zeros((self._n_rows, 0), dtype=np.int64)
-        merged = np.concatenate(self._chunks, axis=1)
-        self._chunks = [merged]
-        self._offsets = [0]
-        return merged
+        chunks = self._chunks
+        if len(chunks) == 1:
+            return chunks[0]
+        with self._lock:
+            if len(self._chunks) == 1:
+                return self._chunks[0]
+            if not self._chunks:
+                return np.zeros((self._n_rows, 0), dtype=np.int64)
+            merged = np.concatenate(self._chunks, axis=1)
+            self._chunks = [merged]
+            self._offsets = [0]
+            return merged
 
     def columns(self, start: int, end: int) -> np.ndarray:
         """A view (or consolidated slice) of columns ``[start, end)``."""
@@ -237,8 +270,9 @@ class _ChunkedMatrix:
             merged = np.concatenate(
                 [mine.astype(common, copy=False), block.astype(common, copy=False)]
             )
-            self._chunks = [merged]
-            self._offsets = [0]
+            with self._lock:
+                self._chunks = [merged]
+                self._offsets = [0]
         self._n_rows += block.shape[0]
 
 
@@ -373,6 +407,21 @@ class BitSignatures(SignatureStore):
         """
         return self._matrix.columns_contiguous(word_start, word_end)
 
+    def chunk_map(self) -> list[tuple[int, int, np.ndarray]]:
+        """Lock-free snapshot of the column-chunk layout as hash ranges.
+
+        Returns ``(hash_start, hash_end, words)`` triples tiling
+        ``[0, n_hashes)`` in order.  Used by forked executor workers, which
+        must read their inherited store copy without touching its lock (the
+        fork may have captured another thread's lock in the locked state);
+        chunk arrays are immutable once appended, so the snapshot stays
+        valid for the worker's lifetime.
+        """
+        return [
+            (offset * _WORD_BITS, (offset + chunk.shape[1]) * _WORD_BITS, chunk)
+            for offset, chunk in zip(self._matrix._offsets, self._matrix._chunks)
+        ]
+
     def count_matches_many(
         self, left: np.ndarray, right: np.ndarray, start: int, end: int
     ) -> np.ndarray:
@@ -412,17 +461,40 @@ class BitSignatures(SignatureStore):
         word_end = -(-end // _WORD_BITS)
         words_mine = self._matrix.columns_contiguous(word_start, word_end)
         words_other = other._matrix.columns_contiguous(word_start, word_end)
-        return count_packed_matches(
-            words_mine[np.asarray(rows)],
-            words_other[np.asarray(other_rows)],
-            start - word_start * _WORD_BITS,
-            end - start,
-        )
+        rows = np.asarray(rows)
+        other_rows = np.asarray(other_rows)
+        lead = start - word_start * _WORD_BITS
+        n_pairs = len(rows)
+        # Cache-aware pair tiling: one tile's gathered word rows (both sides)
+        # stay L2-resident through the XOR + popcount pass.  Small batches run
+        # in a single tile, i.e. exactly the former wide gather.
+        tile = _tile_rows((word_end - word_start) * 4)
+        if n_pairs <= tile:
+            return count_packed_matches(
+                words_mine[rows], words_other[other_rows], lead, end - start
+            )
+        counts = np.empty(n_pairs, dtype=np.int64)
+        for lo in range(0, n_pairs, tile):
+            hi = min(lo + tile, n_pairs)
+            counts[lo:hi] = count_packed_matches(
+                words_mine[rows[lo:hi]],
+                words_other[other_rows[lo:hi]],
+                lead,
+                end - start,
+            )
+        return counts
 
     def count_matches_rounds(
         self, left: np.ndarray, right: np.ndarray, start: int, end: int, round_width: int
     ) -> np.ndarray:
-        """One gathered super-block instead of one word gather per round."""
+        """Super-block gather with cache-aware pair tiling.
+
+        Gathers the whole ``[start, end)`` word range once per pair instead of
+        once per round, processing pairs in tiles sized so one tile's gathered
+        rows (left, XOR scratch) stay inside L2 — which is what makes the wide
+        gather win at *large* active counts too, not only for small survivor
+        tails (per-pair counts are bit-identical for any tile size).
+        """
         if (
             start % _WORD_BITS
             or round_width <= 0
@@ -437,12 +509,20 @@ class BitSignatures(SignatureStore):
         if end <= start:
             return np.zeros((n_pairs, 0), dtype=np.int64)
         words = self._matrix.columns_contiguous(start // _WORD_BITS, end // _WORD_BITS)
-        xor = np.bitwise_xor(words[np.asarray(left)], words[np.asarray(right)])
-        per_word = np.bitwise_count(xor)
-        disagreements = per_word.reshape(
-            n_pairs, n_rounds, round_width // _WORD_BITS
-        ).sum(axis=2, dtype=np.int64)
-        return round_width - disagreements
+        left = np.asarray(left)
+        right = np.asarray(right)
+        words_per_round = round_width // _WORD_BITS
+        counts = np.empty((n_pairs, n_rounds), dtype=np.int64)
+        tile = _tile_rows(words.shape[1] * 4)
+        for lo in range(0, n_pairs, tile):
+            hi = min(lo + tile, n_pairs)
+            xor = np.bitwise_xor(words[left[lo:hi]], words[right[lo:hi]])
+            per_word = np.bitwise_count(xor)
+            counts[lo:hi] = per_word.reshape(hi - lo, n_rounds, words_per_round).sum(
+                axis=2, dtype=np.int64
+            )
+        np.subtract(round_width, counts, out=counts)
+        return counts
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
         """Hashable bytes of band ``band`` (bits ``band*width .. (band+1)*width``) of row ``i``."""
@@ -489,7 +569,9 @@ class IntSignatures(SignatureStore):
     def __init__(self, n_vectors: int):
         self._n_vectors = int(n_vectors)
         self._matrix = _ChunkedMatrix(self._n_vectors)
-        self._scratch: dict[tuple[int, np.dtype], tuple[np.ndarray, ...]] = {}
+        # Thread-local: the reusable gather buffers are written by every
+        # batched read, so concurrent reader threads each get their own set.
+        self._scratch = threading.local()
 
     @classmethod
     def from_values(cls, values: np.ndarray) -> "IntSignatures":
@@ -531,17 +613,22 @@ class IntSignatures(SignatureStore):
         fixed width every round; reusing one allocation avoids repeated large
         allocations (and their page faults) in the hot loop.  Buffers are
         keyed by ``(width, dtype)`` because the super-block reader alternates
-        between single-round and multi-round widths.
+        between single-round and multi-round widths, and live in thread-local
+        storage so concurrent reader threads never share (and clobber) them.
         """
+        buffers = getattr(self._scratch, "buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._scratch.buffers = buffers
         key = (width, np.dtype(dtype))
-        cached = self._scratch.get(key)
+        cached = buffers.get(key)
         if cached is not None and cached[0].shape[0] >= n_pairs:
             left_buf, right_buf, equal_buf = cached
             return left_buf[:n_pairs], right_buf[:n_pairs], equal_buf[:n_pairs]
         left_buf = np.empty((n_pairs, width), dtype=dtype)
         right_buf = np.empty((n_pairs, width), dtype=dtype)
         equal_buf = np.empty((n_pairs, width), dtype=np.bool_)
-        self._scratch[key] = (left_buf, right_buf, equal_buf)
+        buffers[key] = (left_buf, right_buf, equal_buf)
         return left_buf, right_buf, equal_buf
 
     @property
@@ -611,18 +698,37 @@ class IntSignatures(SignatureStore):
             return np.zeros(len(rows), dtype=np.int64)
         mine = self._matrix.columns_contiguous(start, end)
         theirs = other._matrix.columns_contiguous(start, end)
-        equal = mine[np.asarray(rows)] == theirs[np.asarray(other_rows)]
-        return equal.sum(axis=1, dtype=np.int64)
+        rows = np.asarray(rows)
+        other_rows = np.asarray(other_rows)
+        n_pairs = len(rows)
+        # Cache-aware pair tiling (see _TILE_BYTES): per-pair equality counts
+        # are independent, so tiling only the pair axis is value-preserving.
+        tile = _tile_rows((end - start) * mine.dtype.itemsize)
+        if n_pairs <= tile:
+            equal = mine[rows] == theirs[other_rows]
+            return equal.sum(axis=1, dtype=np.int64)
+        counts = np.empty(n_pairs, dtype=np.int64)
+        for lo in range(0, n_pairs, tile):
+            hi = min(lo + tile, n_pairs)
+            equal = mine[rows[lo:hi]] == theirs[other_rows[lo:hi]]
+            counts[lo:hi] = equal.sum(axis=1, dtype=np.int64)
+        return counts
 
     def count_matches_rounds(
         self, left: np.ndarray, right: np.ndarray, start: int, end: int, round_width: int
     ) -> np.ndarray:
-        """One gathered super-block instead of one row gather per round.
+        """Super-block gather with cache-aware pair tiling.
 
         Long-surviving pairs are gathered once for several rounds' worth of
         signature columns (one wide ``memcpy`` per row) and the per-round
         counts are reduced from that single gather — the gather volume per
-        round drops by the super-block factor.
+        round drops by the super-block factor.  Pairs are processed in tiles
+        sized so one tile's gather/compare scratch stays L2-resident (see
+        :data:`_TILE_BYTES`): small batches run in a single tile (the former
+        behaviour), while large active sets no longer round-trip a
+        ``n_pairs x span`` scratch through DRAM between the gather, the
+        compare and the reduction passes.  Counts are bit-identical for any
+        tile size — every per-pair value comes from the same expressions.
         """
         span = end - start
         if span < 0 or round_width <= 0 or span % round_width:
@@ -636,11 +742,22 @@ class IntSignatures(SignatureStore):
         if span == 0:
             return np.zeros((n_pairs, 0), dtype=np.int64)
         columns = self._matrix.columns_contiguous(start, end)
-        left_rows, right_rows, equal = self._scratch_for(n_pairs, span, columns.dtype)
-        np.take(columns, np.asarray(left), axis=0, out=left_rows)
-        np.take(columns, np.asarray(right), axis=0, out=right_rows)
-        np.equal(left_rows, right_rows, out=equal)
-        return equal.reshape(n_pairs, n_rounds, round_width).sum(axis=2, dtype=np.int64)
+        left = np.asarray(left)
+        right = np.asarray(right)
+        tile = _tile_rows(span * columns.dtype.itemsize)
+        counts = np.empty((n_pairs, n_rounds), dtype=np.int64)
+        for lo in range(0, n_pairs, tile):
+            hi = min(lo + tile, n_pairs)
+            left_rows, right_rows, equal = self._scratch_for(
+                hi - lo, span, columns.dtype
+            )
+            np.take(columns, left[lo:hi], axis=0, out=left_rows)
+            np.take(columns, right[lo:hi], axis=0, out=right_rows)
+            np.equal(left_rows, right_rows, out=equal)
+            counts[lo:hi] = equal.reshape(hi - lo, n_rounds, round_width).sum(
+                axis=2, dtype=np.int64
+            )
+        return counts
 
     def column_block(self, start: int, end: int) -> np.ndarray:
         """Signature columns ``[start, end)`` as a C-contiguous matrix.
@@ -649,6 +766,19 @@ class IntSignatures(SignatureStore):
         columns into shared memory without consolidating the whole store.
         """
         return self._matrix.columns_contiguous(start, end)
+
+    def chunk_map(self) -> list[tuple[int, int, np.ndarray]]:
+        """Lock-free snapshot of the column-chunk layout as hash ranges.
+
+        Returns ``(hash_start, hash_end, columns)`` triples tiling
+        ``[0, n_hashes)`` in order; see
+        :meth:`BitSignatures.chunk_map` for why the executor workers need
+        this instead of the locking read path.
+        """
+        return [
+            (offset, offset + chunk.shape[1], chunk)
+            for offset, chunk in zip(self._matrix._offsets, self._matrix._chunks)
+        ]
 
     def band_key(self, i: int, band: int, band_width: int) -> bytes:
         """Hashable bytes of band ``band`` of row ``i`` (``band_width`` hashes)."""

@@ -1,5 +1,15 @@
 """Sharded, block-streamed execution of the candidate/verify pipeline.
 
+One shared-memory, round-synchronous worker pool serves **two call sites**:
+
+* the offline all-pairs engine (:class:`StreamExecutor`, used by
+  :meth:`SearchEngine.run` when ``block_size``/``n_workers`` is set), and
+* the online serving layer (:class:`ServingPool`, used by
+  :meth:`QueryIndex.query_many` / :meth:`QueryIndex.top_k_many` when their
+  ``n_workers`` knob is set), which shards band-key probing, the round-lazy
+  cross-store BayesLSH pruning and exact/estimate ranking across forked
+  workers.
+
 The serial :meth:`SearchEngine.run` path materialises every candidate pair in
 one array and verifies it on one core.  This module provides the streaming
 alternative the engine switches to when ``block_size`` or ``n_workers`` is
@@ -47,14 +57,21 @@ import multiprocessing
 import pickle
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
 from repro.core.bayeslsh import VerificationOutput
-from repro.hashing.signatures import count_packed_matches
+from repro.hashing.signatures import BitSignatures, _tile_rows, count_packed_matches
 
-__all__ = ["DEFAULT_BLOCK_SIZE", "PairBlockSource", "StreamExecutor"]
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "PairBlockSource",
+    "ServingPool",
+    "ServingTask",
+    "StreamExecutor",
+]
 
 #: default number of candidate pairs per verification block
 DEFAULT_BLOCK_SIZE = 65536
@@ -232,12 +249,23 @@ class _SignatureExporter:
     The parent extends the hash family (keeping RNG streams identical to the
     serial path) and copies each fresh column block into a new shared-memory
     segment that every worker attaches on notification.
+
+    ``key`` names the store the columns belong to (the serving pool exports
+    one stream per collection segment plus one for the query batch; the
+    all-pairs pool exports a single keyless stream), and ``base`` is the
+    column count the workers already inherited through the fork — publication
+    starts there instead of at zero.
     """
 
-    def __init__(self, pool: "_WorkerPool", produces_bits: bool):
+    def __init__(self, pool: "_WorkerPool", produces_bits: bool, key=None, base: int = 0):
         self._pool = pool
         self._bits = bool(produces_bits)
-        self._published = 0
+        self._key = key
+        self._published = int(base)
+        if self._bits and self._published % _WORD_BITS:
+            raise ValueError(
+                f"bit-store publication base must be word-aligned, got {base}"
+            )
 
     def ensure(self, store, n_now: int) -> None:
         """Publish columns so workers can count hashes ``[0, n_now)``."""
@@ -260,17 +288,17 @@ class _SignatureExporter:
         shm = shared_memory.SharedMemory(create=True, size=max(block.nbytes, 1))
         view = np.ndarray(block.shape, dtype=block.dtype, buffer=shm.buf)
         view[:] = block
-        self._pool.register_segment(
-            shm,
-            {
-                "name": shm.name,
-                "shape": block.shape,
-                "dtype": block.dtype.str,
-                "hash_start": hash_start,
-                "hash_end": hash_end,
-                "bits": self._bits,
-            },
-        )
+        descriptor = {
+            "name": shm.name,
+            "shape": block.shape,
+            "dtype": block.dtype.str,
+            "hash_start": hash_start,
+            "hash_end": hash_end,
+            "bits": self._bits,
+        }
+        if self._key is not None:
+            descriptor["key"] = self._key
+        self._pool.register_segment(shm, descriptor)
         self._published = hash_end
 
 
@@ -409,9 +437,16 @@ def _worker_main(worker_id: int, verifier, task_queue, result_queue) -> None:
 # worker pool
 # --------------------------------------------------------------------- #
 class _WorkerPool:
-    """A pool of forked verification workers driven round-synchronously."""
+    """A pool of forked workers driven round-synchronously.
 
-    def __init__(self, n_workers: int, verifier):
+    Generic process/queue plumbing shared by the two call sites: ``target``
+    is the worker loop (:func:`_worker_main` for the all-pairs engine,
+    :func:`_serving_worker_main` for the serving layer) and ``payload`` is
+    whatever state that loop should inherit through the fork (never pickled —
+    the pool always uses the ``fork`` start method).
+    """
+
+    def __init__(self, n_workers: int, target, payload):
         try:
             # Start the shared-memory resource tracker *before* forking so
             # every worker inherits (and reuses) the parent's tracker instead
@@ -429,8 +464,8 @@ class _WorkerPool:
         self._segments: list = []
         self._processes = [
             context.Process(
-                target=_worker_main,
-                args=(wid, verifier, self._task_queues[wid], self._result_queue),
+                target=target,
+                args=(wid, payload, self._task_queues[wid], self._result_queue),
                 daemon=True,
             )
             for wid in range(self._n_workers)
@@ -480,6 +515,37 @@ class _WorkerPool:
         """Publish a shared-memory signature segment to every worker."""
         self._segments.append(shm)
         self._broadcast(("segment", descriptor))
+
+    def scatter(self, tag: str, arrays: tuple) -> list[tuple[int, int]]:
+        """Shard parallel arrays contiguously and enqueue one task per shard.
+
+        Cuts balanced contiguous slices across the workers (empty slices are
+        skipped) and enqueues ``(tag, *slices)`` on each recipient's queue.
+        Returns the issued ``(worker id, slice start)`` pairs, in worker
+        order — pass them to :meth:`gather` to collect the replies and to
+        re-base slice-relative results.
+        """
+        bounds = np.linspace(0, len(arrays[0]), self._n_workers + 1).astype(np.int64)
+        issued: list[tuple[int, int]] = []
+        for wid in range(self._n_workers):
+            lo, hi = int(bounds[wid]), int(bounds[wid + 1])
+            if hi > lo:
+                self._task_queues[wid].put((tag, *(array[lo:hi] for array in arrays)))
+                issued.append((wid, lo))
+        return issued
+
+    def gather(self, issued: list[tuple[int, int]]) -> dict:
+        """Collect one reply per :meth:`scatter`-issued shard (worker id keyed)."""
+        return self._collect([wid for wid, _ in issued])
+
+    def send(self, worker_ids, message) -> None:
+        """Enqueue the same message on each listed worker's queue."""
+        for wid in worker_ids:
+            self._task_queues[wid].put(message)
+
+    def collect(self, worker_ids) -> dict:
+        """Gather one reply per listed worker id (raises on worker error)."""
+        return self._collect(worker_ids)
 
     def setup(self, mode: str, posterior, params) -> None:
         self._broadcast(("setup", mode, pickle.dumps((posterior, params))))
@@ -632,6 +698,447 @@ def run_round_protocol(
 
 
 # --------------------------------------------------------------------- #
+# parallel serving (QueryIndex.query_many / top_k_many)
+# --------------------------------------------------------------------- #
+@dataclass
+class ServingTask:
+    """Everything a serving worker inherits through the fork.
+
+    Built by :class:`~repro.search.query.QueryIndex` per batched call, after
+    the query batch has been hashed to the banding width: the workers read
+    the postings, the per-segment stores and the query store from their
+    forked copy of this object, and only signature columns materialised
+    *after* the fork travel through POSIX shared memory.  Nothing here is
+    ever pickled.
+    """
+
+    #: the index's :class:`~repro.serving.segments.SegmentedCollection`
+    segments: object
+    #: the index's band postings (already rebuilt if the staleness budget required it)
+    postings: object
+    #: the prepared query batch (measure-specific view)
+    query_prepared: object
+    #: the query batch's signature store, materialised to the banding width
+    query_store: object
+    #: BayesLSH decision machinery shared with the serial path
+    min_matches: object
+    concentration: object
+    posterior: object
+    params: object
+    #: total collection rows (probe-result encoding span)
+    n_vectors: int
+
+
+#: key under which the query batch's signature columns are published
+_QUERY_KEY = "q"
+
+
+class _ColumnSource:
+    """Worker-side read access to one signature store across the fork.
+
+    Columns materialised before the fork are read from the worker's inherited
+    copy of the store; columns the parent materialised *after* the fork
+    arrive as shared-memory chunks (attached on broadcast).  The inherited
+    chunks and the published ones tile the hash axis contiguously, and every
+    chunk boundary is word-aligned, so any requested sub-range falls
+    entirely within one piece once split at the piece boundaries.
+
+    The inherited layout is captured once as a :meth:`chunk_map` snapshot —
+    after that the worker never calls a store method, so it can never block
+    on a lock the fork captured in the locked state (another reader thread
+    of the parent may have been holding a store lock at fork time, and no
+    thread exists in the child to release it).
+    """
+
+    def __init__(self, store):
+        self._bits = isinstance(store, BitSignatures)
+        base = int(store.n_hashes)  # fork-time width
+        if self._bits and base % _WORD_BITS:
+            raise RuntimeError(
+                f"fork-time bit store width {base} is not word-aligned"
+            )
+        #: (hash_start, hash_end, array) pieces: fork-inherited chunks first,
+        #: shared-memory chunks appended as the parent publishes them
+        self._pieces: list[tuple[int, int, np.ndarray]] = list(store.chunk_map())
+        self._handles: list = []  # keep SharedMemory objects alive
+
+    @property
+    def bits(self) -> bool:
+        return self._bits
+
+    def attach(self, descriptor: dict) -> None:
+        from multiprocessing import shared_memory
+
+        # Forked workers share the parent's resource tracker; attaching
+        # re-registers the same name (a set, no-op) and the parent's unlink()
+        # deregisters it exactly once.
+        shm = shared_memory.SharedMemory(name=descriptor["name"])
+        array = np.ndarray(
+            tuple(descriptor["shape"]), dtype=np.dtype(descriptor["dtype"]), buffer=shm.buf
+        )
+        self._handles.append(shm)
+        self._pieces.append((descriptor["hash_start"], descriptor["hash_end"], array))
+
+    def boundaries(self, start: int, end: int) -> list[int]:
+        """Piece boundaries intersecting ``[start, end)`` (sorted, inclusive ends)."""
+        points = {start, end}
+        for lo, hi, _ in self._pieces:
+            if start < lo < end:
+                points.add(lo)
+            if start < hi < end:
+                points.add(hi)
+        return sorted(points)
+
+    def word_block(self, start: int, end: int) -> np.ndarray:
+        """Packed words covering bit range ``[start, end)`` of one piece."""
+        word_start = start // _WORD_BITS
+        word_end = -(-end // _WORD_BITS)
+        for lo, hi, array in self._pieces:
+            if lo <= start and end <= hi:
+                base_word = lo // _WORD_BITS
+                return array[:, word_start - base_word : word_end - base_word]
+        raise RuntimeError(
+            f"bit range [{start}, {end}) is neither fork-inherited nor published "
+            f"to shared memory"
+        )
+
+    def column_block(self, start: int, end: int) -> np.ndarray:
+        """Integer signature columns ``[start, end)`` of one piece."""
+        for lo, hi, array in self._pieces:
+            if lo <= start and end <= hi:
+                return array[:, start - lo : end - lo]
+        raise RuntimeError(
+            f"hash range [{start}, {end}) is neither fork-inherited nor published "
+            f"to shared memory"
+        )
+
+
+def _cross_window_counts(
+    query_source: _ColumnSource,
+    segment_source: _ColumnSource,
+    query_rows: np.ndarray,
+    local_rows: np.ndarray,
+    start: int,
+    end: int,
+) -> np.ndarray:
+    """Hash agreements between query rows and segment rows over ``[start, end)``.
+
+    The worker-side twin of
+    :meth:`~repro.hashing.signatures.SignatureStore.count_matches_cross`:
+    agreement counts are additive over disjoint hash sub-ranges, so the
+    window is split at the two sources' piece boundaries and each piece is
+    counted with the same integer kernels the in-process stores use
+    (:func:`count_packed_matches` for packed bits, gather + ``==`` + row sum
+    for integer signatures) — worker counts are bit-identical to store
+    counts.  Pairs are processed in the same L2-sized tiles as the store
+    kernels (tiling only the pair axis is value-preserving), so a large
+    shard — the regime ``n_workers`` targets — never round-trips an
+    ``n_pairs x span`` gather through DRAM.
+    """
+    n_pairs = len(query_rows)
+    counts = np.zeros(n_pairs, dtype=np.int64)
+    if end <= start:
+        return counts
+    points = sorted(
+        set(query_source.boundaries(start, end))
+        | set(segment_source.boundaries(start, end))
+    )
+    if query_source.bits:
+        span_bytes = (-(-(end - start) // _WORD_BITS) + 1) * 4
+    else:
+        span_bytes = (end - start) * 4  # int32 signatures (int64 halves the tile)
+    tile = _tile_rows(span_bytes)
+    for t0 in range(0, n_pairs, tile):
+        t1 = min(t0 + tile, n_pairs)
+        query_tile = query_rows[t0:t1]
+        local_tile = local_rows[t0:t1]
+        for lo, hi in zip(points[:-1], points[1:]):
+            if query_source.bits:
+                query_words = query_source.word_block(lo, hi)
+                segment_words = segment_source.word_block(lo, hi)
+                counts[t0:t1] += count_packed_matches(
+                    query_words[query_tile],
+                    segment_words[local_tile],
+                    lo - (lo // _WORD_BITS) * _WORD_BITS,
+                    hi - lo,
+                )
+            else:
+                query_columns = query_source.column_block(lo, hi)
+                segment_columns = segment_source.column_block(lo, hi)
+                equal = query_columns[query_tile] == segment_columns[local_tile]
+                counts[t0:t1] += equal.sum(axis=1, dtype=np.int64)
+    return counts
+
+
+def _serving_worker_main(worker_id: int, task: ServingTask, task_queue, result_queue) -> None:
+    """Serving worker loop: probes, verifies and ranks pair shards.
+
+    The process is forked, so the whole :class:`ServingTask` (postings,
+    per-segment stores, prepared views, decision tables) is inherited by
+    reference; only small control messages and shard index arrays travel
+    through the queues.  Every per-pair decision depends only on the pair's
+    own ``(m, n)`` counts, and every kernel is row-local, so sharding is
+    semantics-free — outputs are bit-identical to the serial batch path.
+    """
+    sources: dict = {}
+
+    def source_for(key) -> _ColumnSource:
+        source = sources.get(key)
+        if source is None:
+            if key == _QUERY_KEY:
+                store = task.query_store
+            else:
+                store = task.segments.segments[key].store
+            source = _ColumnSource(store)
+            sources[key] = source
+        return source
+
+    shard: dict | None = None
+    while True:
+        message = task_queue.get()
+        tag = message[0]
+        if tag == "stop":
+            break
+        try:
+            if tag == "segment":
+                source_for(message[1]["key"]).attach(message[1])
+                continue  # broadcast; no reply
+            if tag == "probe":
+                query_rows = message[1]
+                positions, rows = task.postings.probe_many(
+                    task.query_store, query_rows, task.n_vectors
+                )
+                result_queue.put(("ok", worker_id, (positions, rows)))
+            elif tag == "verify":
+                query_rows, segment_ids, local_rows = message[1], message[2], message[3]
+                shard = {
+                    "query_rows": query_rows,
+                    "segment_ids": segment_ids,
+                    "local_rows": local_rows,
+                    "status": np.full(len(query_rows), _ACTIVE, dtype=np.int8),
+                    "matches": np.zeros(len(query_rows), dtype=np.int64),
+                    "hashes_seen": np.zeros(len(query_rows), dtype=np.int64),
+                }
+                result_queue.put(("ok", worker_id, len(query_rows)))
+            elif tag == "round":
+                n_prev, n_now = message[1], message[2]
+                status = shard["status"]
+                matches = shard["matches"]
+                active = np.flatnonzero(status == _ACTIVE)
+                if len(active):
+                    # Group the active pairs by owning segment (same stable
+                    # grouping as SegmentedCollection._grouped) and count
+                    # each group against its segment's column source.
+                    query_source = source_for(_QUERY_KEY)
+                    segment_ids = shard["segment_ids"][active]
+                    order = np.argsort(segment_ids, kind="stable")
+                    boundaries = np.flatnonzero(np.diff(segment_ids[order])) + 1
+                    for positions in np.split(order, boundaries):
+                        pairs = active[positions]
+                        matches[pairs] += _cross_window_counts(
+                            query_source,
+                            source_for(int(segment_ids[positions[0]])),
+                            shard["query_rows"][pairs],
+                            shard["local_rows"][pairs],
+                            n_prev,
+                            n_now,
+                        )
+                    shard["hashes_seen"][active] = n_now
+                    keep_mask = task.min_matches.passes_many(matches[active], n_now)
+                    status[active[~keep_mask]] = _PRUNED
+                    survivors = active[keep_mask]
+                    if len(survivors):
+                        concentrated = task.concentration.is_concentrated_many(
+                            matches[survivors], n_now
+                        )
+                        status[survivors[concentrated]] = _EMITTED
+                still_active = status == _ACTIVE
+                active_segments = np.unique(shard["segment_ids"][still_active])
+                result_queue.put(
+                    ("ok", worker_id, (int(still_active.sum()), active_segments.tolist()))
+                )
+            elif tag == "estimates":
+                status = shard["status"]
+                estimates = np.full(len(status), np.nan, dtype=np.float64)
+                emitted = np.flatnonzero(status != _PRUNED)
+                if len(emitted):
+                    hashes_seen = shard["hashes_seen"][emitted]
+                    estimates[emitted] = np.where(
+                        hashes_seen > 0,
+                        task.posterior.map_estimate_many(
+                            shard["matches"][emitted], hashes_seen
+                        ),
+                        0.0,
+                    )
+                result_queue.put(("ok", worker_id, estimates))
+                shard = None
+            elif tag == "exact":
+                query_rows, rows = message[1], message[2]
+                values = task.segments.cross_similarities(
+                    task.query_prepared, query_rows, rows
+                )
+                result_queue.put(("ok", worker_id, values))
+            else:
+                result_queue.put(("error", worker_id, f"unknown task {tag!r}"))
+        except Exception:
+            result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+class ServingPool:
+    """Forked worker pool serving one batched query call.
+
+    Shards the batched serving pipeline across workers in two dimensions:
+
+    * **probing** is sharded by query slice (each worker probes a contiguous
+      run of query rows against the full inherited postings);
+    * **verification and exact ranking** are sharded over the candidate
+      pairs, which arrive sorted by ``(query row, collection row)`` — since
+      global rows are assigned segment-contiguously, a balanced contiguous
+      cut of that order is a query-major, owning-segment-minor partition of
+      the (query x segment) grid.  Many-query batches therefore split across
+      queries, while a single huge-candidate-set query splits across its
+      owning segments/row ranges — both shapes parallelise.
+
+    The parent remains the sole RNG/extension authority: each verification
+    round it extends the query family and exactly the segment stores that
+    still own active pairs (the serial path's round-lazy pattern, so store
+    widths and RNG stream positions after the call are identical to serial
+    execution) and publishes the fresh columns to shared memory, keyed per
+    store.  Per-worker outputs are merged back in shard order, which
+    restores the exact serial pair order — outputs are bit-identical to the
+    serial batch path (enforced by ``tests/property/test_query_serving.py``).
+    """
+
+    def __init__(self, n_workers: int, task: ServingTask):
+        if n_workers < 2:
+            raise ValueError(f"ServingPool needs n_workers >= 2, got {n_workers}")
+        self._task = task
+        # Snapshot the fork-time store widths *before* forking: publication
+        # of post-fork columns starts at these bases.
+        self._bases = {_QUERY_KEY: int(task.query_store.n_hashes)}
+        for index, segment in enumerate(task.segments.segments):
+            self._bases[index] = int(segment.store.n_hashes)
+        self._pool = _WorkerPool(n_workers, _serving_worker_main, task)
+        self._exporters: dict = {}
+        self._shard_workers: list[int] = []
+
+    @property
+    def n_workers(self) -> int:
+        """Number of forked worker processes serving this call."""
+        return self._pool.n_workers
+
+    # ----------------------------- plumbing ----------------------------- #
+    def _publish(self, key, store) -> None:
+        """Publish every materialised column of ``store`` beyond its base.
+
+        A key missing from the fork-time base snapshot means a concurrent
+        writer committed that segment in the snapshot→fork window (the
+        many-readers/one-writer serving contract allows this); its columns
+        are published from zero.  Publishing columns a worker also inherited
+        is benign — hash determinism makes the published values identical to
+        the inherited ones, and ``_ColumnSource`` tolerates overlapping
+        pieces — whereas a too-high base would leave a worker with a
+        coverage gap.  Bases from the snapshot can only under-shoot a
+        worker's fork width (stores grow monotonically), never over-shoot.
+        """
+        exporter = self._exporters.get(key)
+        if exporter is None:
+            exporter = _SignatureExporter(
+                self._pool,
+                store_produces_bits(store),
+                key=key,
+                base=self._bases.get(key, 0),
+            )
+            self._exporters[key] = exporter
+        exporter.ensure(store, store.n_hashes)
+
+    # ------------------------------ probing ------------------------------ #
+    def probe(self, query_rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sharded :meth:`BandPostings.probe_many` over the query rows.
+
+        Each worker probes a contiguous query slice; worker results are
+        relative to their slice and re-based on merge.  Slices are disjoint
+        and ascending, and probe results are sorted by (position, row) within
+        a slice, so the concatenation equals the serial probe bit for bit.
+        """
+        issued = self._pool.scatter("probe", (query_rows,))
+        if not issued:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        replies = self._pool.gather(issued)
+        positions = np.concatenate([replies[wid][0] + lo for wid, lo in issued])
+        rows = np.concatenate([replies[wid][1] for wid, _ in issued])
+        return positions, rows
+
+    # ---------------------------- verification --------------------------- #
+    def _begin_verify(self, query_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Route pairs to segments, cut shards, ship them to the workers."""
+        segment_ids, local_rows = self._task.segments.locate(rows)
+        issued = self._pool.scatter("verify", (query_rows, segment_ids, local_rows))
+        self._shard_workers = [wid for wid, _ in issued]
+        self._pool.gather(issued)
+        return segment_ids
+
+    def verify_bayes(self, query_family, query_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Round-synchronous parallel twin of ``QueryIndex._verify_bayes``.
+
+        Returns the per-pair posterior MAP estimates with NaN marking pruned
+        pairs, in the pair order given (bit-identical to the serial path).
+        """
+        params = self._task.params
+        n_pairs = len(rows)
+        if n_pairs == 0:
+            return np.zeros(0, dtype=np.float64)
+        segment_ids = self._begin_verify(query_rows, rows)
+        active_total = n_pairs
+        active_segments = set(np.unique(segment_ids).tolist())
+        segments = self._task.segments.segments
+        for round_index in range(params.n_rounds):
+            if active_total == 0:
+                break
+            n_prev = round_index * params.k
+            n_now = n_prev + params.k
+            # The parent is the sole extension authority: the query family
+            # extends every round any pair is still active, and exactly the
+            # segments owning active pairs extend — the identical lazy
+            # pattern (and hence RNG stream consumption and final store
+            # widths) as the serial path.
+            query_store = query_family.signatures(n_now)
+            self._publish(_QUERY_KEY, query_store)
+            for segment_index in sorted(active_segments):
+                segment = segments[segment_index]
+                segment.ensure_hashes(n_now)
+                self._publish(segment_index, segment.store)
+            self._pool.send(self._shard_workers, ("round", n_prev, n_now))
+            replies = self._pool.collect(self._shard_workers)
+            active_total = sum(replies[wid][0] for wid in self._shard_workers)
+            active_segments = set()
+            for wid in self._shard_workers:
+                active_segments.update(replies[wid][1])
+        self._pool.send(self._shard_workers, ("estimates",))
+        replies = self._pool.collect(self._shard_workers)
+        return np.concatenate([replies[wid] for wid in self._shard_workers])
+
+    # --------------------------- exact ranking --------------------------- #
+    def map_exact(self, query_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Sharded exact cross-similarities (pair order preserved)."""
+        if len(rows) == 0:
+            return np.zeros(0, dtype=np.float64)
+        issued = self._pool.scatter("exact", (query_rows, rows))
+        replies = self._pool.gather(issued)
+        return np.concatenate([replies[wid] for wid, _ in issued])
+
+    def shutdown(self) -> None:
+        """Stop the workers and release the shared-memory segments."""
+        self._pool.shutdown()
+
+
+def store_produces_bits(store) -> bool:
+    """Whether a signature store holds packed bits (vs integer hashes)."""
+    return isinstance(store, BitSignatures)
+
+
+# --------------------------------------------------------------------- #
 # the executor
 # --------------------------------------------------------------------- #
 class StreamExecutor:
@@ -673,7 +1180,7 @@ class StreamExecutor:
         start = time.perf_counter()
         pool = None
         if self.n_workers > 1 and len(source):
-            pool = _WorkerPool(self.n_workers, verifier)
+            pool = _WorkerPool(self.n_workers, _worker_main, verifier)
         try:
             output = verifier.verify_source(source, pool=pool)
         finally:

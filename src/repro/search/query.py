@@ -20,6 +20,11 @@ is verified against its candidates with the same Bayesian pruning.
   unioned array-wise, and all (query, candidate) pairs are verified together
   through the vectorised cross-store kernels — bit-identical to calling the
   singular ``query(vector, ...)`` / ``top_k(vector, k)`` per row;
+* ``n_workers > 1`` additionally forks a shared-memory worker pool
+  (:class:`~repro.search.executor.ServingPool`) for the call and shards
+  probing, verification and ranking across it — bit-identical to the serial
+  batch for every worker count, with the parent as sole hash/RNG authority
+  (see ``docs/serving.md`` for when the fork overhead pays off);
 * ``top_k_many(..., rank_by="estimate")`` skips exact verification and ranks
   survivors by the BayesLSH posterior MAP estimates already computed during
   pruning — the estimate-driven path trades exact scores for latency (see
@@ -37,6 +42,8 @@ is verified against its candidates with the same Bayesian pruning.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 import scipy.sparse as sp
@@ -154,6 +161,7 @@ class QueryIndex:
             self._segments, non_empty, self._n_signatures, self._signature_width
         )
         self._wire_tables()
+        self._update_lock = threading.Lock()
 
     @property
     def _banding_hashes(self) -> int:
@@ -282,48 +290,127 @@ class QueryIndex:
     # candidate generation
     # ------------------------------------------------------------------ #
     def _maybe_rebuild_postings(self) -> None:
-        """Lazily rebuild the band postings once past the staleness budget."""
+        """Lazily rebuild the band postings once past the staleness budget.
+
+        The rebuild runs under the index's update lock so a concurrent reader
+        triggering it cannot interleave with ``insert``/``delete`` (or with a
+        second reader's rebuild); readers that need no rebuild never take the
+        lock.  The postings reference is swapped atomically at the end.
+        """
         if self._n_stale_postings == 0:
             return
         if self._n_stale_postings <= self._staleness_budget * self._postings.n_members:
             return
-        alive_non_empty = np.flatnonzero((self._segments.row_nnz > 0) & ~self._deleted)
-        self._postings = BandPostings.build(
-            self._segments, alive_non_empty, self._n_signatures, self._signature_width
-        )
-        self._n_stale_postings = 0
+        with self._update_lock:
+            # Re-check under the lock: another reader may have just rebuilt.
+            if self._n_stale_postings == 0 or (
+                self._n_stale_postings
+                <= self._staleness_budget * self._postings.n_members
+            ):
+                return
+            alive_non_empty = np.flatnonzero(
+                (self._segments.row_nnz > 0) & ~self._deleted
+            )
+            self._postings = BandPostings.build(
+                self._segments, alive_non_empty, self._n_signatures, self._signature_width
+            )
+            self._n_stale_postings = 0
 
-    def _probe(self, query_prepared: VectorCollection):
-        """Candidate ``(query row, collection row)`` pairs from the band index.
+    def _hash_queries(self, query_prepared: VectorCollection):
+        """Hash the non-empty query rows to the banding width.
 
-        Only non-empty query rows probe (empty vectors share no features with
-        anything, and their hashes are degenerate), and tombstoned collection
-        rows are filtered out.  Pairs come back deduplicated and sorted by
-        ``(query row, collection row)``, together with the query batch's hash
-        family (the whole batch is hashed in one kernel call; the Bayesian
-        verifier extends the same family — and hence the same hash stream —
-        past the banding hashes).
+        Returns ``(query rows, family, store)``; the family is the batch's
+        clone of the master (the Bayesian verifier later extends it — and
+        hence the same hash stream — past the banding hashes).  Empty query
+        vectors share no features with anything and their hashes are
+        degenerate, so only non-empty rows participate.
         """
         self._maybe_rebuild_postings()
         query_rows = np.flatnonzero(query_prepared.row_nnz > 0)
         if len(query_rows) == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty, None
+            return query_rows, None, None
         query_family = self._family.clone_for(query_prepared)
         # Probing only reads the banding hashes; verification lazily extends
         # the family when (and only when) the bayes path needs more.
         query_store = query_family.signatures(self._banding_hashes)
-        positions, rows = self._postings.probe_many(
-            query_store, query_rows, self._segments.n_vectors
-        )
+        return query_rows, query_family, query_store
+
+    def _make_serving_pool(self, n_workers, query_prepared, query_store):
+        """Fork a :class:`~repro.search.executor.ServingPool` for this batch.
+
+        Called after the query batch is hashed to the banding width, so the
+        workers inherit the query store (and every per-segment store) through
+        the fork; only columns materialised later travel via shared memory.
+        Construction holds the update lock so a concurrent ``insert`` cannot
+        commit a segment between the pool's fork-time snapshot and the worker
+        forks — every worker then inherits the same segment list and
+        postings (writers block for the few milliseconds of forking; other
+        readers are unaffected).
+        """
+        from repro.search.executor import ServingPool, ServingTask
+
+        with self._update_lock:
+            task = ServingTask(
+                segments=self._segments,
+                postings=self._postings,
+                query_prepared=query_prepared,
+                query_store=query_store,
+                min_matches=self._min_matches,
+                concentration=self._concentration,
+                posterior=self._posterior,
+                params=self._params,
+                n_vectors=self._segments.n_vectors,
+            )
+            return ServingPool(n_workers, task)
+
+    @staticmethod
+    def _check_n_workers(n_workers) -> int:
+        if n_workers is None:
+            return 1
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        return n_workers
+
+    def _probe(self, query_prepared: VectorCollection, n_workers: int = 1):
+        """Candidate ``(query row, collection row)`` pairs from the band index.
+
+        Only non-empty query rows probe, and tombstoned collection rows are
+        filtered out.  Pairs come back deduplicated and sorted by
+        ``(query row, collection row)``, together with the query batch's hash
+        family.  With ``n_workers > 1`` a
+        :class:`~repro.search.executor.ServingPool` is forked (after the
+        batch is hashed, so workers inherit every store) and probing is
+        sharded by query slice across its workers (bit-identical merge); the
+        pool is returned as the fourth element and the *caller* must shut it
+        down.
+        """
+        query_rows, query_family, query_store = self._hash_queries(query_prepared)
+        if query_family is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, None, None
+        pool = None
+        if n_workers > 1:
+            pool = self._make_serving_pool(n_workers, query_prepared, query_store)
+        try:
+            if pool is not None:
+                positions, rows = pool.probe(query_rows)
+            else:
+                positions, rows = self._postings.probe_many(
+                    query_store, query_rows, self._segments.n_vectors
+                )
+        except Exception:
+            if pool is not None:
+                pool.shutdown()
+            raise
         keep = ~self._deleted[rows]
-        return query_rows[positions[keep]], rows[keep], query_family
+        return query_rows[positions[keep]], rows[keep], query_family, pool
 
     # ------------------------------------------------------------------ #
     # verification kernels
     # ------------------------------------------------------------------ #
     def _verify_bayes(
-        self, query_family, query_rows: np.ndarray, rows: np.ndarray
+        self, query_family, query_rows: np.ndarray, rows: np.ndarray, pool=None
     ) -> np.ndarray:
         """Round-synchronous BayesLSH verification of (query, candidate) pairs.
 
@@ -334,10 +421,15 @@ class QueryIndex:
         Every prune/emit decision depends only on the pair's own ``(m, n)``,
         so the outcome per pair is independent of which other pairs share the
         batch — the bit-identity contract between ``query_many`` and looped
-        ``query`` — and of how the collection is segmented.
+        ``query`` — and of how the collection is segmented.  With a
+        :class:`~repro.search.executor.ServingPool` the pairs are sharded
+        across its workers round-synchronously (the parent stays the sole
+        hash-extension authority); the merged estimates are bit-identical.
 
         Returns the pair estimates with NaN marking pruned pairs.
         """
+        if pool is not None:
+            return pool.verify_bayes(query_family, query_rows, rows)
         params = self._params
         n_pairs = len(query_rows)
         status = np.full(n_pairs, _ACTIVE, dtype=np.int8)
@@ -379,9 +471,20 @@ class QueryIndex:
         return estimates
 
     def _cross_exact(
-        self, query_prepared: VectorCollection, query_rows: np.ndarray, rows: np.ndarray
+        self,
+        query_prepared: VectorCollection,
+        query_rows: np.ndarray,
+        rows: np.ndarray,
+        pool=None,
     ) -> np.ndarray:
-        """Exact similarities for (query, global row) pairs, segment-routed."""
+        """Exact similarities for (query, global row) pairs, segment-routed.
+
+        With a pool the pair array is sharded across the workers (exact
+        similarities are per-pair and row-local, so the shard merge is
+        bit-identical to the one-shot kernel).
+        """
+        if pool is not None:
+            return pool.map_exact(query_rows, rows)
         return self._segments.cross_similarities(query_prepared, query_rows, rows)
 
     @staticmethod
@@ -397,7 +500,12 @@ class QueryIndex:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def query_many(self, queries, threshold: float | None = None) -> list[list[ScoredPair]]:
+    def query_many(
+        self,
+        queries,
+        threshold: float | None = None,
+        n_workers: int | None = None,
+    ) -> list[list[ScoredPair]]:
         """Threshold queries for a whole batch at once.
 
         ``queries`` is anything ``as_collection`` accepts — typically a dense
@@ -416,32 +524,51 @@ class QueryIndex:
         tables stay tuned to the *index* threshold: overriding per call
         filters the estimates, but a threshold far below the index's cannot
         recover pairs the index-level pruning already discarded.
+
+        ``n_workers > 1`` forks a shared-memory worker pool for this call and
+        shards probing, verification and scoring across it — results are
+        bit-identical to the serial batch for every worker count (see
+        ``docs/serving.md`` for when the fork overhead pays off).
         """
         threshold = self._threshold if threshold is None else float(threshold)
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        n_workers = self._check_n_workers(n_workers)
         query_prepared = self._queries_collection(queries)
-        query_rows, rows, query_family = self._probe(query_prepared)
-        if len(query_rows) == 0:
-            return [[] for _ in range(query_prepared.n_vectors)]
+        query_rows, rows, query_family, pool = self._probe(
+            query_prepared, n_workers=n_workers
+        )
+        try:
+            if len(query_rows) == 0:
+                return [[] for _ in range(query_prepared.n_vectors)]
 
-        if self._verification == "exact":
-            values = self._cross_exact(query_prepared, query_rows, rows)
-            keep = values > threshold
-        else:
-            values = self._verify_bayes(query_family, query_rows, rows)
-            keep = ~np.isnan(values) & (values > threshold)
+            if self._verification == "exact":
+                values = self._cross_exact(query_prepared, query_rows, rows, pool=pool)
+                keep = values > threshold
+            else:
+                values = self._verify_bayes(query_family, query_rows, rows, pool=pool)
+                keep = ~np.isnan(values) & (values > threshold)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return self._group_pairs(
             query_prepared.n_vectors, query_rows[keep], rows[keep], values[keep]
         )
 
-    def query(self, vector, threshold: float | None = None) -> list[ScoredPair]:
+    def query(
+        self,
+        vector,
+        threshold: float | None = None,
+        n_workers: int | None = None,
+    ) -> list[ScoredPair]:
         """All indexed objects with similarity to ``vector`` above the threshold.
 
         Equivalent to ``query_many([vector])[0]`` — the singular entry point
         simply runs the batched kernels on a batch of one.
         """
-        return self.query_many(self._single_query_batch(vector), threshold=threshold)[0]
+        return self.query_many(
+            self._single_query_batch(vector), threshold=threshold, n_workers=n_workers
+        )[0]
 
     def top_k_many(
         self,
@@ -449,6 +576,7 @@ class QueryIndex:
         k: int = 10,
         floor_threshold: float = 0.1,
         rank_by: str = "exact",
+        n_workers: int | None = None,
     ) -> list[list[ScoredPair]]:
         """The ``k`` most similar indexed objects for each query in a batch.
 
@@ -474,6 +602,10 @@ class QueryIndex:
           ranking reuses hash agreements instead of touching the raw
           vectors (measured in ``benchmarks/test_bench_serving.py`` and
           documented in ``docs/serving.md``).
+
+        ``n_workers > 1`` forks a shared-memory worker pool for this call and
+        shards probing, verification and ranking across it, bit-identically
+        to the serial batch (see ``docs/serving.md``).
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -484,17 +616,24 @@ class QueryIndex:
                 "rank_by='estimate' requires verification='bayes' "
                 "(the exact index computes no posterior estimates)"
             )
+        n_workers = self._check_n_workers(n_workers)
         query_prepared = self._queries_collection(queries)
-        query_rows, rows, query_family = self._probe(query_prepared)
+        query_rows, rows, query_family, pool = self._probe(
+            query_prepared, n_workers=n_workers
+        )
         n_queries = query_prepared.n_vectors
-        if len(query_rows) == 0:
-            return [[] for _ in range(n_queries)]
-        if rank_by == "estimate":
-            values = self._verify_bayes(query_family, query_rows, rows)
-            keep = ~np.isnan(values)
-            query_rows, rows, values = query_rows[keep], rows[keep], values[keep]
-        else:
-            values = self._cross_exact(query_prepared, query_rows, rows)
+        try:
+            if len(query_rows) == 0:
+                return [[] for _ in range(n_queries)]
+            if rank_by == "estimate":
+                values = self._verify_bayes(query_family, query_rows, rows, pool=pool)
+                keep = ~np.isnan(values)
+                query_rows, rows, values = query_rows[keep], rows[keep], values[keep]
+            else:
+                values = self._cross_exact(query_prepared, query_rows, rows, pool=pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         grouped = self._group_pairs(n_queries, query_rows, rows, values)
         results: list[list[ScoredPair]] = []
         for scored in grouped:
@@ -509,6 +648,7 @@ class QueryIndex:
         k: int = 10,
         floor_threshold: float = 0.1,
         rank_by: str = "exact",
+        n_workers: int | None = None,
     ) -> list[ScoredPair]:
         """The ``k`` indexed objects most similar to ``vector``.
 
@@ -519,6 +659,7 @@ class QueryIndex:
             k=k,
             floor_threshold=floor_threshold,
             rank_by=rank_by,
+            n_workers=n_workers,
         )[0]
 
     # ------------------------------------------------------------------ #
@@ -539,28 +680,42 @@ class QueryIndex:
         to the row indices on an index that never had custom ids, but still
         collision-free after a compacted snapshot load, where surviving rows
         keep ids larger than their (renumbered) row indices.
+
+        Mutators (``insert``/``delete``/the lazy posting rebuild) serialise
+        on the index's update lock; *reader* threads may run concurrently
+        with one ingest stream (state is published in an order that keeps
+        every observable row consistent — see
+        :mod:`repro.serving.segments` and
+        ``tests/serving/test_concurrency.py``).
         """
         new_collection = as_collection(data, n_features=self._segments.n_features)
-        n_new = new_collection.n_vectors
-        n_before = self._segments.n_vectors
-        new_rows = np.arange(n_before, n_before + n_new, dtype=np.int64)
-        if n_new == 0:
+        with self._update_lock:
+            n_new = new_collection.n_vectors
+            n_before = self._segments.n_vectors
+            new_rows = np.arange(n_before, n_before + n_new, dtype=np.int64)
+            if n_new == 0:
+                return new_rows
+            if ids is None:
+                ids = np.arange(
+                    self._next_default_id, self._next_default_id + n_new, dtype=np.int64
+                )
+            else:
+                ids = np.asarray(list(ids))
+                if len(ids) != n_new:
+                    raise ValueError(
+                        f"ids has length {len(ids)} but {n_new} rows were inserted"
+                    )
+            if len(ids) and np.issubdtype(ids.dtype, np.integer):
+                self._next_default_id = max(self._next_default_id, int(ids.max()) + 1)
+            self._next_default_id = max(self._next_default_id, n_before + n_new)
+            segment = self._segments.append(new_collection, self._banding_hashes, ids=ids)
+            # Publication order keeps concurrent readers consistent: the
+            # tombstone mask must cover every row before that row can appear
+            # in a probe result, so extend it before the postings learn the
+            # new rows.
+            self._deleted = np.concatenate([self._deleted, np.zeros(n_new, dtype=bool)])
+            self._postings.add(self._segments, new_rows[segment.prepared.row_nnz > 0])
             return new_rows
-        if ids is None:
-            ids = np.arange(
-                self._next_default_id, self._next_default_id + n_new, dtype=np.int64
-            )
-        else:
-            ids = np.asarray(list(ids))
-            if len(ids) != n_new:
-                raise ValueError(f"ids has length {len(ids)} but {n_new} rows were inserted")
-        if len(ids) and np.issubdtype(ids.dtype, np.integer):
-            self._next_default_id = max(self._next_default_id, int(ids.max()) + 1)
-        self._next_default_id = max(self._next_default_id, n_before + n_new)
-        segment = self._segments.append(new_collection, self._banding_hashes, ids=ids)
-        self._deleted = np.concatenate([self._deleted, np.zeros(n_new, dtype=bool)])
-        self._postings.add(self._segments, new_rows[segment.prepared.row_nnz > 0])
-        return new_rows
 
     def delete(self, rows) -> int:
         """Tombstone indexed rows (by row index); returns how many were live.
@@ -572,15 +727,16 @@ class QueryIndex:
         ``save(path, compact=True)``.
         """
         rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
-        if len(rows) and (rows[0] < 0 or rows[-1] >= self._segments.n_vectors):
-            raise IndexError(
-                f"row indices must lie in [0, {self._segments.n_vectors}), got "
-                f"[{rows[0]}, {rows[-1]}]"
-            )
-        fresh = rows[~self._deleted[rows]]
-        self._deleted[fresh] = True
-        self._n_stale_postings += int(np.sum(self._segments.row_nnz[fresh] > 0))
-        return len(fresh)
+        with self._update_lock:
+            if len(rows) and (rows[0] < 0 or rows[-1] >= self._segments.n_vectors):
+                raise IndexError(
+                    f"row indices must lie in [0, {self._segments.n_vectors}), got "
+                    f"[{rows[0]}, {rows[-1]}]"
+                )
+            fresh = rows[~self._deleted[rows]]
+            self._deleted[fresh] = True
+            self._n_stale_postings += int(np.sum(self._segments.row_nnz[fresh] > 0))
+            return len(fresh)
 
     # ------------------------------------------------------------------ #
     # persistence
@@ -644,6 +800,7 @@ class QueryIndex:
             index._segments, postings_members, index._n_signatures, index._signature_width
         )
         index._wire_tables()
+        index._update_lock = threading.Lock()
         return index
 
     def save(self, path, compact: bool = False):

@@ -48,6 +48,17 @@ per-query-batch families are clones of it; a clone re-draws any
 coefficients it is missing from the same seeded stream, which by the
 determinism contract yields identical hash functions on every clone.
 Snapshots serialise only the master's state.
+
+Concurrency
+-----------
+The serving contract is *many reader threads, one writer thread*: queries may
+run concurrently with each other and with one ``insert``/``delete`` stream.
+Mutation points are guarded — lazy signature-store extension serialises
+inside the hash families (see :meth:`CollectionSegment.ensure_hashes`), and
+segment publication orders the offsets table after the segment list so any
+global row a reader can observe already routes to a live segment.  Batched
+reads are lock-free (per-store gather scratch is thread-local).  Stressed by
+``tests/serving/test_concurrency.py``.
 """
 
 from __future__ import annotations
@@ -108,6 +119,11 @@ class CollectionSegment:
         by the hashing layer's determinism contract the drawn functions are
         identical on every clone, so segments extended at different times
         (or after a snapshot round trip) still agree on hash function ``i``.
+
+        Thread-safe: concurrent reader threads extending the same segment
+        serialise inside :meth:`~repro.hashing.base.HashFamily.signatures`
+        (and the shared simhash projection matrix serialises its own draws),
+        so the store grows exactly once per missing column block.
         """
         if self.store.n_hashes < n_hashes:
             self.family.signatures(n_hashes)
@@ -170,8 +186,12 @@ class SegmentedCollection:
         self._segments: list[CollectionSegment] = []
         #: cumulative row offsets; entry s is the first global row of segment s
         self._offsets = np.zeros(1, dtype=np.int64)
-        self._row_nnz: np.ndarray | None = None
-        self._ids: np.ndarray | None = None
+        # Memoised concatenations, keyed by the segment count they were built
+        # from: a reader racing an ingest can at worst publish an entry for
+        # the *old* segment count, which the key check discards instead of
+        # serving it as current (lock-free readers, single writer).
+        self._row_nnz_cache: tuple[int, np.ndarray] | None = None
+        self._ids_cache: tuple[int, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -209,26 +229,30 @@ class SegmentedCollection:
     @property
     def row_nnz(self) -> np.ndarray:
         """Per-row non-zero counts of the *prepared* views, globally indexed."""
-        if self._row_nnz is None:
-            if self._segments:
-                self._row_nnz = np.concatenate(
-                    [segment.prepared.row_nnz for segment in self._segments]
-                )
-            else:
-                self._row_nnz = np.zeros(0, dtype=np.int64)
-        return self._row_nnz
+        cached = self._row_nnz_cache
+        segments = self._segments[: len(self._segments)]
+        if cached is not None and cached[0] == len(segments):
+            return cached[1]
+        if segments:
+            values = np.concatenate([segment.prepared.row_nnz for segment in segments])
+        else:
+            values = np.zeros(0, dtype=np.int64)
+        self._row_nnz_cache = (len(segments), values)
+        return values
 
     @property
     def ids(self) -> np.ndarray:
         """External identifiers, one per global row."""
-        if self._ids is None:
-            if self._segments:
-                self._ids = np.concatenate(
-                    [np.asarray(segment.ids) for segment in self._segments]
-                )
-            else:
-                self._ids = np.zeros(0, dtype=np.int64)
-        return self._ids
+        cached = self._ids_cache
+        segments = self._segments[: len(self._segments)]
+        if cached is not None and cached[0] == len(segments):
+            return cached[1]
+        if segments:
+            values = np.concatenate([np.asarray(segment.ids) for segment in segments])
+        else:
+            values = np.zeros(0, dtype=np.int64)
+        self._ids_cache = (len(segments), values)
+        return values
 
     @property
     def max_store_hashes(self) -> int:
@@ -266,10 +290,13 @@ class SegmentedCollection:
         segment = CollectionSegment(
             collection, prepared, family, store, offset=self.n_vectors, ids=ids
         )
+        # Publication order matters for lock-free readers: the offsets table
+        # (which defines n_vectors and hence which global rows exist) is
+        # replaced only after the owning segment is appended, so any global
+        # row a reader can see routes to a segment that is already there.
+        new_offsets = np.append(self._offsets, self.n_vectors + segment.n_vectors)
         self._segments.append(segment)
-        self._offsets = np.append(self._offsets, self.n_vectors + segment.n_vectors)
-        self._row_nnz = None
-        self._ids = None
+        self._offsets = new_offsets
         return segment
 
     def append(
@@ -321,6 +348,18 @@ class SegmentedCollection:
                 f"global row indices must lie in [0, {self.n_vectors})"
             )
         return np.searchsorted(self._offsets, rows, side="right") - 1
+
+    def locate(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Route global rows to ``(segment index, local row)`` pairs.
+
+        One ``searchsorted`` against the offset table; the parallel serving
+        executor uses this to pre-route candidate pairs before sharding them
+        across workers (workers then address per-segment stores with local
+        indices directly).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        segment_ids = self.segment_of(rows)
+        return segment_ids, rows - self._offsets[segment_ids]
 
     def _grouped(self, rows: np.ndarray) -> Iterable[tuple[CollectionSegment, np.ndarray]]:
         """Yield ``(segment, positions-into-rows)`` for each involved segment.

@@ -160,7 +160,12 @@ class BayesLSHVerifier(_BayesVerifierBase):
         Deterministic in ``(candidates, family seed, params)``: every
         prune/emit decision depends only on the pair's own hash-agreement
         counts, so the output is independent of pair batching or ordering
-        (the execution-invariance contract).
+        (the execution-invariance contract).  From round 2 onward the core
+        algorithm gathers multi-round super-blocks through the stores'
+        cache-aware tiled kernels at *any* active count (pair tiles sized to
+        L2 — see :meth:`~repro.hashing.signatures.SignatureStore.count_matches_rounds`);
+        tiling and super-blocking are value-preserving, so this is purely a
+        throughput matter.
         """
         posterior = self._posterior_for(candidates)
         algorithm = BayesLSH(self._family, posterior, self._params)

@@ -1,6 +1,6 @@
 """Property tests for the serving layer's bit-identity contracts.
 
-Four contracts (see ``repro/search/query.py``):
+Five contracts (see ``repro/search/query.py``):
 
 * **batched == looped** — ``query_many`` / ``top_k_many`` on a batch equal
   the singular ``query`` / ``top_k`` called per row, bit for bit;
@@ -15,7 +15,13 @@ Four contracts (see ``repro/search/query.py``):
 * **segmentation invariance** — query answers are independent of how the
   corpus is split across sealed segments: an index grown through any insert
   history is bit-identical to a monolithic scratch rebuild over
-  ``index.as_collection()`` (the segmented store's kernels are row-local).
+  ``index.as_collection()`` (the segmented store's kernels are row-local);
+* **execution invariance** — ``query_many``/``top_k_many`` with
+  ``n_workers > 1`` (probing, verification and ranking sharded across a
+  forked shared-memory worker pool) equal the serial batch bit for bit, for
+  every worker count, segment layout, ranking mode and tombstone state, and
+  leave the index in the identical post-call state (store widths / RNG
+  stream positions) as serial execution.
 """
 
 import numpy as np
@@ -250,6 +256,114 @@ def test_estimate_top_k_requires_bayes_verification():
         index.top_k_many(corpus[:2], k=3, rank_by="estimate")
     with pytest.raises(ValueError, match="rank_by"):
         index.top_k_many(corpus[:2], k=3, rank_by="approximate")
+
+
+def _layout_index(layout: str, measure: str, verification: str) -> QueryIndex:
+    """Build an index in one of the parallel-serving test layouts.
+
+    ``"fresh"`` is a single-segment build; ``"grown"`` accumulates four
+    segments through an uneven insert history (including a single-row
+    segment) and tombstones rows in three different segments.
+    """
+    corpus = _random_collection(29, n=70)
+    if layout == "fresh":
+        return QueryIndex(
+            corpus, measure=measure, threshold=0.6, verification=verification, seed=13
+        )
+    index = QueryIndex(
+        corpus[:30], measure=measure, threshold=0.6, verification=verification, seed=13
+    )
+    index.insert(corpus[30:31])  # single-row segment
+    index.insert(corpus[31:55])
+    index.insert(corpus[55:])
+    index.delete([2, 30, 60])    # tombstones across three segments
+    return index
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("layout", ["fresh", "grown"])
+@pytest.mark.parametrize("rank_by", ["exact", "estimate"])
+def test_parallel_serving_bit_identical_to_serial(measure, layout, rank_by):
+    """n_workers ∈ {1, 2, 4} answers equal the serial batch bit for bit.
+
+    Covers both ranking modes, threshold queries, multi-segment layouts and
+    post-delete (tombstoned) indices; also checks the worker pool leaves the
+    index in the identical post-call hash state (same per-segment store
+    widths as serial execution), so later queries keep agreeing.
+    """
+    index = _layout_index(layout, measure, "bayes")
+    queries = _random_collection(31, n=9)[:, :80]
+    queries[:3] = _random_collection(29, n=70)[:3]  # indexed rows in the batch
+
+    serial_topk = index.top_k_many(queries, k=5, floor_threshold=0.2, rank_by=rank_by)
+    serial_query = index.query_many(queries, threshold=0.55)
+    widths = [segment.store.n_hashes for segment in index._segments.segments]
+    for n_workers in (1, 2, 4):
+        assert (
+            index.top_k_many(
+                queries, k=5, floor_threshold=0.2, rank_by=rank_by, n_workers=n_workers
+            )
+            == serial_topk
+        )
+        assert index.query_many(queries, threshold=0.55, n_workers=n_workers) == serial_query
+        assert [s.store.n_hashes for s in index._segments.segments] == widths
+
+
+@pytest.mark.parametrize("layout", ["fresh", "grown"])
+def test_parallel_serving_exact_verification(layout):
+    """The exact-verification index parallelises bit-identically too."""
+    index = _layout_index(layout, "cosine", "exact")
+    queries = _random_collection(33, n=7)[:, :80]
+    serial_query = index.query_many(queries, threshold=0.5)
+    serial_topk = index.top_k_many(queries, k=4)
+    for n_workers in (2, 4):
+        assert index.query_many(queries, threshold=0.5, n_workers=n_workers) == serial_query
+        assert index.top_k_many(queries, k=4, n_workers=n_workers) == serial_topk
+
+
+@pytest.mark.parametrize("measure", ["cosine", "jaccard"])
+def test_parallel_serving_non_word_aligned_rounds(measure):
+    """k=48 rounds straddle word/publication boundaries; stitching must hold.
+
+    With a 48-hash round width the verification windows are not multiples of
+    the 32-bit word size or of the families' extension block sizes, so the
+    workers' shared-memory column sources must stitch windows across the
+    fork-inherited/published piece boundaries — the merged answers (and the
+    post-call store widths) must still equal serial execution bit for bit.
+    """
+    corpus = _random_collection(39, n=60)
+    queries = _random_collection(40, n=7)[:, :80]
+
+    def build() -> QueryIndex:
+        index = QueryIndex(corpus[:40], measure=measure, threshold=0.6, seed=17, k=48)
+        index.insert(corpus[40:])
+        index.delete([5, 45])
+        return index
+
+    serial_index, parallel_index = build(), build()
+    serial = serial_index.query_many(queries, threshold=0.55)
+    assert parallel_index.query_many(queries, threshold=0.55, n_workers=3) == serial
+    assert [s.store.n_hashes for s in parallel_index._segments.segments] == [
+        s.store.n_hashes for s in serial_index._segments.segments
+    ]
+    # Both indices keep answering identically afterwards (hash state equal).
+    assert parallel_index.top_k_many(queries, k=4, rank_by="estimate") == (
+        serial_index.top_k_many(queries, k=4, rank_by="estimate")
+    )
+
+
+def test_parallel_serving_validates_n_workers():
+    index = QueryIndex(_random_collection(35, n=20), measure="cosine", threshold=0.6)
+    with pytest.raises(ValueError, match="n_workers"):
+        index.query_many(_random_collection(36, n=2)[:, :80], n_workers=0)
+
+
+def test_parallel_serving_empty_batch_and_empty_rows():
+    """Degenerate batches (all-empty queries) skip the pool entirely."""
+    index = QueryIndex(_random_collection(37, n=20), measure="cosine", threshold=0.6)
+    empty = np.zeros((3, 80))
+    assert index.query_many(empty, n_workers=4) == [[], [], []]
+    assert index.top_k_many(empty, k=3, n_workers=4) == [[], [], []]
 
 
 def test_insert_accepts_token_sets_and_dicts():
