@@ -135,6 +135,62 @@ def serving_smoke(n_documents: int, n_queries: int, n_workers: int, repeats: int
     return report
 
 
+def recovery_smoke(n_documents: int, n_queries: int, n_workers: int, repeats: int) -> dict:
+    """Pool-recovery timing: a pooled batch with one worker SIGKILLed mid-round.
+
+    Measures the same batched ``query_many`` call three ways — serial, pooled
+    happy path, and pooled with worker 0 killed at verification round 0 (via
+    the fault-injection harness) — and reports the recovery overhead.  The
+    faulted call must still match the serial answers bit for bit; wall-clock
+    numbers are reported, not asserted.
+    """
+    from repro.search.query import QueryIndex
+    from repro.testing import faults
+
+    collection = build_workload(n_documents + n_queries, seed=29)
+    index = QueryIndex(
+        collection.subset(range(n_documents)),
+        measure="cosine",
+        threshold=0.7,
+        verification="bayes",
+        seed=5,
+    )
+    queries = collection.matrix[n_documents:]
+    index.query_many(queries[:2], threshold=0.7)  # warm the lazy hashing
+
+    serial_result, serial_wall = timed_best(
+        lambda: index.query_many(queries, threshold=0.7), repeats
+    )
+    pooled_result, pooled_wall = timed_best(
+        lambda: index.query_many(queries, threshold=0.7, n_workers=n_workers), repeats
+    )
+
+    def faulted():
+        with faults.inject() as plan:
+            plan.kill_worker(0, event="serving_round", round_index=0)
+            return index.query_many(queries, threshold=0.7, n_workers=n_workers)
+
+    faulted_result, faulted_wall = timed_best(faulted, repeats)
+    identical = serial_result == pooled_result == faulted_result
+    overhead = faulted_wall / pooled_wall if pooled_wall > 0 else float("nan")
+    print(
+        f"recovery query_many: serial {serial_wall * 1000:7.1f}ms, "
+        f"pooled {pooled_wall * 1000:7.1f}ms, "
+        f"worker-killed {faulted_wall * 1000:7.1f}ms "
+        f"(x{overhead:.2f} vs happy path), identical: {identical}"
+    )
+    return {
+        "n_documents": n_documents,
+        "n_queries": n_queries,
+        "n_workers": n_workers,
+        "serial_s": serial_wall,
+        "pooled_s": pooled_wall,
+        "worker_killed_s": faulted_wall,
+        "recovery_overhead": overhead,
+        "identical_results": identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="multicore_timing.json", help="timing JSON path")
@@ -196,6 +252,9 @@ def main(argv=None) -> int:
     serving_report = serving_smoke(
         args.serving_documents, args.serving_queries, args.n_workers, args.repeats
     )
+    recovery_report = recovery_smoke(
+        args.serving_documents // 4, args.serving_queries // 2, args.n_workers, args.repeats
+    )
 
     report = {
         "workload": {
@@ -214,6 +273,7 @@ def main(argv=None) -> int:
         "speedup_verification": speedup_verify,
         "identical_results": identical,
         "serving": serving_report,
+        "recovery": recovery_report,
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -225,6 +285,9 @@ def main(argv=None) -> int:
         return 1
     if not serving_report["identical_results"]:
         print("error: parallel serving results differ from the serial path", file=sys.stderr)
+        return 1
+    if not recovery_report["identical_results"]:
+        print("error: worker-loss recovery diverged from the serial path", file=sys.stderr)
         return 1
     return 0
 

@@ -148,6 +148,7 @@ class SearchEngine:
         *,
         block_size: int | None = None,
         n_workers: int | None = None,
+        round_timeout: float | None = None,
     ) -> SearchResult:
         """Run the full pipeline on ``data`` and return the scored pairs.
 
@@ -165,13 +166,19 @@ class SearchEngine:
             forked worker processes (implies streamed execution, with
             ``block_size`` defaulting to
             :data:`~repro.search.executor.DEFAULT_BLOCK_SIZE`).  Results are
-            bit-identical to the serial path.
+            bit-identical to the serial path — including after worker loss,
+            which re-executes the affected blocks serially in the parent.
+        round_timeout:
+            Seconds a silent-but-alive worker may stall a gather before the
+            supervisor declares it hung and falls back serially (``None``
+            waits forever; dead workers are always detected promptly).  Only
+            meaningful with ``n_workers > 1``.
         """
         collection = as_collection(data)
         if n_workers is not None and int(n_workers) < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
         if block_size is not None or (n_workers is not None and int(n_workers) > 1):
-            return self._run_streamed(collection, block_size, n_workers)
+            return self._run_streamed(collection, block_size, n_workers, round_timeout)
         start_total = time.perf_counter()
 
         start = time.perf_counter()
@@ -208,12 +215,18 @@ class SearchEngine:
         )
 
     def _run_streamed(
-        self, collection, block_size: int | None, n_workers: int | None
+        self,
+        collection,
+        block_size: int | None,
+        n_workers: int | None,
+        round_timeout: float | None = None,
     ) -> SearchResult:
         """Streamed/sharded execution path (bit-identical to the serial one)."""
         from repro.search.executor import StreamExecutor
 
-        executor = StreamExecutor(block_size=block_size, n_workers=n_workers)
+        executor = StreamExecutor(
+            block_size=block_size, n_workers=n_workers, round_timeout=round_timeout
+        )
         candidate_metadata, output, timings = executor.run(
             self._generator, self._verifier, collection
         )
@@ -254,6 +267,7 @@ def all_pairs_similarity(
     seed: int = 0,
     block_size: int | None = None,
     n_workers: int | None = None,
+    round_timeout: float | None = None,
     **pipeline_kwargs,
 ) -> SearchResult:
     """All-pairs similarity search in one call.
@@ -273,9 +287,10 @@ def all_pairs_similarity(
         fastest most often.
     seed:
         Seed for all randomised components.
-    block_size, n_workers:
+    block_size, n_workers, round_timeout:
         Streamed/sharded execution knobs, forwarded to :meth:`SearchEngine.run`
-        (results are bit-identical to the defaults).
+        (results are bit-identical to the defaults, including after worker
+        loss and serial fallback).
     pipeline_kwargs:
         Extra keyword arguments forwarded to
         :func:`repro.search.pipelines.make_pipeline` (``epsilon``, ``delta``,
@@ -290,4 +305,9 @@ def all_pairs_similarity(
     engine = make_pipeline(
         method, collection, measure=measure_name, threshold=threshold, seed=seed, **pipeline_kwargs
     )
-    return engine.run(collection, block_size=block_size, n_workers=n_workers)
+    return engine.run(
+        collection,
+        block_size=block_size,
+        n_workers=n_workers,
+        round_timeout=round_timeout,
+    )

@@ -49,10 +49,30 @@ For every pipeline, every ``block_size`` and every ``n_workers``:
 * hash families are extended by the parent only, in the same order as the
   serial path, so a given ``(seed, hash index)`` yields the same hash
   function everywhere.
+
+Fault tolerance
+---------------
+Worker loss is survivable, not fatal.  The pool *supervises* its workers:
+every gather polls worker liveness (a SIGKILLed or crashed worker surfaces
+through its exit code) and, when a ``round_timeout`` is configured, applies
+a per-gather deadline after which a live-but-silent worker is declared hung
+and SIGKILLed.  Either way the failed worker is retired — it receives no
+further work — and its shard is **re-executed serially in the parent** with
+the same kernels: the parent is the sole RNG/extension authority and every
+per-pair decision depends only on that pair's own counts, so results after
+any single- or multi-worker loss are bit-identical to the all-serial run
+(enforced by ``tests/faults/``).  The serving pool recovers at shard
+granularity; the all-pairs round protocol re-runs the affected block.
+:class:`WorkerFailure` (naming the workers, the task tag and the round) is
+raised only when no fallback exists for the failing operation.  Shutdown is
+unconditional: every call site tears the pool down under ``try``/``finally``
+and :meth:`~_WorkerPool.shutdown` force-kills stragglers before unlinking
+the shared-memory segments, so no exception path leaks ``/dev/shm``.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
 import time
@@ -64,6 +84,7 @@ import numpy as np
 
 from repro.core.bayeslsh import VerificationOutput
 from repro.hashing.signatures import BitSignatures, _tile_rows, count_packed_matches
+from repro.testing import faults as _faults
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -71,7 +92,10 @@ __all__ = [
     "ServingPool",
     "ServingTask",
     "StreamExecutor",
+    "WorkerFailure",
 ]
+
+_LOGGER = logging.getLogger("repro.search.executor")
 
 #: default number of candidate pairs per verification block
 DEFAULT_BLOCK_SIZE = 65536
@@ -303,6 +327,42 @@ class _SignatureExporter:
 
 
 # --------------------------------------------------------------------- #
+# worker supervision
+# --------------------------------------------------------------------- #
+class WorkerFailure(RuntimeError):
+    """One or more pool workers died, hung or errored during a gather.
+
+    Attributes
+    ----------
+    failed:
+        ``{worker id: reason}`` for every worker that failed this gather
+        (died with an exit code, exceeded the hung-worker deadline, or
+        replied with an error).
+    replies:
+        The replies successfully collected from the surviving workers —
+        recovery paths reuse them so only the failed shards are recomputed.
+    tag:
+        The task tag being gathered (``"probe"``, ``"round"``, ...).
+    round_index:
+        The verification round during which the failure surfaced, or
+        ``None`` outside the round protocol.
+    """
+
+    def __init__(self, failed: dict, replies: dict, tag: str, round_index=None):
+        self.failed = dict(failed)
+        self.replies = dict(replies)
+        self.tag = tag
+        self.round_index = round_index
+        where = f" (round {round_index})" if round_index is not None else ""
+        details = "; ".join(
+            f"worker {wid}: {reason}" for wid, reason in sorted(self.failed.items())
+        )
+        super().__init__(
+            f"worker(s) {sorted(self.failed)} failed during {tag!r}{where} — {details}"
+        )
+
+
+# --------------------------------------------------------------------- #
 # worker process
 # --------------------------------------------------------------------- #
 _ACTIVE, _PRUNED, _EMITTED = 0, 1, 2
@@ -330,6 +390,9 @@ def _worker_main(worker_id: int, verifier, task_queue, result_queue) -> None:
         tag = message[0]
         if tag == "stop":
             break
+        if tag == "_fault_sleep":  # injected by the fault harness only
+            time.sleep(message[1])
+            continue
         try:
             if tag == "segment":
                 segments.attach(message[1])
@@ -437,16 +500,23 @@ def _worker_main(worker_id: int, verifier, task_queue, result_queue) -> None:
 # worker pool
 # --------------------------------------------------------------------- #
 class _WorkerPool:
-    """A pool of forked workers driven round-synchronously.
+    """A pool of forked workers driven round-synchronously, under supervision.
 
     Generic process/queue plumbing shared by the two call sites: ``target``
     is the worker loop (:func:`_worker_main` for the all-pairs engine,
     :func:`_serving_worker_main` for the serving layer) and ``payload`` is
     whatever state that loop should inherit through the fork (never pickled —
     the pool always uses the ``fork`` start method).
+
+    Supervision: every gather checks worker liveness, and ``round_timeout``
+    (seconds, ``None`` = wait forever) bounds how long a *live* worker may
+    stay silent before it is declared hung and SIGKILLed.  Failed workers
+    are retired — excluded from every later :meth:`scatter`/:meth:`send` —
+    and the gather raises :class:`WorkerFailure` carrying the survivors'
+    replies, so callers can re-execute just the failed shards serially.
     """
 
-    def __init__(self, n_workers: int, target, payload):
+    def __init__(self, n_workers: int, target, payload, round_timeout: float | None = None):
         try:
             # Start the shared-memory resource tracker *before* forking so
             # every worker inherits (and reuses) the parent's tracker instead
@@ -459,13 +529,21 @@ class _WorkerPool:
             pass
         context = multiprocessing.get_context("fork")
         self._n_workers = int(n_workers)
-        self._result_queue = context.Queue()
+        self._round_timeout = None if round_timeout is None else float(round_timeout)
+        # One result queue *per worker*, each with a single writer: a worker
+        # SIGKILLed mid-reply can die holding its queue's write lock, and with
+        # a shared queue that poisoned lock would silently stall every
+        # survivor's replies (alive-but-silent forever).  Per-worker queues
+        # confine the damage to the dead worker, whose queue is never read
+        # again once the liveness sweep retires it.
+        self._result_queues = [context.Queue() for _ in range(self._n_workers)]
         self._task_queues = [context.Queue() for _ in range(self._n_workers)]
         self._segments: list = []
+        self._dead: dict[int, str] = {}
         self._processes = [
             context.Process(
                 target=target,
-                args=(wid, payload, self._task_queues[wid], self._result_queue),
+                args=(wid, payload, self._task_queues[wid], self._result_queues[wid]),
                 daemon=True,
             )
             for wid in range(self._n_workers)
@@ -473,105 +551,175 @@ class _WorkerPool:
         for process in self._processes:
             process.start()
         self._shard_workers: list[int] = []
+        _faults.fire("pool_start", pool=self)
 
     @property
     def n_workers(self) -> int:
         return self._n_workers
 
+    @property
+    def live_workers(self) -> list[int]:
+        """Worker ids not yet retired by the supervisor, in worker order."""
+        return [wid for wid in range(self._n_workers) if wid not in self._dead]
+
     # ----------------------------- plumbing ----------------------------- #
     def _broadcast(self, message) -> None:
-        for queue in self._task_queues:
-            queue.put(message)
+        for wid in self.live_workers:
+            self._task_queues[wid].put(message)
 
-    def _collect(self, worker_ids) -> dict:
-        """Gather one reply per worker id; raise on any worker error.
+    def _retire(self, wid: int, reason: str) -> None:
+        """Record a worker as failed and make sure its process is gone.
 
-        Polls with a timeout and checks worker liveness so a worker killed
-        mid-task (OOM, native crash) surfaces as a RuntimeError instead of a
-        parent that blocks forever on the result queue.
+        SIGKILL (not SIGTERM) so that SIGSTOPped/hung workers die too; the
+        pool-owned shared segments stay mapped until :meth:`shutdown` —
+        other workers are still reading them.
+        """
+        self._dead[wid] = reason
+        process = self._processes[wid]
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=10)
+        _LOGGER.warning(
+            "pool worker %d %s; its shard is re-executed serially in the parent",
+            wid,
+            reason,
+        )
+
+    def _collect(self, worker_ids, tag: str = "task", round_index=None) -> dict:
+        """Gather one reply per worker id, supervising liveness and deadlines.
+
+        Keeps collecting from the remaining workers after a failure so the
+        survivors' replies are never lost; if any worker failed (died,
+        exceeded the hung-worker deadline, or replied with an error) the
+        gather ends by raising :class:`WorkerFailure` naming each failed
+        worker, the task tag and the round, with the survivors' replies
+        attached for shard-level recovery.
         """
         import queue as queue_module
 
         replies: dict[int, object] = {}
-        pending = set(worker_ids)
+        failed: dict[int, str] = {}
+        pending: set[int] = set()
+        for wid in worker_ids:
+            if wid in self._dead:
+                failed[wid] = self._dead[wid]
+            else:
+                pending.add(wid)
+        deadline = (
+            time.monotonic() + self._round_timeout
+            if self._round_timeout is not None
+            else None
+        )
         while pending:
-            try:
-                status, wid, payload = self._result_queue.get(timeout=1.0)
-            except queue_module.Empty:
-                dead = [wid for wid in pending if not self._processes[wid].is_alive()]
-                if dead:
-                    raise RuntimeError(
-                        f"verification worker(s) {dead} died without replying "
-                        f"(exit codes: {[self._processes[w].exitcode for w in dead]})"
+            progressed = False
+            for wid in sorted(pending):
+                message = None
+                try:
+                    message = self._result_queues[wid].get(timeout=0.05)
+                except queue_module.Empty:
+                    continue
+                except Exception as exc:
+                    # A worker SIGKILLed mid-write can tear its queue frame;
+                    # the liveness sweep below attributes the loss to it.
+                    _LOGGER.warning(
+                        "result-queue read for worker %d failed (%s); checking liveness",
+                        wid,
+                        exc,
                     )
-                continue
-            if status == "error":
-                raise RuntimeError(f"verification worker {wid} failed:\n{payload}")
-            replies[wid] = payload
-            pending.discard(wid)
+                    continue
+                try:
+                    status, reply_wid, payload = message
+                except Exception:
+                    continue  # garbled frame from a killed writer
+                if reply_wid != wid:
+                    continue  # torn frame from a killed writer
+                progressed = True
+                if status == "error":
+                    self._retire(wid, f"raised in-task:\n{payload}")
+                    failed[wid] = self._dead[wid]
+                else:
+                    replies[wid] = payload
+                pending.discard(wid)
+            if not pending:
+                break
+            if not progressed:
+                for wid in sorted(pending):
+                    process = self._processes[wid]
+                    if not process.is_alive():
+                        self._retire(
+                            wid, f"died without replying (exit code {process.exitcode})"
+                        )
+                        failed[wid] = self._dead[wid]
+                        pending.discard(wid)
+            if pending and deadline is not None and time.monotonic() >= deadline:
+                for wid in sorted(pending):
+                    self._retire(
+                        wid,
+                        f"hung (no reply within round_timeout={self._round_timeout}s)",
+                    )
+                    failed[wid] = self._dead[wid]
+                pending.clear()
+        if failed:
+            raise WorkerFailure(failed, replies, tag, round_index)
         return replies
 
     def register_segment(self, shm, descriptor: dict) -> None:
-        """Publish a shared-memory signature segment to every worker."""
+        """Publish a shared-memory signature segment to every live worker."""
         self._segments.append(shm)
         self._broadcast(("segment", descriptor))
 
-    def scatter(self, tag: str, arrays: tuple) -> list[tuple[int, int]]:
-        """Shard parallel arrays contiguously and enqueue one task per shard.
+    def scatter(self, tag: str, arrays: tuple, extra: tuple = ()) -> list[tuple[int, int, int]]:
+        """Shard parallel arrays contiguously over the *live* workers.
 
-        Cuts balanced contiguous slices across the workers (empty slices are
-        skipped) and enqueues ``(tag, *slices)`` on each recipient's queue.
-        Returns the issued ``(worker id, slice start)`` pairs, in worker
-        order — pass them to :meth:`gather` to collect the replies and to
-        re-base slice-relative results.
+        Cuts balanced contiguous slices across the surviving workers (empty
+        slices are skipped) and enqueues ``(tag, *slices, *extra)`` on each
+        recipient's queue (``extra`` carries scalar operands shared by all
+        shards).  Returns the issued ``(worker id, start, end)`` triples in
+        worker order — slice order is preserved on merge, so the
+        concatenated replies are independent of how many workers survive.
+        An empty return with non-empty input means every worker is retired
+        and the caller must fall back serially.
         """
-        bounds = np.linspace(0, len(arrays[0]), self._n_workers + 1).astype(np.int64)
-        issued: list[tuple[int, int]] = []
-        for wid in range(self._n_workers):
-            lo, hi = int(bounds[wid]), int(bounds[wid + 1])
+        live = self.live_workers
+        if not live:
+            return []
+        bounds = np.linspace(0, len(arrays[0]), len(live) + 1).astype(np.int64)
+        issued: list[tuple[int, int, int]] = []
+        for slot, wid in enumerate(live):
+            lo, hi = int(bounds[slot]), int(bounds[slot + 1])
             if hi > lo:
-                self._task_queues[wid].put((tag, *(array[lo:hi] for array in arrays)))
-                issued.append((wid, lo))
+                self._task_queues[wid].put(
+                    (tag, *(array[lo:hi] for array in arrays), *extra)
+                )
+                issued.append((wid, lo, hi))
         return issued
 
-    def gather(self, issued: list[tuple[int, int]]) -> dict:
-        """Collect one reply per :meth:`scatter`-issued shard (worker id keyed)."""
-        return self._collect([wid for wid, _ in issued])
-
     def send(self, worker_ids, message) -> None:
-        """Enqueue the same message on each listed worker's queue."""
+        """Enqueue the same message on each listed (non-retired) worker's queue."""
         for wid in worker_ids:
-            self._task_queues[wid].put(message)
+            if wid not in self._dead:
+                self._task_queues[wid].put(message)
 
-    def collect(self, worker_ids) -> dict:
-        """Gather one reply per listed worker id (raises on worker error)."""
-        return self._collect(worker_ids)
+    def collect(self, worker_ids, tag: str = "task", round_index=None) -> dict:
+        """Gather one reply per listed worker id (:class:`WorkerFailure` on loss)."""
+        return self._collect(worker_ids, tag=tag, round_index=round_index)
 
     def setup(self, mode: str, posterior, params) -> None:
         self._broadcast(("setup", mode, pickle.dumps((posterior, params))))
 
     # --------------------------- block protocol -------------------------- #
-    def _shards(self, left: np.ndarray, right: np.ndarray):
-        bounds = np.linspace(0, len(left), self._n_workers + 1).astype(np.int64)
-        shards = []
-        for wid in range(self._n_workers):
-            lo, hi = int(bounds[wid]), int(bounds[wid + 1])
-            if hi > lo:
-                shards.append((wid, left[lo:hi], right[lo:hi]))
-        return shards
-
     def begin_block(self, left: np.ndarray, right: np.ndarray) -> None:
-        shards = self._shards(left, right)
-        self._shard_workers = [wid for wid, _, _ in shards]
-        for wid, shard_left, shard_right in shards:
-            self._task_queues[wid].put(("begin", shard_left, shard_right))
-        self._collect(self._shard_workers)
+        issued = self.scatter("begin", (left, right))
+        if not issued and len(left):
+            raise WorkerFailure(dict(self._dead), {}, "begin")
+        self._shard_workers = [wid for wid, _, _ in issued]
+        self._collect(self._shard_workers, tag="begin")
 
     def round(self, n_prev: int, n_now: int) -> tuple[int, int, int]:
         """Run one hash round on every shard; returns summed counters."""
-        for wid in self._shard_workers:
-            self._task_queues[wid].put(("round", n_prev, n_now))
-        replies = self._collect(self._shard_workers)
+        round_index = n_prev // max(n_now - n_prev, 1)
+        self.send(self._shard_workers, ("round", n_prev, n_now))
+        replies = self._collect(self._shard_workers, tag="round", round_index=round_index)
         processed = sum(replies[wid][0] for wid in self._shard_workers)
         alive = sum(replies[wid][1] for wid in self._shard_workers)
         active = sum(replies[wid][2] for wid in self._shard_workers)
@@ -579,40 +727,97 @@ class _WorkerPool:
 
     def finish_block(self) -> list:
         """Collect per-shard results in shard order."""
-        for wid in self._shard_workers:
-            self._task_queues[wid].put(("finish",))
-        replies = self._collect(self._shard_workers)
+        self.send(self._shard_workers, ("finish",))
+        replies = self._collect(self._shard_workers, tag="finish")
         return [replies[wid] for wid in self._shard_workers]
 
-    def map_exact(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        shards = self._shards(left, right)
-        for wid, shard_left, shard_right in shards:
-            self._task_queues[wid].put(("exact", shard_left, shard_right))
-        replies = self._collect([wid for wid, _, _ in shards])
-        return np.concatenate([replies[wid] for wid, _, _ in shards])
+    def map_exact(self, left: np.ndarray, right: np.ndarray, fallback=None) -> np.ndarray:
+        """Sharded exact similarities, with serial recovery of failed shards.
+
+        ``fallback(left_slice, right_slice)`` computes a shard in the parent
+        with the serial kernel; it is used for every shard when no worker
+        survives, and for exactly the failed shards when some do.  Without a
+        fallback, worker loss raises :class:`WorkerFailure`.
+        """
+        issued = self.scatter("exact", (left, right))
+        if not issued:
+            if fallback is None:
+                raise WorkerFailure(dict(self._dead), {}, "exact")
+            return fallback(left, right)
+        try:
+            replies = self._collect([wid for wid, _, _ in issued], tag="exact")
+        except WorkerFailure as failure:
+            if fallback is None:
+                raise
+            replies = failure.replies
+            for wid, lo, hi in issued:
+                if wid in failure.failed:
+                    replies[wid] = fallback(left[lo:hi], right[lo:hi])
+        return np.concatenate([replies[wid] for wid, _, _ in issued])
 
     def map_count(
-        self, left: np.ndarray, right: np.ndarray, start: int, end: int
+        self, left: np.ndarray, right: np.ndarray, start: int, end: int, fallback=None
     ) -> np.ndarray:
-        shards = self._shards(left, right)
-        for wid, shard_left, shard_right in shards:
-            self._task_queues[wid].put(("count", shard_left, shard_right, start, end))
-        replies = self._collect([wid for wid, _, _ in shards])
-        return np.concatenate([replies[wid] for wid, _, _ in shards])
+        """Sharded hash-agreement counts, with serial recovery of failed shards.
+
+        Same supervision contract as :meth:`map_exact`; ``fallback`` takes
+        ``(left_slice, right_slice)`` and counts with the parent's store.
+        """
+        issued = self.scatter("count", (left, right), extra=(start, end))
+        if not issued:
+            if fallback is None:
+                raise WorkerFailure(dict(self._dead), {}, "count")
+            return fallback(left, right)
+        try:
+            replies = self._collect([wid for wid, _, _ in issued], tag="count")
+        except WorkerFailure as failure:
+            if fallback is None:
+                raise
+            replies = failure.replies
+            for wid, lo, hi in issued:
+                if wid in failure.failed:
+                    replies[wid] = fallback(left[lo:hi], right[lo:hi])
+        return np.concatenate([replies[wid] for wid, _, _ in issued])
 
     def shutdown(self) -> None:
+        """Stop every worker and release the shared-memory segments.
+
+        Unconditional teardown: best-effort stop messages, bounded joins,
+        then SIGKILL for stragglers (covers hung/SIGSTOPped workers), and a
+        per-segment close+unlink that survives individual failures — called
+        under ``try``/``finally`` at every call site so no exception path
+        leaks ``/dev/shm`` segments.
+        """
         for queue in self._task_queues:
             try:
-                queue.put(("stop",))
+                queue.put_nowait(("stop",))
             except Exception:
                 pass
         for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():
-                process.terminate()
+            try:
+                process.join(timeout=5)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5)
+            except Exception:
+                pass
+        # A queue whose reader was SIGKILLed can strand its feeder thread
+        # blocked on a full pipe; the queue's atexit finalizer would then
+        # join that thread forever and hang interpreter shutdown.  Cancel
+        # the exit-time join before closing — nothing reads these queues
+        # again, so dropping their buffered frames is safe.
+        for queue in (*self._task_queues, *self._result_queues):
+            try:
+                queue.cancel_join_thread()
+                queue.close()
+            except Exception:
+                pass
         for shm in self._segments:
             try:
                 shm.close()
+            except Exception:
+                pass
+            try:
                 shm.unlink()
             except Exception:
                 pass
@@ -622,6 +827,183 @@ class _WorkerPool:
 # --------------------------------------------------------------------- #
 # round-synchronous block verification (shared by BayesLSH / Lite)
 # --------------------------------------------------------------------- #
+def _block_output(
+    left: np.ndarray,
+    right: np.ndarray,
+    mask: np.ndarray,
+    values: np.ndarray,
+    trace: list,
+    hash_comparisons: int,
+    mode: str,
+    threshold: float,
+) -> VerificationOutput:
+    """Assemble one block's :class:`VerificationOutput` from survivor data.
+
+    Shared by the pooled path and the serial-fallback path so both produce
+    byte-identical outputs from identical ``(mask, values)`` inputs.
+    """
+    n_pruned = int(len(left) - mask.sum())
+    if mode == "bayes":
+        return VerificationOutput(
+            left=left[mask],
+            right=right[mask],
+            estimates=values,
+            n_candidates=len(left),
+            n_pruned=n_pruned,
+            trace=trace,
+            hash_comparisons=hash_comparisons,
+        )
+    # lite: threshold the exact survivor similarities
+    survivors_left = left[mask]
+    survivors_right = right[mask]
+    above = values > threshold
+    return VerificationOutput(
+        left=survivors_left[above],
+        right=survivors_right[above],
+        estimates=values[above],
+        n_candidates=len(left),
+        n_pruned=n_pruned,
+        trace=trace,
+        hash_comparisons=hash_comparisons,
+        exact_computations=int(mask.sum()),
+    )
+
+
+def _serial_block_verify(
+    family,
+    params,
+    mode: str,
+    posterior,
+    verifier,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, list, int]:
+    """Verify one pair block in the parent with the serial kernels.
+
+    The recovery path behind :func:`run_round_protocol`: when workers are
+    lost mid-block, the whole block re-executes here.  Bit-identity to the
+    all-serial run holds because (a) every per-pair decision depends only on
+    that pair's own ``(matches, hashes_seen)`` counts, so re-deriving them
+    from round zero reproduces the serial decisions exactly, and (b) the
+    parent is the sole hash/RNG authority — ``family.signatures(n)`` only
+    appends columns beyond what the aborted pooled attempt already
+    materialised, never redraws, so store contents match the serial run's.
+
+    Returns ``(survivor mask, survivor values, trace, hash comparisons)``
+    in the exact shapes the pooled merge produces.
+    """
+    from repro.core.concentration_cache import ConcentrationCache
+    from repro.core.min_matches import MinMatchesTable
+
+    max_hashes = params.max_hashes if mode == "bayes" else params.h
+    min_matches = MinMatchesTable(
+        posterior,
+        threshold=params.threshold,
+        epsilon=params.epsilon,
+        k=params.k,
+        max_hashes=max_hashes,
+    )
+    concentration = (
+        ConcentrationCache(posterior, delta=params.delta, gamma=params.gamma)
+        if mode == "bayes"
+        else None
+    )
+    status = np.full(len(left), _ACTIVE, dtype=np.int8)
+    matches = np.zeros(len(left), dtype=np.int64)
+    hashes_seen = np.zeros(len(left), dtype=np.int64)
+    trace: list[tuple[int, int]] = []
+    hash_comparisons = 0
+    n_active = len(left)
+    for round_index in range(params.n_rounds if len(left) else 0):
+        if n_active == 0:
+            break
+        n_prev = round_index * params.k
+        n_now = n_prev + params.k
+        store = family.signatures(n_now)
+        active = np.flatnonzero(status == _ACTIVE)
+        if len(active):
+            matches[active] += store.count_matches_many(
+                left[active], right[active], n_prev, n_now
+            )
+            hashes_seen[active] = n_now
+            keep_mask = min_matches.passes_many(matches[active], n_now)
+            status[active[~keep_mask]] = _PRUNED
+            survivors = active[keep_mask]
+            if concentration is not None and len(survivors):
+                concentrated = concentration.is_concentrated_many(
+                    matches[survivors], n_now
+                )
+                status[survivors[concentrated]] = _EMITTED
+        hash_comparisons += len(active) * params.k
+        trace.append((n_now, int(np.sum(status != _PRUNED))))
+        n_active = int(np.sum(status == _ACTIVE))
+    mask = status != _PRUNED
+    if mode == "bayes":
+        out_matches = matches[mask]
+        out_hashes = hashes_seen[mask]
+        if len(out_matches):
+            values = np.where(
+                out_hashes > 0,
+                posterior.map_estimate_many(out_matches, out_hashes),
+                0.0,
+            ).astype(np.float64, copy=False)
+        else:
+            values = np.zeros(0, dtype=np.float64)
+    else:  # lite: exact-verify the survivors
+        if verifier is None:
+            raise RuntimeError(
+                "serial fallback for 'lite' mode needs the verifier for exact "
+                "similarities; pass verifier= to run_round_protocol"
+            )
+        survivors = np.flatnonzero(mask)
+        values = np.array(
+            [
+                verifier.exact_similarity(int(left[idx]), int(right[idx]))
+                for idx in survivors
+            ],
+            dtype=np.float64,
+        )
+    return mask, values, trace, hash_comparisons
+
+
+def _pooled_block(
+    pool: _WorkerPool,
+    exporter: _SignatureExporter,
+    family,
+    params,
+    mode: str,
+    threshold: float,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> VerificationOutput:
+    """Run one pair block through the worker pool (raises WorkerFailure on loss)."""
+    _faults.fire("allpairs_begin", pool=pool)
+    pool.begin_block(left, right)
+    trace: list[tuple[int, int]] = []
+    hash_comparisons = 0
+    n_active = len(left)
+    for round_index in range(params.n_rounds if len(left) else 0):
+        if n_active == 0:
+            break
+        n_prev = round_index * params.k
+        n_now = n_prev + params.k
+        store = family.signatures(n_now)
+        exporter.ensure(store, n_now)
+        _faults.fire("allpairs_round", pool=pool, round_index=round_index)
+        processed, alive, n_active = pool.round(n_prev, n_now)
+        hash_comparisons += processed * params.k
+        trace.append((n_now, alive))
+    shard_results = pool.finish_block()
+    masks = [mask for mask, _ in shard_results]
+    mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+    values = (
+        np.concatenate([vals for _, vals in shard_results])
+        if shard_results
+        else np.zeros(0, dtype=np.float64)
+    )
+    return _block_output(left, right, mask, values, trace, hash_comparisons, mode, threshold)
+
+
 def run_round_protocol(
     pool: _WorkerPool,
     family,
@@ -630,6 +1012,7 @@ def run_round_protocol(
     posterior,
     source: PairBlockSource,
     threshold: float,
+    verifier=None,
 ) -> VerificationOutput:
     """Drive the workers through the round-synchronous verification of
     every block of ``source``.
@@ -637,62 +1020,37 @@ def run_round_protocol(
     The parent owns hash generation: each round it lazily extends ``family``
     (identical RNG stream consumption to the serial path) and publishes the
     fresh columns to shared memory before broadcasting the round.
+
+    Fault tolerance: a block that loses workers (death, hang past the pool's
+    ``round_timeout``, in-task error) is re-executed whole in the parent via
+    :func:`_serial_block_verify` — partial shard results from the survivors
+    are discarded, so the block's output (including trace and counter
+    bookkeeping) is bit-identical to the all-serial run.  Retired workers
+    stay excluded from later blocks; once every worker is gone all remaining
+    blocks run serially without touching the queues.  ``verifier`` supplies
+    the exact-similarity kernel the ``"lite"`` fallback needs.
     """
     pool.setup(mode, posterior, params)
     exporter = _SignatureExporter(pool, family.produces_bits)
-    n_rounds = params.n_rounds
     outputs: list[VerificationOutput] = []
-    for left, right in source.blocks():
-        pool.begin_block(left, right)
-        trace: list[tuple[int, int]] = []
-        hash_comparisons = 0
-        n_active = len(left)
-        for round_index in range(n_rounds if len(left) else 0):
-            if n_active == 0:
-                break
-            n_prev = round_index * params.k
-            n_now = n_prev + params.k
-            store = family.signatures(n_now)
-            exporter.ensure(store, n_now)
-            processed, alive, n_active = pool.round(n_prev, n_now)
-            hash_comparisons += processed * params.k
-            trace.append((n_now, alive))
-        shard_results = pool.finish_block()
-        masks = [mask for mask, _ in shard_results]
-        mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
-        values = (
-            np.concatenate([vals for _, vals in shard_results])
-            if shard_results
-            else np.zeros(0, dtype=np.float64)
-        )
-        n_pruned = int(len(left) - mask.sum())
-        if mode == "bayes":
+    for block_index, (left, right) in enumerate(source.blocks()):
+        try:
+            if not pool.live_workers:
+                raise WorkerFailure(dict(pool._dead), {}, "begin")
             outputs.append(
-                VerificationOutput(
-                    left=left[mask],
-                    right=right[mask],
-                    estimates=values,
-                    n_candidates=len(left),
-                    n_pruned=n_pruned,
-                    trace=trace,
-                    hash_comparisons=hash_comparisons,
-                )
+                _pooled_block(pool, exporter, family, params, mode, threshold, left, right)
             )
-        else:  # lite: threshold the exact survivor similarities
-            survivors_left = left[mask]
-            survivors_right = right[mask]
-            above = values > threshold
+        except WorkerFailure as failure:
+            _LOGGER.warning(
+                "pair block %d: %s; re-executing the block serially in the parent",
+                block_index,
+                failure,
+            )
+            mask, values, trace, comparisons = _serial_block_verify(
+                family, params, mode, posterior, verifier, left, right
+            )
             outputs.append(
-                VerificationOutput(
-                    left=survivors_left[above],
-                    right=survivors_right[above],
-                    estimates=values[above],
-                    n_candidates=len(left),
-                    n_pruned=n_pruned,
-                    trace=trace,
-                    hash_comparisons=hash_comparisons,
-                    exact_computations=int(mask.sum()),
-                )
+                _block_output(left, right, mask, values, trace, comparisons, mode, threshold)
             )
     return VerificationOutput.merge(outputs)
 
@@ -899,6 +1257,9 @@ def _serving_worker_main(worker_id: int, task: ServingTask, task_queue, result_q
         tag = message[0]
         if tag == "stop":
             break
+        if tag == "_fault_sleep":  # injected by the fault harness only
+            time.sleep(message[1])
+            continue
         try:
             if tag == "segment":
                 source_for(message[1]["key"]).attach(message[1])
@@ -984,6 +1345,55 @@ def _serving_worker_main(worker_id: int, task: ServingTask, task_queue, result_q
             result_queue.put(("error", worker_id, traceback.format_exc()))
 
 
+def _serial_serving_verify(
+    task: ServingTask, query_family, query_rows: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Verify (query, candidate) pairs serially with the serving kernels.
+
+    The recovery path behind :meth:`ServingPool.verify_bayes`: a shard whose
+    worker is lost re-executes here, in the parent, against the same
+    segments/decision tables the workers inherited.  This is a line-for-line
+    twin of ``QueryIndex._verify_bayes``'s serial loop, so a recovered shard
+    is bit-identical to the serial batch path: per-pair decisions depend only
+    on the pair's own ``(m, n)`` counts, and the parent's round-lazy store
+    extension draws the same RNG stream regardless of which component (pool
+    round loop or this fallback) requests a width first.
+    """
+    params = task.params
+    n_pairs = len(query_rows)
+    status = np.full(n_pairs, _ACTIVE, dtype=np.int8)
+    matches = np.zeros(n_pairs, dtype=np.int64)
+    hashes_seen = np.zeros(n_pairs, dtype=np.int64)
+    for round_index in range(params.n_rounds if n_pairs else 0):
+        active = np.flatnonzero(status == _ACTIVE)
+        if len(active) == 0:
+            break
+        n_prev = round_index * params.k
+        n_now = n_prev + params.k
+        query_store = query_family.signatures(n_now)
+        matches[active] += task.segments.count_matches_cross(
+            query_store, query_rows[active], rows[active], n_prev, n_now
+        )
+        hashes_seen[active] = n_now
+        keep_mask = task.min_matches.passes_many(matches[active], n_now)
+        status[active[~keep_mask]] = _PRUNED
+        survivors = active[keep_mask]
+        if len(survivors):
+            concentrated = task.concentration.is_concentrated_many(
+                matches[survivors], n_now
+            )
+            status[survivors[concentrated]] = _EMITTED
+    estimates = np.full(n_pairs, np.nan, dtype=np.float64)
+    emitted = np.flatnonzero(status != _PRUNED)
+    if len(emitted):
+        estimates[emitted] = np.where(
+            hashes_seen[emitted] > 0,
+            task.posterior.map_estimate_many(matches[emitted], hashes_seen[emitted]),
+            0.0,
+        )
+    return estimates
+
+
 class ServingPool:
     """Forked worker pool serving one batched query call.
 
@@ -1007,9 +1417,15 @@ class ServingPool:
     store.  Per-worker outputs are merged back in shard order, which
     restores the exact serial pair order — outputs are bit-identical to the
     serial batch path (enforced by ``tests/property/test_query_serving.py``).
+
+    Fault tolerance: each stage's failed shards (worker death, hang past
+    ``round_timeout``, in-task error) are re-executed serially in the parent
+    with the same kernels (:func:`_serial_serving_verify` and the stores'
+    own methods), so results stay bit-identical to the serial path after any
+    worker loss — including losing every worker.
     """
 
-    def __init__(self, n_workers: int, task: ServingTask):
+    def __init__(self, n_workers: int, task: ServingTask, round_timeout: float | None = None):
         if n_workers < 2:
             raise ValueError(f"ServingPool needs n_workers >= 2, got {n_workers}")
         self._task = task
@@ -1018,9 +1434,10 @@ class ServingPool:
         self._bases = {_QUERY_KEY: int(task.query_store.n_hashes)}
         for index, segment in enumerate(task.segments.segments):
             self._bases[index] = int(segment.store.n_hashes)
-        self._pool = _WorkerPool(n_workers, _serving_worker_main, task)
+        self._pool = _WorkerPool(
+            n_workers, _serving_worker_main, task, round_timeout=round_timeout
+        )
         self._exporters: dict = {}
-        self._shard_workers: list[int] = []
 
     @property
     def n_workers(self) -> int:
@@ -1060,41 +1477,87 @@ class ServingPool:
         relative to their slice and re-based on merge.  Slices are disjoint
         and ascending, and probe results are sorted by (position, row) within
         a slice, so the concatenation equals the serial probe bit for bit.
+        Failed shards are re-probed serially in the parent (the postings are
+        read-only for the duration of the call), preserving bit-identity.
         """
+        task = self._task
+
+        def serial(slice_rows: np.ndarray):
+            return task.postings.probe_many(
+                task.query_store, slice_rows, task.n_vectors
+            )
+
+        _faults.fire("serving_probe", pool=self._pool)
         issued = self._pool.scatter("probe", (query_rows,))
         if not issued:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty
-        replies = self._pool.gather(issued)
-        positions = np.concatenate([replies[wid][0] + lo for wid, lo in issued])
-        rows = np.concatenate([replies[wid][1] for wid, _ in issued])
+            if len(query_rows) == 0:
+                empty = np.zeros(0, dtype=np.int64)
+                return empty, empty
+            positions, rows = serial(query_rows)
+            return positions, rows
+        try:
+            replies = self._pool.collect([wid for wid, _, _ in issued], tag="probe")
+        except WorkerFailure as failure:
+            replies = failure.replies
+            for wid, lo, hi in issued:
+                if wid in failure.failed:
+                    replies[wid] = serial(query_rows[lo:hi])
+        positions = np.concatenate([replies[wid][0] + lo for wid, lo, _ in issued])
+        rows = np.concatenate([replies[wid][1] for wid, _, _ in issued])
         return positions, rows
 
     # ---------------------------- verification --------------------------- #
-    def _begin_verify(self, query_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
-        """Route pairs to segments, cut shards, ship them to the workers."""
-        segment_ids, local_rows = self._task.segments.locate(rows)
-        issued = self._pool.scatter("verify", (query_rows, segment_ids, local_rows))
-        self._shard_workers = [wid for wid, _ in issued]
-        self._pool.gather(issued)
-        return segment_ids
-
     def verify_bayes(self, query_family, query_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Round-synchronous parallel twin of ``QueryIndex._verify_bayes``.
 
         Returns the per-pair posterior MAP estimates with NaN marking pruned
         pairs, in the pair order given (bit-identical to the serial path).
+
+        Recovery: a shard whose worker fails — at hand-off, during any round,
+        or at the estimates gather — is re-verified from round zero in the
+        parent by :func:`_serial_serving_verify`, and its estimates slice
+        replaces the lost worker's.  Per-pair decisions depend only on the
+        pair's own counts and store extension is monotone in the requested
+        width, so the recovered slice matches the serial path bit for bit.
         """
         params = self._task.params
+        task = self._task
         n_pairs = len(rows)
         if n_pairs == 0:
             return np.zeros(0, dtype=np.float64)
-        segment_ids = self._begin_verify(query_rows, rows)
-        active_total = n_pairs
-        active_segments = set(np.unique(segment_ids).tolist())
-        segments = self._task.segments.segments
+        segment_ids, local_rows = task.segments.locate(rows)
+        estimates = np.full(n_pairs, np.nan, dtype=np.float64)
+        _faults.fire("serving_verify", pool=self._pool)
+        issued = self._pool.scatter("verify", (query_rows, segment_ids, local_rows))
+        if not issued:
+            return _serial_serving_verify(task, query_family, query_rows, rows)
+        shards = {wid: (lo, hi) for wid, lo, hi in issued}
+        live = [wid for wid, _, _ in issued]
+
+        def handle_failure(failure: WorkerFailure) -> dict:
+            """Serially re-verify the failed shards; shrink the live set."""
+            nonlocal live
+            for wid in failure.failed:
+                lo, hi = shards[wid]
+                estimates[lo:hi] = _serial_serving_verify(
+                    task, query_family, query_rows[lo:hi], rows[lo:hi]
+                )
+            live = [wid for wid in live if wid not in failure.failed]
+            return failure.replies
+
+        try:
+            self._pool.collect(live, tag="verify")
+        except WorkerFailure as failure:
+            handle_failure(failure)
+        active_total = sum(shards[wid][1] - shards[wid][0] for wid in live)
+        live_mask = np.zeros(n_pairs, dtype=bool)
+        for wid in live:
+            lo, hi = shards[wid]
+            live_mask[lo:hi] = True
+        active_segments = set(np.unique(segment_ids[live_mask]).tolist())
+        segments = task.segments.segments
         for round_index in range(params.n_rounds):
-            if active_total == 0:
+            if active_total == 0 or not live:
                 break
             n_prev = round_index * params.k
             n_now = n_prev + params.k
@@ -1109,24 +1572,57 @@ class ServingPool:
                 segment = segments[segment_index]
                 segment.ensure_hashes(n_now)
                 self._publish(segment_index, segment.store)
-            self._pool.send(self._shard_workers, ("round", n_prev, n_now))
-            replies = self._pool.collect(self._shard_workers)
-            active_total = sum(replies[wid][0] for wid in self._shard_workers)
+            _faults.fire("serving_round", pool=self._pool, round_index=round_index)
+            self._pool.send(live, ("round", n_prev, n_now))
+            try:
+                replies = self._pool.collect(live, tag="round", round_index=round_index)
+            except WorkerFailure as failure:
+                replies = handle_failure(failure)
+            active_total = sum(replies[wid][0] for wid in live)
             active_segments = set()
-            for wid in self._shard_workers:
+            for wid in live:
                 active_segments.update(replies[wid][1])
-        self._pool.send(self._shard_workers, ("estimates",))
-        replies = self._pool.collect(self._shard_workers)
-        return np.concatenate([replies[wid] for wid in self._shard_workers])
+        if live:
+            _faults.fire("serving_estimates", pool=self._pool)
+            self._pool.send(live, ("estimates",))
+            try:
+                replies = self._pool.collect(live, tag="estimates")
+            except WorkerFailure as failure:
+                replies = handle_failure(failure)
+            for wid in live:
+                lo, hi = shards[wid]
+                estimates[lo:hi] = replies[wid]
+        return estimates
 
     # --------------------------- exact ranking --------------------------- #
     def map_exact(self, query_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
-        """Sharded exact cross-similarities (pair order preserved)."""
+        """Sharded exact cross-similarities (pair order preserved).
+
+        Failed shards are recomputed serially in the parent with the same
+        segment-routed kernel (exact similarities are per-pair and
+        row-local, so shard recovery is trivially bit-identical).
+        """
         if len(rows) == 0:
             return np.zeros(0, dtype=np.float64)
+        task = self._task
+
+        def serial(slice_queries: np.ndarray, slice_rows: np.ndarray) -> np.ndarray:
+            return task.segments.cross_similarities(
+                task.query_prepared, slice_queries, slice_rows
+            )
+
+        _faults.fire("serving_exact", pool=self._pool)
         issued = self._pool.scatter("exact", (query_rows, rows))
-        replies = self._pool.gather(issued)
-        return np.concatenate([replies[wid] for wid, _ in issued])
+        if not issued:
+            return serial(query_rows, rows)
+        try:
+            replies = self._pool.collect([wid for wid, _, _ in issued], tag="exact")
+        except WorkerFailure as failure:
+            replies = failure.replies
+            for wid, lo, hi in issued:
+                if wid in failure.failed:
+                    replies[wid] = serial(query_rows[lo:hi], rows[lo:hi])
+        return np.concatenate([replies[wid] for wid, _, _ in issued])
 
     def shutdown(self) -> None:
         """Stop the workers and release the shared-memory segments."""
@@ -1154,15 +1650,26 @@ class StreamExecutor:
         Worker processes for the verification phase.  ``1`` (default) runs
         the blocked pipeline in-process; ``> 1`` forks a pool and shards each
         block's pairs across it.
+    round_timeout:
+        Seconds a live worker may stay silent within one gather before the
+        supervisor declares it hung, SIGKILLs it, and re-executes its block
+        serially (see :class:`_WorkerPool`).  ``None`` (default) waits
+        forever on live workers; dead workers are always detected promptly.
     """
 
-    def __init__(self, block_size: int | None = None, n_workers: int | None = None):
+    def __init__(
+        self,
+        block_size: int | None = None,
+        n_workers: int | None = None,
+        round_timeout: float | None = None,
+    ):
         self.block_size = DEFAULT_BLOCK_SIZE if block_size is None else int(block_size)
         if self.block_size <= 0:
             raise ValueError(f"block_size must be positive, got {self.block_size}")
         self.n_workers = 1 if n_workers is None else int(n_workers)
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {self.n_workers}")
+        self.round_timeout = None if round_timeout is None else float(round_timeout)
 
     def run(self, generator, verifier, collection):
         """Stream-generate, deduplicate and verify; returns
@@ -1180,7 +1687,9 @@ class StreamExecutor:
         start = time.perf_counter()
         pool = None
         if self.n_workers > 1 and len(source):
-            pool = _WorkerPool(self.n_workers, _worker_main, verifier)
+            pool = _WorkerPool(
+                self.n_workers, _worker_main, verifier, round_timeout=self.round_timeout
+            )
         try:
             output = verifier.verify_source(source, pool=pool)
         finally:

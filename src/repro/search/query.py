@@ -335,7 +335,9 @@ class QueryIndex:
         query_store = query_family.signatures(self._banding_hashes)
         return query_rows, query_family, query_store
 
-    def _make_serving_pool(self, n_workers, query_prepared, query_store):
+    def _make_serving_pool(
+        self, n_workers, query_prepared, query_store, round_timeout=None
+    ):
         """Fork a :class:`~repro.search.executor.ServingPool` for this batch.
 
         Called after the query batch is hashed to the banding width, so the
@@ -361,7 +363,7 @@ class QueryIndex:
                 params=self._params,
                 n_vectors=self._segments.n_vectors,
             )
-            return ServingPool(n_workers, task)
+            return ServingPool(n_workers, task, round_timeout=round_timeout)
 
     @staticmethod
     def _check_n_workers(n_workers) -> int:
@@ -372,7 +374,12 @@ class QueryIndex:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
         return n_workers
 
-    def _probe(self, query_prepared: VectorCollection, n_workers: int = 1):
+    def _probe(
+        self,
+        query_prepared: VectorCollection,
+        n_workers: int = 1,
+        round_timeout: float | None = None,
+    ):
         """Candidate ``(query row, collection row)`` pairs from the band index.
 
         Only non-empty query rows probe, and tombstoned collection rows are
@@ -383,7 +390,8 @@ class QueryIndex:
         batch is hashed, so workers inherit every store) and probing is
         sharded by query slice across its workers (bit-identical merge); the
         pool is returned as the fourth element and the *caller* must shut it
-        down.
+        down.  Any exception on this path shuts the pool down before
+        propagating, so no ``/dev/shm`` segment outlives the call.
         """
         query_rows, query_family, query_store = self._hash_queries(query_prepared)
         if query_family is None:
@@ -391,7 +399,9 @@ class QueryIndex:
             return empty, empty, None, None
         pool = None
         if n_workers > 1:
-            pool = self._make_serving_pool(n_workers, query_prepared, query_store)
+            pool = self._make_serving_pool(
+                n_workers, query_prepared, query_store, round_timeout=round_timeout
+            )
         try:
             if pool is not None:
                 positions, rows = pool.probe(query_rows)
@@ -399,12 +409,12 @@ class QueryIndex:
                 positions, rows = self._postings.probe_many(
                     query_store, query_rows, self._segments.n_vectors
                 )
-        except Exception:
+            keep = ~self._deleted[rows]
+            return query_rows[positions[keep]], rows[keep], query_family, pool
+        except BaseException:
             if pool is not None:
                 pool.shutdown()
             raise
-        keep = ~self._deleted[rows]
-        return query_rows[positions[keep]], rows[keep], query_family, pool
 
     # ------------------------------------------------------------------ #
     # verification kernels
@@ -505,6 +515,7 @@ class QueryIndex:
         queries,
         threshold: float | None = None,
         n_workers: int | None = None,
+        round_timeout: float | None = None,
     ) -> list[list[ScoredPair]]:
         """Threshold queries for a whole batch at once.
 
@@ -528,7 +539,12 @@ class QueryIndex:
         ``n_workers > 1`` forks a shared-memory worker pool for this call and
         shards probing, verification and scoring across it — results are
         bit-identical to the serial batch for every worker count (see
-        ``docs/serving.md`` for when the fork overhead pays off).
+        ``docs/serving.md`` for when the fork overhead pays off).  Worker
+        loss degrades gracefully: failed shards re-execute serially in the
+        parent with the same kernels, still bit-identical; ``round_timeout``
+        bounds how long a silent-but-alive worker stalls the call before it
+        is declared hung (``None`` waits forever; see "Operational
+        robustness" in ``docs/serving.md``).
         """
         threshold = self._threshold if threshold is None else float(threshold)
         if not 0.0 < threshold < 1.0:
@@ -536,7 +552,7 @@ class QueryIndex:
         n_workers = self._check_n_workers(n_workers)
         query_prepared = self._queries_collection(queries)
         query_rows, rows, query_family, pool = self._probe(
-            query_prepared, n_workers=n_workers
+            query_prepared, n_workers=n_workers, round_timeout=round_timeout
         )
         try:
             if len(query_rows) == 0:
@@ -560,6 +576,7 @@ class QueryIndex:
         vector,
         threshold: float | None = None,
         n_workers: int | None = None,
+        round_timeout: float | None = None,
     ) -> list[ScoredPair]:
         """All indexed objects with similarity to ``vector`` above the threshold.
 
@@ -567,7 +584,10 @@ class QueryIndex:
         simply runs the batched kernels on a batch of one.
         """
         return self.query_many(
-            self._single_query_batch(vector), threshold=threshold, n_workers=n_workers
+            self._single_query_batch(vector),
+            threshold=threshold,
+            n_workers=n_workers,
+            round_timeout=round_timeout,
         )[0]
 
     def top_k_many(
@@ -577,6 +597,7 @@ class QueryIndex:
         floor_threshold: float = 0.1,
         rank_by: str = "exact",
         n_workers: int | None = None,
+        round_timeout: float | None = None,
     ) -> list[list[ScoredPair]]:
         """The ``k`` most similar indexed objects for each query in a batch.
 
@@ -605,7 +626,11 @@ class QueryIndex:
 
         ``n_workers > 1`` forks a shared-memory worker pool for this call and
         shards probing, verification and ranking across it, bit-identically
-        to the serial batch (see ``docs/serving.md``).
+        to the serial batch (see ``docs/serving.md``).  Worker loss degrades
+        gracefully — failed shards re-execute serially in the parent, still
+        bit-identically — and ``round_timeout`` bounds how long a hung
+        worker may stall the call (see "Operational robustness" in
+        ``docs/serving.md``).
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -618,10 +643,10 @@ class QueryIndex:
             )
         n_workers = self._check_n_workers(n_workers)
         query_prepared = self._queries_collection(queries)
-        query_rows, rows, query_family, pool = self._probe(
-            query_prepared, n_workers=n_workers
-        )
         n_queries = query_prepared.n_vectors
+        query_rows, rows, query_family, pool = self._probe(
+            query_prepared, n_workers=n_workers, round_timeout=round_timeout
+        )
         try:
             if len(query_rows) == 0:
                 return [[] for _ in range(n_queries)]
@@ -649,6 +674,7 @@ class QueryIndex:
         floor_threshold: float = 0.1,
         rank_by: str = "exact",
         n_workers: int | None = None,
+        round_timeout: float | None = None,
     ) -> list[ScoredPair]:
         """The ``k`` indexed objects most similar to ``vector``.
 
@@ -660,6 +686,7 @@ class QueryIndex:
             floor_threshold=floor_threshold,
             rank_by=rank_by,
             n_workers=n_workers,
+            round_timeout=round_timeout,
         )[0]
 
     # ------------------------------------------------------------------ #

@@ -10,17 +10,25 @@ into something a long-running process can operate:
 * **versioned snapshots** (:mod:`repro.serving.snapshot`) — pickle-free
   ``.npz`` archives that round-trip the whole index including the hash
   family's RNG stream position, with optional compaction (merge segments,
-  drop tombstoned rows) at save time.
+  drop tombstoned rows) at save time.  Writes are atomic (temp file +
+  fsync + rename) and every array member is CRC32-checksummed; malformed
+  archives raise :class:`~repro.serving.snapshot.SnapshotCorruptError`
+  instead of loading wrong data, and
+  :class:`~repro.serving.snapshot.SnapshotStore` adds a rolling directory
+  with a ``LATEST`` pointer and load-time rollback past corrupt files.
 
 See ``docs/serving.md`` for the operational guide (snapshot format and
 version history, staleness budget, compaction semantics, the batched-query
-API and the estimate-vs-exact top-k trade-off).
+API, the estimate-vs-exact top-k trade-off, and the operational-robustness
+contract).
 """
 
 from repro.serving.segments import CollectionSegment, SegmentedCollection
 from repro.serving.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
+    SnapshotCorruptError,
+    SnapshotStore,
     load_query_index,
     save_query_index,
 )
@@ -30,6 +38,8 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SegmentedCollection",
+    "SnapshotCorruptError",
+    "SnapshotStore",
     "load_query_index",
     "save_query_index",
 ]

@@ -43,16 +43,37 @@ Version history
 ---------------
 * **v1** — monolithic layout: one ``collection_*`` group and one
   ``store_matrix``.  Still readable; loads as a single-segment index.
-* **v2** (current) — segmented layout as described above, plus
-  **compaction**: :func:`save_query_index` with ``compact=True`` merges all
-  segments into one and physically drops tombstoned rows.  Surviving rows
-  are renumbered (order and external ids preserved), the postings member
-  sequence is remapped accordingly, and the written tombstone mask is empty.
+* **v2** — segmented layout as described above, plus **compaction**:
+  :func:`save_query_index` with ``compact=True`` merges all segments into
+  one and physically drops tombstoned rows.  Surviving rows are renumbered
+  (order and external ids preserved), the postings member sequence is
+  remapped accordingly, and the written tombstone mask is empty.
+* **v3** (current) — crash safety: ``meta`` gains a mandatory ``checksums``
+  document mapping every array member to its CRC32, verified on load, and
+  the writer goes through a temp file + ``fsync`` + atomic ``os.replace``
+  so a crash mid-save can never tear an existing snapshot.
+
+Durability contract
+-------------------
+:func:`save_query_index` either publishes a complete, checksummed archive
+or leaves the destination untouched — the archive is fully written and
+fsynced under a temporary name first, then renamed into place atomically
+(and the directory entry fsynced).  :func:`load_query_index` re-reads every
+array's CRC32 against the manifest; any torn, truncated or bit-flipped
+archive — and any archive missing the magic or expected members — raises
+:class:`SnapshotCorruptError` naming the offending path.  Wrong data is
+never returned silently, and no raw ``zipfile.BadZipFile``/``KeyError``
+escapes.  :class:`SnapshotStore` layers a rolling-directory convention on
+top: numbered snapshots, an atomically updated ``LATEST`` pointer, and
+load-time rollback to the newest snapshot that still verifies.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -61,15 +82,43 @@ import scipy.sparse as sp
 from repro.datasets.io import collection_arrays, collection_from_arrays
 from repro.hashing.signatures import BitSignatures, IntSignatures
 from repro.similarity.vectors import VectorCollection
+from repro.testing import faults as _faults
+from repro.testing.faults import InjectedCrash
 
-__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "save_query_index", "load_query_index"]
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotCorruptError",
+    "SnapshotStore",
+    "save_query_index",
+    "load_query_index",
+]
 
 #: magic string identifying QueryIndex snapshot archives
 SNAPSHOT_FORMAT = "repro-query-index"
 #: current snapshot format version (see module docstring for the history)
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 #: versions this build can read
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
+
+
+class SnapshotCorruptError(ValueError):
+    """A snapshot archive failed structural or checksum verification.
+
+    Raised by :func:`load_query_index` for every malformed-archive path —
+    truncated or bit-flipped zip data, missing format magic, missing
+    members, checksum mismatches — so callers can catch one typed error
+    instead of the underlying ``zipfile``/``zlib``/``KeyError`` zoo.  The
+    offending ``path`` and a ``detail`` string are attached.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught the
+    loader's historical ``ValueError`` keep working.
+    """
+
+    def __init__(self, path, detail: str):
+        self.path = Path(path)
+        self.detail = str(detail)
+        super().__init__(f"corrupt QueryIndex snapshot {self.path}: {self.detail}")
 
 
 def _snapshot_path(path) -> Path:
@@ -192,12 +241,38 @@ def _compacted_payload(index) -> tuple[list[dict], str, list[int], np.ndarray, n
     return [packed], kind, [int(width)], deleted, members
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _array_crc(value: np.ndarray) -> int:
+    """CRC32 over an array's raw bytes (C-contiguous view)."""
+    return int(zlib.crc32(np.ascontiguousarray(value).tobytes()))
+
+
 def save_query_index(index, path, compact: bool = False) -> Path:
-    """Write ``index`` to ``path`` (``.npz`` appended if missing).
+    """Write ``index`` to ``path`` (``.npz`` appended if missing), atomically.
 
     With ``compact=True`` the snapshot merges all segments and drops
     tombstoned rows (see :func:`_compacted_payload`); the in-memory index is
     left untouched either way.
+
+    The archive is written to a temp file in the destination directory,
+    fsynced, then renamed over ``path`` with ``os.replace`` — a crash at any
+    point leaves either the previous snapshot or the new one, never a torn
+    archive under the destination name.  Every array member's CRC32 is
+    recorded in ``meta["checksums"]`` and re-verified by
+    :func:`load_query_index`.
     """
     from repro.search.query import QueryIndex
 
@@ -256,16 +331,34 @@ def save_query_index(index, path, compact: bool = False) -> Path:
         for key, value in packed.items():
             prefix = f"seg{i}_store" if key == "store" else f"seg{i}_collection_{key}"
             payload[prefix] = value
-    np.savez_compressed(
-        path,
-        format=np.array(SNAPSHOT_FORMAT),
-        version=np.array(SNAPSHOT_VERSION, dtype=np.int64),
-        meta=np.array(json.dumps(meta)),
-        deleted=deleted,
-        postings_members=members,
+    arrays: dict[str, np.ndarray] = {
+        "deleted": deleted,
+        "postings_members": members,
         **payload,
         **family_arrays,
-    )
+    }
+    meta["checksums"] = {name: _array_crc(value) for name, value in arrays.items()}
+
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                format=np.array(SNAPSHOT_FORMAT),
+                version=np.array(SNAPSHOT_VERSION, dtype=np.int64),
+                meta=np.array(json.dumps(meta)),
+                **arrays,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        _faults.fire("snapshot_replace", tmp=tmp, path=path)
+        os.replace(tmp, path)
+        _fsync_directory(path.parent)
+    except InjectedCrash:
+        raise  # a real crash would not clean its temp file up either
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 
@@ -291,38 +384,100 @@ def _load_segments_v2(archive, meta) -> list[tuple]:
     return segments
 
 
+def _read_verified(path: Path) -> tuple[int, dict, dict]:
+    """Read an archive fully, mapping every malformed path to a typed error.
+
+    Returns ``(version, meta, arrays)`` with every member materialised in
+    memory: reading everything up front forces the zip layer's per-member
+    CRC checks, and lets v3's manifest checksums verify the raw bytes before
+    any of them are interpreted.  An unsupported (but intact) version stays
+    a plain ``ValueError`` — that archive is not corrupt, just newer/older
+    than this build.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            raw = {name: np.asarray(archive[name]) for name in archive.files}
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError, ValueError) as exc:
+        raise SnapshotCorruptError(path, f"unreadable archive ({exc})") from exc
+    if "format" not in raw or str(raw["format"][()]) != SNAPSHOT_FORMAT:
+        raise SnapshotCorruptError(
+            path, "missing format magic — not a QueryIndex snapshot"
+        )
+    try:
+        version = int(raw["version"][()])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotCorruptError(path, f"unreadable version field ({exc})") from exc
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"snapshot version {version} is not supported "
+            f"(this build reads versions {list(_READABLE_VERSIONS)})"
+        )
+    try:
+        meta = json.loads(str(raw["meta"][()]))
+    except (KeyError, ValueError) as exc:
+        raise SnapshotCorruptError(path, f"unreadable meta document ({exc})") from exc
+    arrays = {
+        name: value
+        for name, value in raw.items()
+        if name not in ("format", "version", "meta")
+    }
+    if version >= 3:
+        checksums = meta.get("checksums")
+        if not isinstance(checksums, dict):
+            raise SnapshotCorruptError(
+                path, "v3 archive is missing its per-array checksum manifest"
+            )
+        for name in sorted(set(checksums) - set(arrays)):
+            raise SnapshotCorruptError(
+                path, f"array {name!r} is in the checksum manifest but absent"
+            )
+        for name in sorted(set(arrays) - set(checksums)):
+            raise SnapshotCorruptError(
+                path, f"array {name!r} has no entry in the checksum manifest"
+            )
+        for name, value in arrays.items():
+            actual = _array_crc(value)
+            if actual != int(checksums[name]):
+                raise SnapshotCorruptError(
+                    path,
+                    f"checksum mismatch for array {name!r} "
+                    f"(stored {int(checksums[name])}, computed {actual})",
+                )
+    return version, meta, arrays
+
+
 def load_query_index(path):
     """Load an index snapshot written by :func:`save_query_index`.
 
-    Reads both the current segmented v2 layout and the legacy monolithic v1
-    layout (loaded as a single-segment index); anything else is rejected.
+    Reads the current checksummed v3 layout plus the legacy v2 (segmented,
+    no checksums) and v1 (monolithic) layouts; anything else is rejected.
+    Every malformed-archive path — missing magic, truncated or bit-flipped
+    data, missing members, checksum mismatch — raises
+    :class:`SnapshotCorruptError` with the offending path; an intact archive
+    of an unsupported version raises a plain ``ValueError``.  Wrong data is
+    never returned silently.
     """
     from repro.search.query import QueryIndex
 
     path = _snapshot_path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        names = set(archive.files)
-        if "format" not in names or str(archive["format"][()]) != SNAPSHOT_FORMAT:
-            raise ValueError(f"{path} is not a QueryIndex snapshot")
-        version = int(archive["version"][()])
-        if version not in _READABLE_VERSIONS:
-            raise ValueError(
-                f"snapshot version {version} is not supported "
-                f"(this build reads versions {list(_READABLE_VERSIONS)})"
-            )
-        meta = json.loads(str(archive["meta"][()]))
-        deleted = np.asarray(archive["deleted"], dtype=bool)
-        postings_members = np.asarray(archive["postings_members"], dtype=np.int64)
+    version, meta, arrays = _read_verified(path)
+    try:
+        deleted = np.asarray(arrays["deleted"], dtype=bool)
+        postings_members = np.asarray(arrays["postings_members"], dtype=np.int64)
 
         family_state: dict[str, object] = dict(meta["family_scalars"])
-        for name in names:
+        for name, value in arrays.items():
             if name.startswith("family_"):
-                family_state[name[len("family_"):]] = archive[name]
+                family_state[name[len("family_"):]] = value
 
         if version == 1:
-            segments_data = _load_segments_v1(archive, meta)
+            segments_data = _load_segments_v1(arrays, meta)
         else:
-            segments_data = _load_segments_v2(archive, meta)
+            segments_data = _load_segments_v2(arrays, meta)
+    except SnapshotCorruptError:
+        raise
+    except (KeyError, IndexError) as exc:
+        raise SnapshotCorruptError(path, f"missing or malformed member ({exc})") from exc
 
     n_features = meta.get("n_features")
     if n_features is None:  # v1 archives predate the explicit field
@@ -336,3 +491,118 @@ def load_query_index(path):
         deleted=deleted,
         postings_members=postings_members,
     )
+
+
+# --------------------------------------------------------------------- #
+# rolling snapshot directories
+# --------------------------------------------------------------------- #
+class SnapshotStore:
+    """A directory of rolling, numbered snapshots with a ``LATEST`` pointer.
+
+    Layers the operational conventions on top of the single-file format:
+    :meth:`save` writes ``snapshot-NNNNNNNN.npz`` (monotonically numbered,
+    each via the atomic temp-write/rename path), then atomically updates the
+    ``LATEST`` pointer file and prunes old snapshots beyond ``keep``.
+    :meth:`load` tries the pointer target first and *rolls back* — newest to
+    oldest — past any snapshot that fails checksum verification, so one torn
+    or bit-flipped file (or a crash between temp-write and pointer update)
+    never takes the service down with it.
+    """
+
+    #: name of the pointer file holding the latest snapshot's file name
+    POINTER_NAME = "LATEST"
+
+    def __init__(self, directory, keep: int = 2):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._keep = max(int(keep), 1)
+
+    @property
+    def directory(self) -> Path:
+        """The directory holding the numbered snapshots and the pointer."""
+        return self._directory
+
+    @property
+    def pointer_path(self) -> Path:
+        """Path of the ``LATEST`` pointer file."""
+        return self._directory / self.POINTER_NAME
+
+    def snapshots(self) -> list[Path]:
+        """The numbered snapshot files, oldest first."""
+        return sorted(self._directory.glob("snapshot-*.npz"))
+
+    def _next_path(self) -> Path:
+        last = -1
+        for existing in self.snapshots():
+            stem = existing.stem  # snapshot-NNNNNNNN
+            try:
+                last = max(last, int(stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return self._directory / f"snapshot-{last + 1:08d}.npz"
+
+    def save(self, index, compact: bool = False) -> Path:
+        """Snapshot ``index`` as the next numbered file; update the pointer.
+
+        The data file is fully written (and fsynced) before the pointer
+        moves, so a crash anywhere in between leaves the previous pointer
+        target intact and loadable.
+        """
+        path = save_query_index(index, self._next_path(), compact=compact)
+        tmp = self.pointer_path.with_name(f".{self.POINTER_NAME}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(path.name + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.pointer_path)
+            _fsync_directory(self._directory)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._prune(current=path)
+        return path
+
+    def _prune(self, current: Path) -> None:
+        """Drop numbered snapshots beyond ``keep`` (never the current one)."""
+        snapshots = self.snapshots()
+        excess = len(snapshots) - self._keep
+        for stale in snapshots[:max(excess, 0)]:
+            if stale != current:
+                stale.unlink(missing_ok=True)
+
+    def _candidates(self) -> list[Path]:
+        """Load order: pointer target first, then the rest newest-to-oldest."""
+        ordered: list[Path] = []
+        try:
+            name = self.pointer_path.read_text(encoding="utf-8").strip()
+        except OSError:
+            name = ""
+        if name:
+            target = self._directory / name
+            if target.exists():
+                ordered.append(target)
+        for path in reversed(self.snapshots()):
+            if path not in ordered:
+                ordered.append(path)
+        return ordered
+
+    def load(self):
+        """Load the newest verifiable snapshot, rolling back past corrupt ones.
+
+        Raises ``FileNotFoundError`` for an empty store and
+        :class:`SnapshotCorruptError` when every candidate fails
+        verification (the error lists each rejected file).
+        """
+        candidates = self._candidates()
+        if not candidates:
+            raise FileNotFoundError(f"no snapshots in {self._directory}")
+        failures: list[str] = []
+        for path in candidates:
+            try:
+                return load_query_index(path)
+            except SnapshotCorruptError as exc:
+                failures.append(f"{path.name}: {exc.detail}")
+        raise SnapshotCorruptError(
+            self._directory, "every snapshot failed verification — " + "; ".join(failures)
+        )

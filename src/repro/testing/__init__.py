@@ -1,0 +1,12 @@
+"""Test-support machinery that ships with the library.
+
+Currently one module: :mod:`repro.testing.faults`, the fault-injection
+harness behind ``tests/faults/``.  It lives in ``src`` (not ``tests``)
+because the production executor and snapshot writer carry the injection
+seams — a no-op hook unless a test installs a fault plan — and keeping the
+hook protocol next to the seams keeps the two in lock step.
+"""
+
+from repro.testing.faults import FaultPlan, InjectedCrash, inject
+
+__all__ = ["FaultPlan", "InjectedCrash", "inject"]

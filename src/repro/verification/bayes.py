@@ -198,6 +198,7 @@ class BayesLSHVerifier(_BayesVerifierBase):
             posterior,
             source,
             self._threshold,
+            verifier=self,
         )
 
 
@@ -282,4 +283,5 @@ class BayesLSHLiteVerifier(_BayesVerifierBase):
             posterior,
             source,
             self._threshold,
+            verifier=self,
         )

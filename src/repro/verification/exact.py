@@ -7,6 +7,8 @@ baselines (AllPairs, plain LSH, PPJoin+) in the paper's evaluation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.candidates.base import CandidateSet
 from repro.core.bayeslsh import VerificationOutput
 from repro.verification.base import Verifier, exact_similarities_for_pairs
@@ -48,15 +50,20 @@ class ExactVerifier(Verifier):
         """Block-streamed (and optionally sharded) exact verification.
 
         Exact similarities are computed row-pair-wise, so any block/shard
-        split produces the same floats as the monolithic call.
+        split produces the same floats as the monolithic call — the serial
+        fallback the pool uses for failed shards is the very kernel below.
         """
+
+        def serial(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+            return exact_similarities_for_pairs(
+                self._prepared, self._measure, left, right
+            )
+
         outputs = []
         for left, right in source.blocks():
             if pool is not None:
-                similarities = pool.map_exact(left, right)
+                similarities = pool.map_exact(left, right, fallback=serial)
             else:
-                similarities = exact_similarities_for_pairs(
-                    self._prepared, self._measure, left, right
-                )
+                similarities = serial(left, right)
             outputs.append(self._verify_arrays(left, right, similarities))
         return VerificationOutput.merge(outputs)

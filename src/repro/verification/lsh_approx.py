@@ -125,11 +125,17 @@ class LSHApproxVerifier(Verifier):
 
             exporter = _SignatureExporter(pool, self._family.produces_bits)
             exporter.ensure(store, self._num_hashes)
+
+        def serial(left, right):
+            # Parent-side shard recovery: count against the parent's own
+            # store — the same budget the workers' shared view exposes.
+            return store.count_matches_many(left, right, 0, self._num_hashes)
+
         outputs = []
         for left, right in source.blocks():
             if pool is not None:
-                matches = pool.map_count(left, right, 0, self._num_hashes)
+                matches = pool.map_count(left, right, 0, self._num_hashes, fallback=serial)
             else:
-                matches = store.count_matches_many(left, right, 0, self._num_hashes)
+                matches = serial(left, right)
             outputs.append(self._verify_arrays(left, right, matches))
         return VerificationOutput.merge(outputs)

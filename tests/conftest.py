@@ -7,6 +7,8 @@ small keeps the full suite fast enough to run on every change.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,29 @@ from repro.datasets.base import Dataset
 from repro.datasets.synthetic import synthetic_graph, synthetic_text_corpus
 from repro.similarity.transforms import tfidf_weighting
 from repro.similarity.vectors import VectorCollection
+
+_SHM_DIR = Path("/dev/shm")
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_audit():
+    """Fail any test that leaves a stray shared-memory segment behind.
+
+    The worker pools publish signature columns as POSIX shared memory
+    (``/dev/shm/psm_*`` through :mod:`multiprocessing.shared_memory`); every
+    call site must tear its pool down on all paths, including exceptions and
+    injected worker crashes.  Comparing the directory before and after each
+    test catches any leak at its source.  Only ``psm_*`` names are audited —
+    other processes own the rest of ``/dev/shm``.
+    """
+    if not _SHM_DIR.is_dir():  # non-Linux dev boxes: nothing to audit
+        yield
+        return
+    before = {entry.name for entry in _SHM_DIR.iterdir()}
+    yield
+    after = {entry.name for entry in _SHM_DIR.iterdir()}
+    leaked = sorted(name for name in after - before if name.startswith("psm_"))
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"
 
 
 @pytest.fixture(scope="session")

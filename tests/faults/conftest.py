@@ -1,0 +1,57 @@
+"""Shared builders for the fault-injection suite.
+
+The indices and corpora here mirror the parallel-serving property tests:
+multi-segment layouts with tombstones, planted near-duplicates so thresholded
+queries have true positives, and enough candidate pairs that BayesLSH
+verification runs several rounds (the kill/hang matrix needs rounds to
+exist before it can kill workers inside them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search.query import QueryIndex
+
+
+def planted_collection(seed: int, n: int = 50, features: int = 80) -> np.ndarray:
+    """A sparse dense-matrix corpus with planted near-duplicate pairs."""
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, features)) * (rng.random((n, features)) < 0.2)
+    half = n // 2
+    planted = min(8, n - half)
+    dense[:planted] = dense[half : half + planted]
+    mask = rng.random((planted, features)) < 0.1
+    dense[:planted][mask] = 0.0
+    return dense
+
+
+@pytest.fixture(scope="module")
+def serving_index() -> QueryIndex:
+    """A grown, tombstoned bayes index (three segments)."""
+    corpus = planted_collection(29, n=70)
+    index = QueryIndex(corpus[:30], measure="cosine", threshold=0.6, seed=13)
+    index.insert(corpus[30:55])
+    index.insert(corpus[55:])
+    index.delete([2, 40, 60])
+    return index
+
+
+@pytest.fixture(scope="module")
+def query_batch() -> np.ndarray:
+    queries = planted_collection(31, n=9)[:, :80]
+    queries[:3] = planted_collection(29, n=70)[:3]  # indexed rows in the batch
+    return queries
+
+
+@pytest.fixture(scope="module")
+def serial_answers(serving_index, query_batch) -> dict:
+    """Reference answers from all-serial execution."""
+    return {
+        "query": serving_index.query_many(query_batch, threshold=0.55),
+        "topk_estimate": serving_index.top_k_many(
+            query_batch, k=5, floor_threshold=0.2, rank_by="estimate"
+        ),
+        "topk_exact": serving_index.top_k_many(query_batch, k=5, floor_threshold=0.2),
+    }

@@ -1,0 +1,122 @@
+"""Worker-loss recovery in the all-pairs round protocol.
+
+``run_round_protocol`` recovers at *block* granularity: when a block loses
+a worker (death, hang, in-task error) the whole block re-executes serially
+in the parent, discarding the survivors' partial work, so the output —
+pairs, estimates, the per-round prune trace and the ``hash_comparisons``
+counter — stays bit-identical to the all-serial run.  The fixed-budget
+(``map_count``) and exact (``map_exact``) verifiers recover at shard
+granularity instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search.engine import all_pairs_similarity
+from repro.testing import faults
+
+from .conftest import planted_collection
+
+THRESHOLD = 0.5
+BLOCK_SIZE = 64  # small enough that this corpus spans several blocks
+
+
+@pytest.fixture(scope="module")
+def corpus() -> np.ndarray:
+    return planted_collection(47, n=70)
+
+
+def _run(corpus, method: str, n_workers: int | None = None, **kwargs):
+    return all_pairs_similarity(
+        corpus,
+        THRESHOLD,
+        method=method,
+        seed=7,
+        block_size=BLOCK_SIZE,
+        n_workers=n_workers,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_bayes(corpus):
+    return _run(corpus, "ap_bayeslsh")
+
+
+def _assert_identical(result, reference) -> None:
+    assert np.array_equal(result.left, reference.left)
+    assert np.array_equal(result.right, reference.right)
+    assert np.array_equal(result.similarities, reference.similarities)
+    assert result.n_candidates == reference.n_candidates
+    assert result.n_pruned == reference.n_pruned
+    assert result.metadata["prune_trace"] == reference.metadata["prune_trace"]
+    assert result.metadata["hash_comparisons"] == reference.metadata["hash_comparisons"]
+
+
+@pytest.mark.parametrize(
+    "event,round_index",
+    [("allpairs_begin", None), ("allpairs_round", 0), ("allpairs_round", 1)],
+)
+@pytest.mark.parametrize("n_workers", [2, 4])
+def test_kill_one_worker_allpairs_bit_identical(
+    corpus, serial_bayes, event, round_index, n_workers
+):
+    with faults.inject() as plan:
+        plan.kill_worker(n_workers - 1, event=event, round_index=round_index)
+        result = _run(corpus, "ap_bayeslsh", n_workers=n_workers)
+    assert ("kill", n_workers - 1) in plan.fired
+    _assert_identical(result, serial_bayes)
+
+
+def test_kill_every_worker_allpairs_bit_identical(corpus, serial_bayes):
+    """With no survivors every remaining block runs serially in the parent."""
+    with faults.inject() as plan:
+        plan.kill_worker(0, event="allpairs_begin")
+        plan.kill_worker(1, event="allpairs_begin")
+        result = _run(corpus, "ap_bayeslsh", n_workers=2)
+    assert ("kill", 0) in plan.fired and ("kill", 1) in plan.fired
+    _assert_identical(result, serial_bayes)
+
+
+def test_hung_worker_allpairs_recovers_via_round_timeout(corpus, serial_bayes):
+    with faults.inject() as plan:
+        plan.hang_worker(0, event="allpairs_round", round_index=0)
+        result = _run(corpus, "ap_bayeslsh", n_workers=2, round_timeout=3.0)
+    assert ("hang", 0) in plan.fired
+    _assert_identical(result, serial_bayes)
+
+
+def test_kill_one_worker_lite_bit_identical(corpus):
+    """BayesLSH-Lite's fallback exact-verifies survivors through the verifier."""
+    reference = _run(corpus, "ap_bayeslsh_lite")
+    with faults.inject() as plan:
+        plan.kill_worker(0, event="allpairs_round", round_index=0)
+        result = _run(corpus, "ap_bayeslsh_lite", n_workers=2)
+    assert ("kill", 0) in plan.fired
+    _assert_identical(result, reference)
+
+
+def test_dropped_count_message_recovers_via_round_timeout(corpus):
+    """The fixed-budget verifier's shard fallback (map_count) recovers a hang."""
+    reference = _run(corpus, "lsh_approx")
+    with faults.inject() as plan:
+        plan.drop_messages(1, tag="count")
+        result = _run(corpus, "lsh_approx", n_workers=2, round_timeout=3.0)
+    assert ("drop", "count") in plan.fired
+    assert np.array_equal(result.left, reference.left)
+    assert np.array_equal(result.right, reference.right)
+    assert np.array_equal(result.similarities, reference.similarities)
+
+
+def test_dropped_exact_message_recovers_via_round_timeout(corpus):
+    """The exact verifier's shard fallback (map_exact) recovers a hang."""
+    reference = _run(corpus, "lsh")
+    with faults.inject() as plan:
+        plan.drop_messages(0, tag="exact")
+        result = _run(corpus, "lsh", n_workers=2, round_timeout=3.0)
+    assert ("drop", "exact") in plan.fired
+    assert np.array_equal(result.left, reference.left)
+    assert np.array_equal(result.right, reference.right)
+    assert np.array_equal(result.similarities, reference.similarities)
