@@ -23,9 +23,11 @@ require a lock-step baseline update); a benchmark present in the baseline
 but **missing from the fresh run** fails the gate with exit code 3 — a rename
 or removal must be accompanied by a ``--update`` so it cannot silently drop
 out of regression coverage.  ``--update`` rewrites the baseline from the
-fresh run and *prunes* (and reports) baseline keys the fresh run no longer
-contains, so renames cannot leave stale keys behind that would trip the
-exit-3 check forever after.  Run ``--update`` with a fresh JSON produced
+fresh run, *prunes* (and reports) baseline keys the fresh run no longer
+contains — so renames cannot leave stale keys behind that would trip the
+exit-3 check forever after — and symmetrically reports keys the baseline
+*gains*, so a suite growing new benchmarks (daemon keys landing in
+``BENCH_serving.json``, say) is a visible, deliberate act too.  Run ``--update`` with a fresh JSON produced
 from the same benchmark file the baseline covers (one baseline per suite:
 ``BENCH_hotpaths.json`` for ``test_bench_hotpaths.py``,
 ``BENCH_serving.json`` for the gated subset of ``test_bench_serving.py``).
@@ -82,6 +84,12 @@ def main(argv=None) -> int:
         pruned = sorted(set(previous) - set(fresh))
         for name in pruned:
             print(f"PRUNED    {name}: removed from the baseline (absent from fresh run)")
+        # Mirror the pruned report for keys the baseline *gains*, so growing
+        # a suite (e.g. BENCH_serving.json picking up the daemon benchmarks)
+        # is just as visible in the --update output as shrinking one.
+        added = sorted(set(fresh) - set(previous))
+        for name in added:
+            print(f"ADDED     {name}: new baseline key ({fresh[name] * 1000:.2f} ms)")
         with open(args.baseline, "w") as handle:
             json.dump(
                 {"unit": "seconds (min over rounds)", "benchmarks": fresh},
@@ -91,8 +99,13 @@ def main(argv=None) -> int:
             )
             handle.write("\n")
         summary = f"baseline updated with {len(fresh)} benchmarks"
+        details = []
         if pruned:
-            summary += f" ({len(pruned)} stale key(s) pruned)"
+            details.append(f"{len(pruned)} stale key(s) pruned")
+        if added:
+            details.append(f"{len(added)} key(s) added")
+        if details:
+            summary += f" ({', '.join(details)})"
         print(f"{summary} -> {args.baseline}")
         return 0
 

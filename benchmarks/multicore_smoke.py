@@ -191,6 +191,165 @@ def recovery_smoke(n_documents: int, n_queries: int, n_workers: int, repeats: in
     }
 
 
+def resident_pool_smoke(
+    n_documents: int, n_queries: int, n_workers: int, repeats: int
+) -> dict:
+    """Per-call fork vs resident pool: the per-batch overhead reduction.
+
+    The same stream of small query batches runs twice — once through the
+    per-call pool (``n_workers=k`` forks and tears down a pool every call)
+    and once through a resident pool (``start_pool(k)`` forks once; each
+    batch ships only its query-state delta) — with bit-identical results
+    required and the per-batch wall-clock delta reported.  Small batches
+    are deliberate: that is the daemon's coalescing regime, where the
+    per-call fork + shared-memory export overhead dominates.
+    """
+    from repro.search.query import QueryIndex
+
+    collection = build_workload(n_documents + n_queries, seed=31)
+    index = QueryIndex(
+        collection.subset(range(n_documents)),
+        measure="cosine",
+        threshold=0.7,
+        verification="bayes",
+        seed=7,
+    )
+    queries = collection.matrix[n_documents:]
+    n_batches = 8
+    step = max(1, queries.shape[0] // n_batches)
+    batches = [queries[i : i + step] for i in range(0, queries.shape[0], step)]
+    index.query_many(batches[0][:2], threshold=0.7)  # warm the lazy hashing
+
+    def per_call():
+        return [
+            index.query_many(batch, threshold=0.7, n_workers=n_workers)
+            for batch in batches
+        ]
+
+    def resident():
+        index.start_pool(n_workers)
+        try:
+            return [index.query_many(batch, threshold=0.7) for batch in batches]
+        finally:
+            index.close()
+
+    serial_result = [index.query_many(batch, threshold=0.7) for batch in batches]
+    per_call_result, per_call_wall = timed_best(per_call, repeats)
+    resident_result, resident_wall = timed_best(resident, repeats)
+    identical = serial_result == per_call_result == resident_result
+    per_batch_saving = (per_call_wall - resident_wall) / len(batches)
+    reduction = 1.0 - resident_wall / per_call_wall if per_call_wall > 0 else float("nan")
+    print(
+        f"resident pool: {len(batches)} batches of {step}, "
+        f"per-call fork {per_call_wall * 1000:7.1f}ms, "
+        f"resident {resident_wall * 1000:7.1f}ms "
+        f"({per_batch_saving * 1000:+.1f}ms/batch, {reduction:+.1%} overall), "
+        f"identical: {identical}"
+    )
+    return {
+        "n_documents": n_documents,
+        "n_batches": len(batches),
+        "batch_size": step,
+        "n_workers": n_workers,
+        "per_call_s": per_call_wall,
+        "resident_s": resident_wall,
+        "per_batch_saving_s": per_batch_saving,
+        "overhead_reduction": reduction,
+        "identical_results": identical,
+    }
+
+
+def daemon_smoke(n_documents: int, n_queries: int, repeats: int) -> dict:
+    """Daemon throughput: looped single client vs coalesced concurrency.
+
+    The same queries go through the resident daemon twice — one client
+    looping serially (every request its own batch) and many concurrent
+    clients whose requests coalesce under the batch window — and both must
+    return the serial in-process answers bit-identically over the wire.
+    The throughput ratio is the measured value of coalescing; like every
+    number in this artifact it is reported, not asserted.
+    """
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from repro.search.query import QueryIndex
+    from repro.serving import DaemonClient, ServingDaemon
+
+    collection = build_workload(n_documents + n_queries, seed=37)
+    index = QueryIndex(
+        collection.subset(range(n_documents)),
+        measure="cosine",
+        threshold=0.7,
+        verification="bayes",
+        seed=9,
+    )
+    queries = collection.matrix[n_documents:]
+    index.query_many(queries[:2], threshold=0.7)  # warm the lazy hashing
+    oracle = [
+        [[int(pair.j), float(pair.similarity)] for pair in scored]
+        for scored in index.query_many(queries, threshold=0.7)
+    ]
+    n = queries.shape[0]
+    n_clients = 8
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = str(Path(tmp) / "daemon.sock")
+        with ServingDaemon(index, socket_path, batch_window_ms=10, max_batch=64):
+
+            def looped():
+                with DaemonClient(socket_path) as client:
+                    return [client.query(queries[i], threshold=0.7) for i in range(n)]
+
+            def coalesced():
+                answers = [None] * n
+                span = -(-n // n_clients)
+
+                def drive(start: int) -> None:
+                    with DaemonClient(socket_path) as client:
+                        for i in range(start, min(start + span, n)):
+                            answers[i] = client.query(queries[i], threshold=0.7)
+
+                threads = [
+                    threading.Thread(target=drive, args=(start,))
+                    for start in range(0, n, span)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                return answers
+
+            looped_result, looped_wall = timed_best(looped, repeats)
+            coalesced_result, coalesced_wall = timed_best(coalesced, repeats)
+            with DaemonClient(socket_path) as client:
+                stats = client.stats()
+
+    identical = looped_result == oracle and coalesced_result == oracle
+    speedup = looped_wall / coalesced_wall if coalesced_wall > 0 else float("nan")
+    print(
+        f"daemon: {n} queries, looped {looped_wall * 1000:7.1f}ms "
+        f"({n / looped_wall:6.0f} q/s), "
+        f"coalesced x{n_clients} clients {coalesced_wall * 1000:7.1f}ms "
+        f"({n / coalesced_wall:6.0f} q/s), speedup x{speedup:.2f}, "
+        f"batches {stats['batches']} for {stats['requests']} requests, "
+        f"identical: {identical}"
+    )
+    return {
+        "n_documents": n_documents,
+        "n_queries": n,
+        "n_clients": n_clients,
+        "looped_s": looped_wall,
+        "coalesced_s": coalesced_wall,
+        "looped_qps": n / looped_wall,
+        "coalesced_qps": n / coalesced_wall,
+        "speedup": speedup,
+        "batches": stats["batches"],
+        "requests": stats["requests"],
+        "identical_results": identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="multicore_timing.json", help="timing JSON path")
@@ -255,6 +414,12 @@ def main(argv=None) -> int:
     recovery_report = recovery_smoke(
         args.serving_documents // 4, args.serving_queries // 2, args.n_workers, args.repeats
     )
+    resident_report = resident_pool_smoke(
+        args.serving_documents // 4, args.serving_queries // 2, args.n_workers, args.repeats
+    )
+    daemon_report = daemon_smoke(
+        args.serving_documents // 6, args.serving_queries // 4, args.repeats
+    )
 
     report = {
         "workload": {
@@ -274,6 +439,8 @@ def main(argv=None) -> int:
         "identical_results": identical,
         "serving": serving_report,
         "recovery": recovery_report,
+        "resident_pool": resident_report,
+        "daemon": daemon_report,
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -288,6 +455,12 @@ def main(argv=None) -> int:
         return 1
     if not recovery_report["identical_results"]:
         print("error: worker-loss recovery diverged from the serial path", file=sys.stderr)
+        return 1
+    if not resident_report["identical_results"]:
+        print("error: resident-pool results differ from the serial path", file=sys.stderr)
+        return 1
+    if not daemon_report["identical_results"]:
+        print("error: daemon answers differ from the serial path", file=sys.stderr)
         return 1
     return 0
 

@@ -10,7 +10,12 @@ operational life (see ``docs/serving.md`` for the full guide):
 4. **delete** a few rows (tombstoned, filtered immediately);
 5. **compact** on save — tombstones dropped, segments merged — and reload;
 6. serve a **batched top-k** query against the compacted index, in both the
-   exact and the estimate-ranked mode.
+   exact and the estimate-ranked mode;
+7. attach a **resident worker pool** (``start_pool``) so repeated batched
+   calls reuse warm workers instead of forking per call, verify the pooled
+   answers stay bit-identical, and tear it down deterministically with
+   ``close()`` — the index is a context manager, so ``with`` blocks get the
+   same teardown for free.
 
 Runs end-to-end in a couple of seconds and asserts its own invariants, so
 CI uses it as a smoke test.  Run with:  python examples/serving_lifecycle.py
@@ -94,6 +99,20 @@ def main() -> None:
             best_e = f"id {compacted.ids[hits_e[0].j]:4d} @ {hits_e[0].similarity:.3f}" if hits_e else "-"
             best_m = f"id {compacted.ids[hits_m[0].j]:4d} @ {hits_m[0].similarity:.3f}" if hits_m else "-"
             print(f"          {q:5d}  {best_e:20s} {best_m}")
+
+        # 7. Resident pool: one fork, many batches.  Batched calls with
+        #    n_workers unset route to the attached pool; each batch ships
+        #    only its query-state delta to the warm workers.  close() (or
+        #    leaving a `with` block) shuts the pool down deterministically —
+        #    a long-lived process must never rely on GC for shared memory.
+        compacted.start_pool(2)
+        pooled = compacted.top_k_many(queries, k=5)
+        stats = compacted.pool_stats()
+        compacted.close()
+        assert pooled == exact, "resident pool must stay bit-identical"
+        assert compacted.pool_stats() is None
+        print(f"resident: {stats['live_workers']} workers served "
+              f"{stats['batches_served']} batch(es), closed cleanly")
 
     print("serving lifecycle OK")
 

@@ -75,8 +75,10 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import pickle
+import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -89,6 +91,8 @@ from repro.testing import faults as _faults
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "PairBlockSource",
+    "PoolDegradedWarning",
+    "ResidentServingPool",
     "ServingPool",
     "ServingTask",
     "StreamExecutor",
@@ -279,12 +283,25 @@ class _SignatureExporter:
     all-pairs pool exports a single keyless stream), and ``base`` is the
     column count the workers already inherited through the fork — publication
     starts there instead of at zero.
+
+    ``transient`` marks the stream's segments as batch-scoped: a resident
+    pool registers them for early reclamation (once every worker has
+    provably consumed them) instead of holding them until shutdown — the
+    query batch's columns are garbage the moment the next batch starts.
     """
 
-    def __init__(self, pool: "_WorkerPool", produces_bits: bool, key=None, base: int = 0):
+    def __init__(
+        self,
+        pool: "_WorkerPool",
+        produces_bits: bool,
+        key=None,
+        base: int = 0,
+        transient: bool = False,
+    ):
         self._pool = pool
         self._bits = bool(produces_bits)
         self._key = key
+        self._transient = bool(transient)
         self._published = int(base)
         if self._bits and self._published % _WORD_BITS:
             raise ValueError(
@@ -322,7 +339,7 @@ class _SignatureExporter:
         }
         if self._key is not None:
             descriptor["key"] = self._key
-        self._pool.register_segment(shm, descriptor)
+        self._pool.register_segment(shm, descriptor, transient=self._transient)
         self._published = hash_end
 
 
@@ -360,6 +377,18 @@ class WorkerFailure(RuntimeError):
         super().__init__(
             f"worker(s) {sorted(self.failed)} failed during {tag!r}{where} — {details}"
         )
+
+
+class PoolDegradedWarning(UserWarning):
+    """A resident pool permanently lost serving capacity.
+
+    Emitted (via :mod:`warnings`) when a crash-looping worker slot is
+    quarantined — the pool continues with fewer workers — and again when the
+    last slot is gone and the pool degrades to the serial path.  Results
+    stay bit-identical throughout (degradation only changes *who* executes
+    the shards); the warning is the operational signal that throughput
+    headroom was lost and the process should be inspected or recycled.
+    """
 
 
 # --------------------------------------------------------------------- #
@@ -528,8 +557,18 @@ class _WorkerPool:
         except Exception:
             pass
         context = multiprocessing.get_context("fork")
+        # Retained so a resident pool can re-fork a replacement process into
+        # a retired slot (see :meth:`respawn`).
+        self._context = context
+        self._target = target
+        self._payload = payload
         self._n_workers = int(n_workers)
         self._round_timeout = None if round_timeout is None else float(round_timeout)
+        #: optional ``(worker id, reason) -> decision`` hook a supervisor
+        #: (the resident pool) installs; the returned decision string is
+        #: appended to the retirement warning so operators see respawn /
+        #: quarantine outcomes next to the failure itself.
+        self._on_retire = None
         # One result queue *per worker*, each with a single writer: a worker
         # SIGKILLed mid-reply can die holding its queue's write lock, and with
         # a shared queue that poisoned lock would silently stall every
@@ -539,6 +578,13 @@ class _WorkerPool:
         self._result_queues = [context.Queue() for _ in range(self._n_workers)]
         self._task_queues = [context.Queue() for _ in range(self._n_workers)]
         self._segments: list = []
+        # Two-generation transient segment tracking (resident pools only):
+        # ``_transient`` holds batch-scoped segments still possibly unread by
+        # an idle worker; ``_retired_transient`` holds the previous
+        # generation, unlinked by :meth:`release_transient` once a later
+        # queue barrier proves every live worker drained past them.
+        self._transient: list = []
+        self._retired_transient: list = []
         self._dead: dict[int, str] = {}
         self._processes = [
             context.Process(
@@ -572,18 +618,65 @@ class _WorkerPool:
 
         SIGKILL (not SIGTERM) so that SIGSTOPped/hung workers die too; the
         pool-owned shared segments stay mapped until :meth:`shutdown` —
-        other workers are still reading them.
+        other workers are still reading them.  When a supervisor installed
+        an ``_on_retire`` hook, its respawn/quarantine decision is appended
+        to the warning.
         """
         self._dead[wid] = reason
         process = self._processes[wid]
         if process.is_alive():
             process.kill()
         process.join(timeout=10)
+        decision = ""
+        if self._on_retire is not None:
+            try:
+                decision = self._on_retire(wid, reason) or ""
+            except Exception:  # the hook must never mask the retirement
+                _LOGGER.exception("retire hook failed for worker %d", wid)
         _LOGGER.warning(
-            "pool worker %d %s; its shard is re-executed serially in the parent",
+            "pool worker %d %s; its shard is re-executed serially in the parent%s",
             wid,
             reason,
+            f" — {decision}" if decision else "",
         )
+
+    def respawn(self, wid: int) -> None:
+        """Fork a fresh process into retired slot ``wid``, reviving it.
+
+        The replacement forks from the parent's *current* state, so it
+        inherits every column materialised so far; later publications can
+        only overlap what it inherited (bases never over-shoot), which
+        :class:`_ColumnSource` tolerates — hash determinism makes published
+        and inherited values identical.  Both queues are replaced: the old
+        ones may hold undrained frames addressed to the dead process, or be
+        torn mid-write by its SIGKILL.
+        """
+        if wid not in self._dead:
+            raise RuntimeError(f"worker {wid} is not retired; cannot respawn")
+        for queue in (self._task_queues[wid], self._result_queues[wid]):
+            try:
+                queue.cancel_join_thread()
+                queue.close()
+            except Exception:
+                pass
+        self._task_queues[wid] = self._context.Queue()
+        self._result_queues[wid] = self._context.Queue()
+        process = self._context.Process(
+            target=self._target,
+            args=(wid, self._payload, self._task_queues[wid], self._result_queues[wid]),
+            daemon=True,
+        )
+        self._processes[wid] = process
+        process.start()
+        del self._dead[wid]
+
+    def set_round_timeout(self, round_timeout: float | None) -> None:
+        """Re-arm the hung-worker deadline for the gathers that follow.
+
+        A resident pool serves batches with per-request deadlines; each
+        batch installs its own bound here before dispatching.
+        """
+        self._round_timeout = None if round_timeout is None else float(round_timeout)
 
     def _collect(self, worker_ids, tag: str = "task", round_index=None) -> dict:
         """Gather one reply per worker id, supervising liveness and deadlines.
@@ -663,10 +756,37 @@ class _WorkerPool:
             raise WorkerFailure(failed, replies, tag, round_index)
         return replies
 
-    def register_segment(self, shm, descriptor: dict) -> None:
-        """Publish a shared-memory signature segment to every live worker."""
-        self._segments.append(shm)
+    def register_segment(self, shm, descriptor: dict, transient: bool = False) -> None:
+        """Publish a shared-memory signature segment to every live worker.
+
+        ``transient`` segments are batch-scoped (a resident pool's query
+        columns): they are reclaimed early by :meth:`release_transient`
+        instead of living until :meth:`shutdown`.
+        """
+        (self._transient if transient else self._segments).append(shm)
         self._broadcast(("segment", descriptor))
+
+    def release_transient(self) -> None:
+        """Unlink the transient generation every worker has provably drained.
+
+        Call only after a *full-pool queue barrier* (a broadcast message
+        every live worker has replied to, enqueued after the segments): FIFO
+        queue order then guarantees each live worker already attached — or
+        died without ever reading, which is equally safe — every segment in
+        the retired generation.  The current generation rotates into retired
+        for the next call.
+        """
+        for shm in self._retired_transient:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._retired_transient = self._transient
+        self._transient = []
 
     def scatter(self, tag: str, arrays: tuple, extra: tuple = ()) -> list[tuple[int, int, int]]:
         """Shard parallel arrays contiguously over the *live* workers.
@@ -812,7 +932,7 @@ class _WorkerPool:
                 queue.close()
             except Exception:
                 pass
-        for shm in self._segments:
+        for shm in (*self._segments, *self._transient, *self._retired_transient):
             try:
                 shm.close()
             except Exception:
@@ -822,6 +942,8 @@ class _WorkerPool:
             except Exception:
                 pass
         self._segments = []
+        self._transient = []
+        self._retired_transient = []
 
 
 # --------------------------------------------------------------------- #
@@ -1137,6 +1259,21 @@ class _ColumnSource:
         self._handles.append(shm)
         self._pieces.append((descriptor["hash_start"], descriptor["hash_end"], array))
 
+    def close(self) -> None:
+        """Unmap the attached shared-memory handles (worker-side only).
+
+        Called when a resident worker replaces its query source at a batch
+        boundary; closing only unmaps this process's view — the parent still
+        owns (and later unlinks) the segments.
+        """
+        for shm in self._handles:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._handles = []
+        self._pieces = []
+
     def boundaries(self, start: int, end: int) -> list[int]:
         """Piece boundaries intersecting ``[start, end)`` (sorted, inclusive ends)."""
         points = {start, end}
@@ -1264,7 +1401,23 @@ def _serving_worker_main(worker_id: int, task: ServingTask, task_queue, result_q
             if tag == "segment":
                 source_for(message[1]["key"]).attach(message[1])
                 continue  # broadcast; no reply
-            if tag == "probe":
+            if tag == "batch":
+                # A resident pool opens a new batch: replace the query-side
+                # state (the only per-batch piece of the fork-inherited
+                # task).  The store is rebuilt from its raw matrix — fresh
+                # locks, one contiguous chunk — and the cached query source
+                # is dropped so the next round snapshots the new store.
+                from repro.serving.snapshot import _store_from_parts
+
+                query_prepared, kind, matrix, n_hashes = pickle.loads(message[1])
+                task.query_prepared = query_prepared
+                task.query_store = _store_from_parts(kind, matrix, n_hashes)
+                stale = sources.pop(_QUERY_KEY, None)
+                if stale is not None:
+                    stale.close()
+                shard = None
+                result_queue.put(("ok", worker_id, True))
+            elif tag == "probe":
                 query_rows = message[1]
                 positions, rows = task.postings.probe_many(
                     task.query_store, query_rows, task.n_vectors
@@ -1425,17 +1578,41 @@ class ServingPool:
     worker loss — including losing every worker.
     """
 
+    #: publication-stream keys whose shared-memory segments are batch-scoped
+    #: (reclaimed early by a resident pool); empty for the per-call pool,
+    #: which unlinks everything at shutdown anyway.
+    _transient_keys: frozenset = frozenset()
+
     def __init__(self, n_workers: int, task: ServingTask, round_timeout: float | None = None):
         if n_workers < 2:
             raise ValueError(f"ServingPool needs n_workers >= 2, got {n_workers}")
+        self._requested_workers = int(n_workers)
+        self._round_timeout = None if round_timeout is None else float(round_timeout)
+        self._fork_pool(task)
+
+    def _fork_pool(self, task: ServingTask) -> None:
+        """Snapshot the fork-time store widths, then fork the worker set.
+
+        Publication of post-fork columns starts at the snapshotted bases;
+        the snapshot is taken *before* forking so a base can only
+        under-shoot a worker's fork-time width (benign overlap), never
+        over-shoot it (coverage gap).  A ``task.query_store`` of ``None``
+        (a resident pool forked between batches) publishes the query stream
+        from zero until the first batch installs its width.
+        """
         self._task = task
-        # Snapshot the fork-time store widths *before* forking: publication
-        # of post-fork columns starts at these bases.
-        self._bases = {_QUERY_KEY: int(task.query_store.n_hashes)}
+        self._bases = {
+            _QUERY_KEY: (
+                int(task.query_store.n_hashes) if task.query_store is not None else 0
+            )
+        }
         for index, segment in enumerate(task.segments.segments):
             self._bases[index] = int(segment.store.n_hashes)
         self._pool = _WorkerPool(
-            n_workers, _serving_worker_main, task, round_timeout=round_timeout
+            self._requested_workers,
+            _serving_worker_main,
+            task,
+            round_timeout=self._round_timeout,
         )
         self._exporters: dict = {}
 
@@ -1465,6 +1642,7 @@ class ServingPool:
                 store_produces_bits(store),
                 key=key,
                 base=self._bases.get(key, 0),
+                transient=key in self._transient_keys,
             )
             self._exporters[key] = exporter
         exporter.ensure(store, store.n_hashes)
@@ -1627,6 +1805,269 @@ class ServingPool:
     def shutdown(self) -> None:
         """Stop the workers and release the shared-memory segments."""
         self._pool.shutdown()
+
+    def release(self) -> None:
+        """End this pool's involvement in the current call.
+
+        For the per-call pool this is :meth:`shutdown`; a resident pool
+        overrides it to end the batch lease instead.  ``QueryIndex``'s
+        ``finally`` blocks call this one method for either pool kind.
+        """
+        self.shutdown()
+
+
+class ResidentServingPool(ServingPool):
+    """A self-healing :class:`ServingPool` that outlives individual calls.
+
+    Instead of forking (and paying full shared-memory export) per batched
+    call, the pool is forked once — workers keep the fork-inherited segment
+    columns warm across batches and receive only deltas: each batch ships
+    the new query state in one ``"batch"`` control message (the query store
+    travels as its raw matrix and is rebuilt worker-side with fresh locks),
+    and verification rounds publish only columns materialised after the
+    fork, through the same keyed base-offset streams as the per-call pool.
+    The probe/verify/rank methods are inherited unchanged, so a resident
+    batch is bit-identical to the per-call pool and to the serial path.
+
+    **Self-healing.**  A worker the supervisor retires (death, hang past the
+    batch's ``round_timeout``, in-task error) finishes the current batch on
+    the per-call pool's serial-fallback path, then its slot is *respawned*
+    at a later batch boundary after a capped exponential backoff
+    (``respawn_backoff * 2**(failures-1)``, capped at
+    ``respawn_backoff_cap``).  A slot that crash-loops —
+    ``max_worker_failures`` consecutive failures without completing a batch
+    — is quarantined for the pool's lifetime, degrading the pool to fewer
+    workers and, once no slot remains, to the serial path; both transitions
+    emit :class:`PoolDegradedWarning`.  A batch survived by a worker resets
+    its consecutive-failure count.
+
+    **Epochs.**  The pool records the index epoch it forked from; segment
+    churn (``insert``, posting rebuilds) bumps the index's epoch under its
+    update lock, and the index refreshes the pool (full re-fork via
+    :meth:`refresh`) before admitting the next batch — forked state is
+    copy-on-write, so without a refresh the workers would silently serve
+    the pre-churn corpus.  Quarantine and backoff state reset at refresh:
+    the replacement workers share nothing with the crash-looping ones.
+
+    Batches are serialised by an internal lease lock (concurrent
+    ``query_many`` callers queue up); acquire it through :meth:`lease` and
+    release via :meth:`end_batch`/:meth:`release`.
+    """
+
+    _transient_keys = frozenset({_QUERY_KEY})
+
+    def __init__(
+        self,
+        n_workers: int,
+        task: ServingTask,
+        round_timeout: float | None = None,
+        epoch: int = 0,
+        max_worker_failures: int = 3,
+        respawn_backoff: float = 0.1,
+        respawn_backoff_cap: float = 5.0,
+    ):
+        if max_worker_failures < 1:
+            raise ValueError(
+                f"max_worker_failures must be at least 1, got {max_worker_failures}"
+            )
+        self._max_worker_failures = int(max_worker_failures)
+        self._respawn_backoff = float(respawn_backoff)
+        self._respawn_backoff_cap = float(respawn_backoff_cap)
+        self._lease_lock = threading.Lock()
+        self._closed = False
+        self._warned_serial = False
+        self._respawn_total = 0
+        self._batches_served = 0
+        self._serial_batches = 0
+        self._refreshes = 0
+        self.epoch = int(epoch)
+        super().__init__(n_workers, task, round_timeout=round_timeout)
+        self._wire_supervision()
+
+    # ----------------------------- lifecycle ----------------------------- #
+    def _wire_supervision(self) -> None:
+        """(Re)attach healing state to a freshly forked worker set."""
+        n = self._requested_workers
+        self._consecutive_failures = [0] * n
+        self._respawn_at = [0.0] * n
+        self._quarantined: set[int] = set()
+        self._pool._on_retire = self._note_retire
+
+    def _note_retire(self, wid: int, reason: str) -> str:
+        """Decide a retired slot's fate; returns the decision for the warning.
+
+        Called by the worker pool's supervisor the moment it retires a
+        worker.  The current batch always completes via serial fallback;
+        this only schedules what happens to the slot at later batch
+        boundaries.
+        """
+        self._consecutive_failures[wid] += 1
+        failures = self._consecutive_failures[wid]
+        if failures >= self._max_worker_failures:
+            self._quarantined.add(wid)
+            live = len(self._pool.live_workers)
+            warnings.warn(
+                f"resident pool worker slot {wid} quarantined after {failures} "
+                f"consecutive failures; pool degraded to {live} live worker(s)",
+                PoolDegradedWarning,
+                stacklevel=2,
+            )
+            return f"quarantined after {failures} consecutive failures"
+        backoff = min(
+            self._respawn_backoff * (2 ** (failures - 1)), self._respawn_backoff_cap
+        )
+        self._respawn_at[wid] = time.monotonic() + backoff
+        return (
+            f"slot respawns at a later batch boundary after {backoff:.2f}s backoff "
+            f"(failure {failures}/{self._max_worker_failures})"
+        )
+
+    def _heal(self) -> None:
+        """Respawn retired slots whose backoff elapsed (quarantine excepted)."""
+        now = time.monotonic()
+        for wid in sorted(self._pool._dead):
+            if wid in self._quarantined or now < self._respawn_at[wid]:
+                continue
+            self._pool.respawn(wid)
+            self._respawn_total += 1
+            _faults.fire("pool_respawn", pool=self._pool, worker=wid)
+
+    def lease(
+        self,
+        query_prepared,
+        query_store,
+        round_timeout: float | None = None,
+        refresh=None,
+    ) -> "ResidentServingPool":
+        """Acquire the pool for one batch and install the batch's query state.
+
+        Serialises concurrent callers, then (optionally) runs ``refresh`` —
+        the index's epoch check, which may call :meth:`refresh` under the
+        index's update lock — and finally opens the batch with
+        :meth:`begin_batch`.  The caller must :meth:`release` (==
+        :meth:`end_batch`) in a ``finally`` block.
+        """
+        if self._closed:
+            raise RuntimeError("resident pool is closed")
+        self._lease_lock.acquire()
+        try:
+            if self._closed:
+                raise RuntimeError("resident pool is closed")
+            if refresh is not None:
+                refresh()
+            self.begin_batch(query_prepared, query_store, round_timeout=round_timeout)
+        except BaseException:
+            self._lease_lock.release()
+            raise
+        return self
+
+    def begin_batch(
+        self, query_prepared, query_store, round_timeout: float | None = None
+    ) -> None:
+        """Open a batch: heal slots, ship the query state, sync the workers.
+
+        The ``"batch"`` broadcast doubles as the full-pool queue barrier
+        that makes reclaiming the *previous* batch's query columns safe
+        (every live worker acks it, proving its queue drained past them).
+        Workers that fail at the hand-off are retired through the normal
+        supervision path; with no live worker left the batch runs serially
+        in the parent (the inherited methods already fall back when
+        ``scatter`` finds nobody), bit-identically.
+        """
+        self._heal()
+        self._pool.set_round_timeout(
+            self._round_timeout if round_timeout is None else float(round_timeout)
+        )
+        task = self._task
+        task.query_prepared = query_prepared
+        task.query_store = query_store
+        self._bases[_QUERY_KEY] = int(query_store.n_hashes)
+        self._exporters.pop(_QUERY_KEY, None)
+        self._batches_served += 1
+        live = self._pool.live_workers
+        if not live:
+            if not self._warned_serial:
+                self._warned_serial = True
+                warnings.warn(
+                    "resident pool has no live workers left; serving continues "
+                    "on the serial path (bit-identical, reduced throughput)",
+                    PoolDegradedWarning,
+                    stacklevel=2,
+                )
+            self._serial_batches += 1
+            return
+        from repro.serving.snapshot import _store_parts
+
+        blob = pickle.dumps((query_prepared, *_store_parts(query_store)))
+        self._pool.send(live, ("batch", blob))
+        try:
+            self._pool.collect(live, tag="batch")
+        except WorkerFailure:
+            # The failed workers are already retired (and counted by
+            # _note_retire); the survivors acked and serve the batch.
+            pass
+        self._pool.release_transient()
+
+    def end_batch(self) -> None:
+        """Close the batch: reset survivors' failure counts, free the lease."""
+        try:
+            for wid in self._pool.live_workers:
+                self._consecutive_failures[wid] = 0
+        finally:
+            self._lease_lock.release()
+
+    def release(self) -> None:
+        """End the current batch lease (the resident twin of ``shutdown``)."""
+        self.end_batch()
+
+    def refresh(self, task: ServingTask, epoch: int) -> None:
+        """Re-fork the worker set against post-churn index state.
+
+        Called by the index (under its update lock, with the lease held)
+        when the pool's epoch trails the index's: forked state is
+        copy-on-write, so segment churn is invisible to the old workers.
+        Tears the old worker set down — unlinking every shared segment —
+        and forks a fresh one that inherits the current segments/postings.
+        Healing state resets: the new workers share nothing with the old.
+        """
+        self._pool.shutdown()
+        self._fork_pool(task)
+        self._wire_supervision()
+        self.epoch = int(epoch)
+        self._refreshes += 1
+
+    def stats(self) -> dict:
+        """Pool-health snapshot for ops endpoints (all values JSON-safe).
+
+        Keys: ``epoch``, ``n_workers`` (configured), ``live_workers``,
+        ``quarantined`` (sorted slot ids), ``respawns`` (total),
+        ``consecutive_failures`` (per slot), ``batches_served``,
+        ``serial_batches``, ``refreshes``, ``closed``.
+        """
+        return {
+            "epoch": self.epoch,
+            "n_workers": self._requested_workers,
+            "live_workers": len(self._pool.live_workers),
+            "quarantined": sorted(self._quarantined),
+            "respawns": self._respawn_total,
+            "consecutive_failures": list(self._consecutive_failures),
+            "batches_served": self._batches_served,
+            "serial_batches": self._serial_batches,
+            "refreshes": self._refreshes,
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent; waits for a live batch)."""
+        with self._lease_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pool.shutdown()
+
+    def shutdown(self) -> None:
+        """Alias of :meth:`close`, matching the per-call pool's teardown name."""
+        self.close()
 
 
 def store_produces_bits(store) -> bool:

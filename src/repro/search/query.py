@@ -162,6 +162,8 @@ class QueryIndex:
         )
         self._wire_tables()
         self._update_lock = threading.Lock()
+        self._epoch = 0
+        self._resident = None
 
     @property
     def _banding_hashes(self) -> int:
@@ -315,6 +317,10 @@ class QueryIndex:
                 self._segments, alive_non_empty, self._n_signatures, self._signature_width
             )
             self._n_stale_postings = 0
+            # Forked resident workers hold the old postings object (their
+            # fork's copy-on-write view); bump the epoch so the next batch
+            # refreshes them onto the rebuilt, tombstone-free postings.
+            self._epoch += 1
 
     def _hash_queries(self, query_prepared: VectorCollection):
         """Hash the non-empty query rows to the banding width.
@@ -335,6 +341,28 @@ class QueryIndex:
         query_store = query_family.signatures(self._banding_hashes)
         return query_rows, query_family, query_store
 
+    def _serving_task(self, query_prepared, query_store):
+        """Build the fork-inherited worker state for the current index state.
+
+        The caller must hold the update lock: the task captures the segment
+        list, postings and row count as one consistent snapshot.  A resident
+        pool forked between batches passes ``None`` query state — the first
+        ``"batch"`` message installs it.
+        """
+        from repro.search.executor import ServingTask
+
+        return ServingTask(
+            segments=self._segments,
+            postings=self._postings,
+            query_prepared=query_prepared,
+            query_store=query_store,
+            min_matches=self._min_matches,
+            concentration=self._concentration,
+            posterior=self._posterior,
+            params=self._params,
+            n_vectors=self._segments.n_vectors,
+        )
+
     def _make_serving_pool(
         self, n_workers, query_prepared, query_store, round_timeout=None
     ):
@@ -349,26 +377,48 @@ class QueryIndex:
         postings (writers block for the few milliseconds of forking; other
         readers are unaffected).
         """
-        from repro.search.executor import ServingPool, ServingTask
+        from repro.search.executor import ServingPool
 
         with self._update_lock:
-            task = ServingTask(
-                segments=self._segments,
-                postings=self._postings,
-                query_prepared=query_prepared,
-                query_store=query_store,
-                min_matches=self._min_matches,
-                concentration=self._concentration,
-                posterior=self._posterior,
-                params=self._params,
-                n_vectors=self._segments.n_vectors,
-            )
+            task = self._serving_task(query_prepared, query_store)
             return ServingPool(n_workers, task, round_timeout=round_timeout)
 
-    @staticmethod
-    def _check_n_workers(n_workers) -> int:
+    def _lease_pool(self, n_workers, query_prepared, query_store, round_timeout):
+        """The pool serving this call: resident lease, per-call fork, or ``None``.
+
+        ``n_workers=None`` routes to the resident pool when one is attached
+        (serial otherwise); an explicit count keeps the historical per-call
+        semantics — ``1`` forces serial, ``> 1`` forks a throwaway
+        :class:`~repro.search.executor.ServingPool`.  A resident lease first
+        runs the epoch check under the update lock, re-forking the pool if
+        segment churn outdated its copy-on-write view.
+        """
         if n_workers is None:
-            return 1
+            resident = self._resident
+            if resident is None:
+                return None
+
+            def refresh():
+                with self._update_lock:
+                    if resident.epoch != self._epoch:
+                        resident.refresh(self._serving_task(None, None), self._epoch)
+
+            return resident.lease(
+                query_prepared,
+                query_store,
+                round_timeout=round_timeout,
+                refresh=refresh,
+            )
+        if n_workers > 1:
+            return self._make_serving_pool(
+                n_workers, query_prepared, query_store, round_timeout=round_timeout
+            )
+        return None
+
+    @staticmethod
+    def _check_n_workers(n_workers):
+        if n_workers is None:
+            return None  # defer to the resident pool when one is attached
         n_workers = int(n_workers)
         if n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
@@ -377,7 +427,7 @@ class QueryIndex:
     def _probe(
         self,
         query_prepared: VectorCollection,
-        n_workers: int = 1,
+        n_workers: int | None = 1,
         round_timeout: float | None = None,
     ):
         """Candidate ``(query row, collection row)`` pairs from the band index.
@@ -385,23 +435,19 @@ class QueryIndex:
         Only non-empty query rows probe, and tombstoned collection rows are
         filtered out.  Pairs come back deduplicated and sorted by
         ``(query row, collection row)``, together with the query batch's hash
-        family.  With ``n_workers > 1`` a
-        :class:`~repro.search.executor.ServingPool` is forked (after the
-        batch is hashed, so workers inherit every store) and probing is
-        sharded by query slice across its workers (bit-identical merge); the
-        pool is returned as the fourth element and the *caller* must shut it
-        down.  Any exception on this path shuts the pool down before
-        propagating, so no ``/dev/shm`` segment outlives the call.
+        family.  With a pool (a per-call fork for ``n_workers > 1``, or the
+        resident pool's batch lease for ``n_workers=None`` — see
+        :meth:`_lease_pool`) probing is sharded by query slice across its
+        workers (bit-identical merge); the pool is returned as the fourth
+        element and the *caller* must ``release()`` it.  Any exception on
+        this path releases the pool before propagating, so neither a
+        ``/dev/shm`` segment nor the resident lease outlives the call.
         """
         query_rows, query_family, query_store = self._hash_queries(query_prepared)
         if query_family is None:
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty, None, None
-        pool = None
-        if n_workers > 1:
-            pool = self._make_serving_pool(
-                n_workers, query_prepared, query_store, round_timeout=round_timeout
-            )
+        pool = self._lease_pool(n_workers, query_prepared, query_store, round_timeout)
         try:
             if pool is not None:
                 positions, rows = pool.probe(query_rows)
@@ -413,7 +459,7 @@ class QueryIndex:
             return query_rows[positions[keep]], rows[keep], query_family, pool
         except BaseException:
             if pool is not None:
-                pool.shutdown()
+                pool.release()
             raise
 
     # ------------------------------------------------------------------ #
@@ -539,7 +585,9 @@ class QueryIndex:
         ``n_workers > 1`` forks a shared-memory worker pool for this call and
         shards probing, verification and scoring across it — results are
         bit-identical to the serial batch for every worker count (see
-        ``docs/serving.md`` for when the fork overhead pays off).  Worker
+        ``docs/serving.md`` for when the fork overhead pays off).  Leaving
+        ``n_workers`` unset runs on the index's resident pool when
+        :meth:`start_pool` attached one (serial otherwise).  Worker
         loss degrades gracefully: failed shards re-execute serially in the
         parent with the same kernels, still bit-identical; ``round_timeout``
         bounds how long a silent-but-alive worker stalls the call before it
@@ -566,7 +614,7 @@ class QueryIndex:
                 keep = ~np.isnan(values) & (values > threshold)
         finally:
             if pool is not None:
-                pool.shutdown()
+                pool.release()
         return self._group_pairs(
             query_prepared.n_vectors, query_rows[keep], rows[keep], values[keep]
         )
@@ -626,7 +674,9 @@ class QueryIndex:
 
         ``n_workers > 1`` forks a shared-memory worker pool for this call and
         shards probing, verification and ranking across it, bit-identically
-        to the serial batch (see ``docs/serving.md``).  Worker loss degrades
+        to the serial batch (see ``docs/serving.md``); leaving it unset runs
+        on the resident pool when :meth:`start_pool` attached one (serial
+        otherwise).  Worker loss degrades
         gracefully — failed shards re-execute serially in the parent, still
         bit-identically — and ``round_timeout`` bounds how long a hung
         worker may stall the call (see "Operational robustness" in
@@ -658,7 +708,7 @@ class QueryIndex:
                 values = self._cross_exact(query_prepared, query_rows, rows, pool=pool)
         finally:
             if pool is not None:
-                pool.shutdown()
+                pool.release()
         grouped = self._group_pairs(n_queries, query_rows, rows, values)
         results: list[list[ScoredPair]] = []
         for scored in grouped:
@@ -688,6 +738,90 @@ class QueryIndex:
             n_workers=n_workers,
             round_timeout=round_timeout,
         )[0]
+
+    # ------------------------------------------------------------------ #
+    # resident pool lifecycle
+    # ------------------------------------------------------------------ #
+    def start_pool(
+        self,
+        n_workers: int = 2,
+        round_timeout: float | None = None,
+        max_worker_failures: int = 3,
+        respawn_backoff: float = 0.1,
+        respawn_backoff_cap: float = 5.0,
+    ):
+        """Attach a resident, self-healing worker pool to this index.
+
+        Once attached, every ``query``/``query_many``/``top_k``/
+        ``top_k_many`` call that leaves ``n_workers`` unset runs on the pool
+        — paying a per-batch control message instead of a per-call fork —
+        and stays bit-identical to the serial path.  An explicit
+        ``n_workers`` still behaves as before (``1`` forces serial, ``> 1``
+        forks a throwaway pool for that call).  Concurrent callers share
+        the pool; their batches serialise on its lease.
+
+        ``round_timeout`` is the default hung-worker deadline per gather
+        (overridable per call); ``max_worker_failures`` consecutive failures
+        quarantine a crash-looping worker slot, and failed slots otherwise
+        respawn at batch boundaries after a capped exponential backoff
+        (``respawn_backoff``/``respawn_backoff_cap`` seconds) — see
+        :class:`~repro.search.executor.ResidentServingPool`.
+
+        Returns the pool (handy for :meth:`pool_stats`-style inspection).
+        The pool must be shut down with :meth:`close` — or use the index as
+        a context manager.  Only one resident pool may be attached at a
+        time; ``insert`` and posting rebuilds are safe while it runs (the
+        epoch mechanism refreshes the pool before its next batch).
+        """
+        from repro.search.executor import ResidentServingPool
+
+        if self._resident is not None:
+            raise RuntimeError(
+                "a resident pool is already attached; close() it before "
+                "starting another"
+            )
+        with self._update_lock:
+            self._resident = ResidentServingPool(
+                n_workers,
+                self._serving_task(None, None),
+                round_timeout=round_timeout,
+                epoch=self._epoch,
+                max_worker_failures=max_worker_failures,
+                respawn_backoff=respawn_backoff,
+                respawn_backoff_cap=respawn_backoff_cap,
+            )
+        return self._resident
+
+    def close(self) -> None:
+        """Deterministically shut down the resident pool, if one is attached.
+
+        Waits for an in-flight batch, stops every worker and unlinks every
+        ``/dev/shm`` segment the pool published.  Idempotent; the index
+        remains fully usable afterwards on the serial path (or a fresh
+        :meth:`start_pool`).
+        """
+        resident = self._resident
+        self._resident = None
+        if resident is not None:
+            resident.close()
+
+    def pool_stats(self) -> dict | None:
+        """Resident-pool health (see ``ResidentServingPool.stats``), or ``None``.
+
+        Exposes ``live_workers``, ``quarantined``, ``respawns``, ``epoch``
+        and batch counters — the dict the serving daemon's ``stats``
+        endpoint reports under ``"pool"``.
+        """
+        resident = self._resident
+        return None if resident is None else resident.stats()
+
+    def __enter__(self) -> "QueryIndex":
+        """Context-manager entry; pairs with the :meth:`close` at exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: :meth:`close` the resident pool."""
+        self.close()
 
     # ------------------------------------------------------------------ #
     # incremental updates
@@ -742,6 +876,10 @@ class QueryIndex:
             # new rows.
             self._deleted = np.concatenate([self._deleted, np.zeros(n_new, dtype=bool)])
             self._postings.add(self._segments, new_rows[segment.prepared.row_nnz > 0])
+            # Segment churn invalidates forked resident workers (they serve
+            # a copy-on-write view of the pre-insert corpus); the epoch bump
+            # makes the pool refresh before it admits another batch.
+            self._epoch += 1
             return new_rows
 
     def delete(self, rows) -> int:
@@ -828,6 +966,8 @@ class QueryIndex:
         )
         index._wire_tables()
         index._update_lock = threading.Lock()
+        index._epoch = 0
+        index._resident = None
         return index
 
     def save(self, path, compact: bool = False):

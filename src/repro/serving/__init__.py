@@ -15,14 +15,29 @@ into something a long-running process can operate:
   archives raise :class:`~repro.serving.snapshot.SnapshotCorruptError`
   instead of loading wrong data, and
   :class:`~repro.serving.snapshot.SnapshotStore` adds a rolling directory
-  with a ``LATEST`` pointer and load-time rollback past corrupt files.
+  with a ``LATEST`` pointer and load-time rollback past corrupt files;
+* **resident daemon** (:mod:`repro.serving.daemon` /
+  :mod:`repro.serving.client`) — a unix-socket server that coalesces
+  concurrent single-query requests into batched index calls under a
+  latency window, with bounded-queue admission control (typed
+  :class:`~repro.serving.daemon.Overloaded` rejection), per-request
+  deadlines propagated into ``round_timeout``, exact→estimate shedding
+  under pressure, and health/readiness/stats/snapshot/drain ops endpoints.
 
 See ``docs/serving.md`` for the operational guide (snapshot format and
 version history, staleness budget, compaction semantics, the batched-query
-API, the estimate-vs-exact top-k trade-off, and the operational-robustness
-contract).
+API, the estimate-vs-exact top-k trade-off, the operational-robustness
+contract, and the daemon runbook).
 """
 
+from repro.serving.client import DaemonClient
+from repro.serving.daemon import (
+    DaemonError,
+    DeadlineExceeded,
+    Draining,
+    Overloaded,
+    ServingDaemon,
+)
 from repro.serving.segments import CollectionSegment, SegmentedCollection
 from repro.serving.snapshot import (
     SNAPSHOT_FORMAT,
@@ -35,9 +50,15 @@ from repro.serving.snapshot import (
 
 __all__ = [
     "CollectionSegment",
+    "DaemonClient",
+    "DaemonError",
+    "DeadlineExceeded",
+    "Draining",
+    "Overloaded",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SegmentedCollection",
+    "ServingDaemon",
     "SnapshotCorruptError",
     "SnapshotStore",
     "load_query_index",

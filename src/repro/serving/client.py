@@ -1,0 +1,167 @@
+"""Synchronous client for the resident serving daemon.
+
+:class:`DaemonClient` speaks the JSON-lines protocol of
+:class:`~repro.serving.daemon.ServingDaemon` over a unix-domain socket:
+one request object per line out, one response object per line back.
+Failures the daemon reports are re-raised as the daemon's typed errors
+(:class:`~repro.serving.daemon.Overloaded`,
+:class:`~repro.serving.daemon.DeadlineExceeded`,
+:class:`~repro.serving.daemon.Draining`) so callers can branch on
+exception type instead of parsing messages.
+
+The client is deliberately small and dependency-free: one socket, one
+buffered reader, blocking calls.  Drive concurrency by giving each thread
+its own client — the daemon coalesces across connections, not within one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serving.daemon import (
+    DaemonError,
+    DeadlineExceeded,
+    Draining,
+    Overloaded,
+    encode_vector,
+)
+
+__all__ = ["DaemonClient"]
+
+_ERRORS = {
+    "overloaded": Overloaded,
+    "deadline": DeadlineExceeded,
+    "draining": Draining,
+}
+
+
+class DaemonClient:
+    """Blocking unix-socket client for :class:`ServingDaemon`.
+
+    Parameters
+    ----------
+    socket_path:
+        The daemon's unix-domain socket path.
+    timeout:
+        Socket timeout in seconds for connect and each round trip
+        (``None`` blocks forever).  This is a transport guard, distinct
+        from the daemon-enforced per-request ``deadline_ms``.
+
+    The last full response object is kept on :attr:`last_response` so
+    callers can inspect fields beyond the result — most usefully the
+    ``degraded`` flag set when the daemon shed an exact ranking request
+    to estimate ranking under load.
+    """
+
+    def __init__(self, socket_path, timeout: float | None = 30.0):
+        self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._socket.settimeout(timeout)
+        self._socket.connect(str(socket_path))
+        self._reader = self._socket.makefile("rb")
+        self.last_response: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _call(self, request: dict) -> dict:
+        """One request/response round trip; raises typed daemon errors."""
+        self._socket.sendall(json.dumps(request).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise DaemonError("connection closed by daemon")
+        response = json.loads(line)
+        self.last_response = response
+        if not response.get("ok", False) and "error" in response:
+            error_cls = _ERRORS.get(response["error"], DaemonError)
+            raise error_cls(response.get("message", response["error"]))
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        except Exception:
+            pass
+        try:
+            self._socket.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        """Context-manager entry: returns the connected client."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, vector, threshold=None, deadline_ms=None):
+        """All-pairs matches for one vector: ``[[row, similarity], ...]``.
+
+        Bit-identical to ``QueryIndex.query`` on the same vector.  Raises
+        :class:`Overloaded`, :class:`DeadlineExceeded` or :class:`Draining`
+        when the daemon rejects or misses the request.
+        """
+        request = {"op": "query", "vector": encode_vector(vector)}
+        if threshold is not None:
+            request["threshold"] = float(threshold)
+        if deadline_ms is not None:
+            request["deadline_ms"] = float(deadline_ms)
+        return self._call(request)["result"]
+
+    def top_k(
+        self,
+        vector,
+        k: int = 10,
+        floor_threshold: float = 0.1,
+        rank_by: str = "exact",
+        deadline_ms=None,
+    ):
+        """Top-k neighbours for one vector: ``[[row, similarity], ...]``.
+
+        Mirrors ``QueryIndex.top_k``; under daemon load the request may be
+        shed from exact to estimate ranking, flagged by
+        ``last_response["degraded"]``.
+        """
+        request = {
+            "op": "top_k",
+            "vector": encode_vector(vector),
+            "k": int(k),
+            "floor_threshold": float(floor_threshold),
+            "rank_by": rank_by,
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = float(deadline_ms)
+        return self._call(request)["result"]
+
+    # ------------------------------------------------------------------ #
+    # ops
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """Liveness probe: ``{"ok": true, "serving": ..., "draining": ...}``."""
+        return self._call({"op": "health"})
+
+    def ready(self) -> dict:
+        """Readiness probe: ok iff the batcher is accepting work."""
+        return self._call({"op": "ready"})
+
+    def stats(self) -> dict:
+        """The daemon's serving counters, config and pool health dict."""
+        return self._call({"op": "stats"})["stats"]
+
+    def snapshot(self) -> str:
+        """Trigger a crash-safe snapshot; returns the snapshot path."""
+        return self._call({"op": "snapshot"})["path"]
+
+    def drain(self) -> dict:
+        """Graceful shutdown: finish admitted work, then stop the daemon.
+
+        New requests are rejected with :class:`Draining` from the moment
+        this is called; the call returns once every admitted request has
+        been answered and the daemon has begun shutting down.
+        """
+        return self._call({"op": "drain"})

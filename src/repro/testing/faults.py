@@ -1,10 +1,24 @@
-"""Fault-injection harness for the worker pools and the snapshot writer.
+"""Fault-injection harness for the worker pools, daemon and snapshot writer.
 
 The production code carries a handful of *injection seams*: at well-defined
-points (worker-pool start, each verification round, the window between a
-snapshot's temp-file write and its atomic rename) it calls :func:`fire`,
-which is a no-op unless a test has installed a :class:`FaultPlan` via
-:func:`inject`.  A plan schedules faults against those seams:
+points it calls :func:`fire`, which is a no-op unless a test has installed
+a :class:`FaultPlan` via :func:`inject`.  The seams are:
+
+* ``pool_start`` — a worker pool just forked (installs queue faults);
+* ``serving_round`` / ``allpairs_round`` — one verification round is about
+  to be dispatched (``round_index`` in the info dict);
+* ``pool_respawn`` — a resident pool just respawned a dead worker slot
+  (fires after the fresh process started, before the next batch uses it);
+* ``daemon_admit`` — the daemon admitted one request into its queue;
+* ``daemon_batch`` — the daemon is about to execute a coalesced batch
+  (``round_index`` is the batch counter, ``pool`` the resident pool's
+  worker pool or ``None`` when serving serially, ``batch_size`` the number
+  of live requests) — killing a worker here is the canonical
+  "kill mid-batch with waiting clients" scenario;
+* ``snapshot_replace`` — the window between a snapshot's temp-file write
+  and its atomic rename.
+
+A plan schedules faults against those seams:
 
 * :meth:`FaultPlan.kill_worker` — SIGKILL a chosen worker when a chosen
   event fires (e.g. round 2 of a serving verification), simulating an OOM
@@ -243,7 +257,9 @@ class FaultPlan:
     def _execute(self, action: dict, info: dict) -> None:
         kind = action["kind"]
         if kind in ("kill", "hang", "delay"):
-            pool = info["pool"]
+            pool = info.get("pool")
+            if pool is None:
+                return  # seam fired without a pool (e.g. serial daemon batch)
             worker = action["worker"]
             if worker >= len(pool._processes):
                 return

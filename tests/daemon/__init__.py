@@ -1,0 +1,1 @@
+"""Resident serving daemon suite: coalescing, admission, ops, degradation."""

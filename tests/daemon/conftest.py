@@ -1,0 +1,46 @@
+"""Shared builders for the daemon suite.
+
+Every test here drives a real :class:`ServingDaemon` over a real unix
+socket from real client threads — no mocked transport — because the
+bit-identity claim is about the whole path: JSON wire encoding, daemon-side
+CSR reconstruction, window coalescing, batched execution, and the response
+encoding back.  The corpus mirrors the fault-suite fixtures (planted
+near-duplicates, multiple segments, tombstones) so thresholded queries have
+true positives and verification runs real rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search.query import QueryIndex
+
+from tests.faults.conftest import planted_collection
+
+
+@pytest.fixture()
+def index() -> QueryIndex:
+    """A fresh multi-segment bayes index (function-scoped: daemons mutate it)."""
+    corpus = planted_collection(29, n=70)
+    built = QueryIndex(corpus[:40], measure="cosine", threshold=0.6, seed=13)
+    built.insert(corpus[40:])
+    built.delete([2, 40])
+    return built
+
+
+@pytest.fixture()
+def batch() -> np.ndarray:
+    queries = planted_collection(31, n=8)
+    queries[:3] = planted_collection(29, n=70)[:3]
+    return queries
+
+
+@pytest.fixture()
+def socket_path(tmp_path) -> str:
+    return str(tmp_path / "daemon.sock")
+
+
+def as_pairs(scored) -> list:
+    """Serial-oracle results in the daemon's wire shape."""
+    return [[int(pair.j), float(pair.similarity)] for pair in scored]
