@@ -185,6 +185,17 @@ class SignatureStore(ABC):
             return 0.0
         return self.count_matches(i, j, 0, n) / n
 
+    def rebind(self, backing: np.ndarray) -> None:
+        """Swap the store's backing matrix for an equal-valued replacement.
+
+        Used by the spill path to move a store's signatures onto a read-only
+        memory map of the flat snapshot just written from it (see
+        :meth:`_ChunkedMatrix.rebind` for the invariants).  The store object
+        — and every family clone holding a reference to it — is unchanged;
+        only where the words live moves.
+        """
+        self._matrix.rebind(np.asarray(backing))
+
 
 class _ChunkedMatrix:
     """A matrix of signature columns grown by appending column blocks.
@@ -251,6 +262,36 @@ class _ChunkedMatrix:
         if columns.flags.c_contiguous:
             return columns
         return np.ascontiguousarray(columns)
+
+    def rebind(self, backing: np.ndarray) -> None:
+        """Replace the consolidated chunk with an equal-valued backing array.
+
+        The spill path rebinds a store to the read-only memory map of the
+        flat-snapshot file that was just serialised from it.  The matrix must
+        already be consolidated to a single chunk (serialisation consolidates
+        as a side effect) and ``backing`` must match its shape and dtype
+        exactly; values are assumed identical because the backing *is* the
+        serialised copy.  Readers are unaffected mid-swap: both arrays are
+        immutable and hold the same bits.
+        """
+        with self._lock:
+            if not self._chunks:
+                if backing.shape[1] != 0:
+                    raise ValueError(
+                        f"cannot rebind an empty matrix to shape {backing.shape}"
+                    )
+                return
+            if len(self._chunks) != 1:
+                raise ValueError(
+                    "rebind requires a consolidated matrix; call consolidated() first"
+                )
+            current = self._chunks[0]
+            if backing.shape != current.shape or backing.dtype != current.dtype:
+                raise ValueError(
+                    f"backing of shape {backing.shape} dtype {backing.dtype} does not "
+                    f"match chunk of shape {current.shape} dtype {current.dtype}"
+                )
+            self._chunks = [backing]
 
     def extend_rows(self, block: np.ndarray) -> None:
         """Append rows below the existing ones (the column count must match).

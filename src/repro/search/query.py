@@ -156,6 +156,7 @@ class QueryIndex:
         self._next_default_id = self._initial_next_default_id()
         self._deleted = np.zeros(first.n_vectors, dtype=bool)
         self._n_stale_postings = 0
+        self._postings_lock = threading.Lock()
         non_empty = np.flatnonzero(first.prepared.row_nnz > 0)
         self._postings = BandPostings.build(
             self._segments, non_empty, self._n_signatures, self._signature_width
@@ -183,20 +184,48 @@ class QueryIndex:
             return max(int(existing.max()) + 1, self._segments.n_vectors)
         return self._segments.n_vectors
 
-    def _wire_tables(self) -> None:
-        """(Re)build the BayesLSH decision machinery shared across queries.
+    def _wire_tables(self, defer: bool = False) -> None:
+        """(Re)initialise the BayesLSH decision machinery shared across queries.
 
-        Deterministic functions of the parameters, so snapshots never need to
-        serialise them.
+        The posterior, the min-matches pruning table and the concentration
+        cache are deterministic functions of the index parameters, so
+        snapshots never serialise them.  With ``defer=True`` (the snapshot
+        load path) even the computation is postponed to the first query —
+        the tables cost tens of milliseconds regardless of corpus size,
+        which would otherwise dominate a memory-mapped cold start.
         """
-        params = self._params
-        self._posterior = make_posterior(self._measure.name)
-        self._min_matches = MinMatchesTable(
-            self._posterior, self._threshold, params.epsilon, params.k, params.max_hashes
-        )
-        self._concentration = ConcentrationCache(
-            self._posterior, params.delta, params.gamma
-        )
+        self._tables_lock = threading.Lock()
+        self._tables: tuple | None = None
+        if not defer:
+            self._build_tables()
+
+    def _build_tables(self) -> tuple:
+        """Materialise the decision tables exactly once (thread-safe)."""
+        with self._tables_lock:
+            if self._tables is None:
+                params = self._params
+                posterior = make_posterior(self._measure.name)
+                min_matches = MinMatchesTable(
+                    posterior, self._threshold, params.epsilon, params.k, params.max_hashes
+                )
+                concentration = ConcentrationCache(posterior, params.delta, params.gamma)
+                self._tables = (posterior, min_matches, concentration)
+            return self._tables
+
+    @property
+    def _posterior(self):
+        """The similarity posterior (lazily built after a snapshot load)."""
+        return (self._tables or self._build_tables())[0]
+
+    @property
+    def _min_matches(self):
+        """The min-matches pruning table (lazily built after a snapshot load)."""
+        return (self._tables or self._build_tables())[1]
+
+    @property
+    def _concentration(self):
+        """The posterior concentration cache (lazily built after a snapshot load)."""
+        return (self._tables or self._build_tables())[2]
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -291,6 +320,62 @@ class QueryIndex:
     # ------------------------------------------------------------------ #
     # candidate generation
     # ------------------------------------------------------------------ #
+    @property
+    def _postings(self):
+        """The band postings, built lazily on first use after a snapshot load.
+
+        A loaded index carries only the postings' *member sequence*; the
+        posting dictionaries themselves are a deterministic function of it
+        and are rebuilt here on the first probe (or insert) instead of at
+        load time — which is what keeps a memory-mapped load a millisecond
+        cold start.  Building is identical to the eager path bit for bit;
+        only *when* the O(N) band-key gather runs changes.
+        """
+        postings = self._postings_obj
+        if postings is None:
+            postings = self._build_postings()
+        return postings
+
+    @_postings.setter
+    def _postings(self, value) -> None:
+        # Publish the built postings before retiring the pending member
+        # sequence, so a racing ``_postings_members`` reader always finds
+        # one of the two.
+        self._postings_obj = value
+        self._lazy_postings_members = None
+
+    def _build_postings(self):
+        """Materialise lazily-restored postings exactly once (thread-safe).
+
+        Serialises on a dedicated lock (not the update lock) so an
+        ``insert`` holding the update lock can trigger the build without
+        deadlocking, while concurrent readers build at most once.
+        """
+        with self._postings_lock:
+            if self._postings_obj is None:
+                self._postings = BandPostings.build(
+                    self._segments,
+                    self._lazy_postings_members,
+                    self._n_signatures,
+                    self._signature_width,
+                )
+            return self._postings_obj
+
+    def _postings_members(self) -> np.ndarray:
+        """The postings' member sequence without forcing a lazy build.
+
+        Snapshot writers serialise only this sequence; when the postings
+        have not been materialised yet it *is* the pending restored array,
+        so saving a freshly mmap-loaded index never pays the build.
+        """
+        postings = self._postings_obj
+        if postings is None:
+            members = self._lazy_postings_members
+            if members is not None:
+                return members
+            postings = self._postings_obj  # a racing build just published
+        return postings.members
+
     def _maybe_rebuild_postings(self) -> None:
         """Lazily rebuild the band postings once past the staleness budget.
 
@@ -952,7 +1037,7 @@ class QueryIndex:
         index._family = index._segments.family
         index._family.restore_state(family_state)
         for collection, store, ids in segments_data:
-            index._segments.append_restored(collection, store, ids=ids)
+            index._segments.append_restored(collection, store, ids=ids, defer=True)
         if len(deleted) != index._segments.n_vectors:
             raise ValueError(
                 f"tombstone mask covers {len(deleted)} rows, collection has "
@@ -961,22 +1046,33 @@ class QueryIndex:
         index._next_default_id = index._initial_next_default_id()
         index._deleted = deleted
         index._n_stale_postings = int(meta["n_stale_postings"])
-        index._postings = BandPostings.build(
-            index._segments, postings_members, index._n_signatures, index._signature_width
-        )
-        index._wire_tables()
+        # Defer the O(N) postings build to first use: only the member
+        # sequence is snapshot state, the dictionaries are a deterministic
+        # function of it.  This is what makes loading — especially the
+        # memory-mapped flat layout — a constant-time cold start.
+        index._postings_lock = threading.Lock()
+        index._postings_obj = None
+        index._lazy_postings_members = postings_members
+        index._wire_tables(defer=True)
         index._update_lock = threading.Lock()
         index._epoch = 0
         index._resident = None
         return index
 
-    def save(self, path, compact: bool = False):
-        """Write a versioned snapshot of the index to ``path`` (``.npz``).
+    def save(self, path, compact: bool = False, layout: str | None = None):
+        """Write a versioned snapshot of the index to ``path``.
 
-        See :mod:`repro.serving.snapshot` for the format; loading the file
+        See :mod:`repro.serving.snapshot` for the format; loading the result
         with :meth:`load` reproduces this index bit for bit — including the
         hash family's RNG position, so even hash functions drawn *after* the
         round trip are identical on both sides.
+
+        ``layout`` selects the on-disk layout: ``"npz"`` (the default, a
+        single compressed archive) or ``"flat"`` (a directory of raw array
+        files plus a CRC-manifested header that :meth:`load` can memory-map
+        for a millisecond cold start).  ``None`` defers to the
+        ``REPRO_STORAGE`` environment toggle.  Both layouts carry identical
+        state and are written crash-safely (temp + fsync + atomic rename).
 
         With ``compact=True`` the snapshot is written in **compacted** form:
         all segments are merged into one and tombstoned rows are physically
@@ -987,11 +1083,57 @@ class QueryIndex:
         """
         from repro.serving.snapshot import save_query_index
 
-        return save_query_index(self, path, compact=compact)
+        return save_query_index(self, path, compact=compact, layout=layout)
 
     @classmethod
-    def load(cls, path) -> "QueryIndex":
-        """Load an index previously written by :meth:`save`."""
+    def load(cls, path, storage: str | None = None) -> "QueryIndex":
+        """Load an index previously written by :meth:`save`.
+
+        ``storage`` picks the backend for flat-layout snapshots: ``"ram"``
+        reads every array into memory and verifies the full per-array CRCs,
+        ``"mmap"`` memory-maps the files read-only so pages fault in on
+        demand (out-of-core serving, millisecond cold start).  ``None``
+        defers to the ``REPRO_STORAGE`` environment toggle; ``.npz``
+        snapshots always load into RAM.  Either way the loaded index is
+        bit-identical.
+        """
         from repro.serving.snapshot import load_query_index
 
-        return load_query_index(path)
+        return load_query_index(path, storage=storage)
+
+    def spill(self, path) -> "QueryIndex":
+        """Spill the sealed segment data to a flat snapshot and serve it mmap.
+
+        Writes a flat-layout snapshot at ``path`` (consolidating segments'
+        signature chunks in the process) and rebinds this index's segment
+        backing arrays — CSR components, external ids, signature words — to
+        read-only memory maps of the files just written.  Answers are
+        bit-identical before and after; the difference is residency: the
+        spilled columns leave the Python heap and fault back in on demand.
+
+        Prepared similarity views and band postings stay in RAM — they are
+        derived, query-hot state, and rebuilding them lazily is the job of
+        :meth:`load`, not ``spill``.  The index remains fully updatable;
+        inserts append new in-RAM chunks after the mmap-backed ones.
+
+        Returns ``self`` for chaining.
+        """
+        from repro.serving import storage as flat_storage
+        from repro.serving.snapshot import SNAPSHOT_VERSION, _snapshot_payload
+
+        with self._update_lock:
+            meta, arrays = _snapshot_payload(self, compact=False)
+            flat_storage.write_flat(path, SNAPSHOT_VERSION, meta, arrays)
+            _, _, restored_arrays = flat_storage.read_flat(path, storage="mmap")
+            for number, segment in enumerate(self._segments.segments):
+                prefix = f"seg{number}_"
+                components = (
+                    restored_arrays[prefix + "collection_data"],
+                    restored_arrays[prefix + "collection_indices"],
+                    restored_arrays[prefix + "collection_indptr"],
+                )
+                shape = tuple(restored_arrays[prefix + "collection_shape"])
+                ids = restored_arrays[prefix + "collection_ids"]
+                segment.rebind_backing(components, shape, ids, restored_arrays[prefix + "store"])
+            self._epoch += 1
+        return self

@@ -8,14 +8,20 @@ into something a long-running process can operate:
   ``insert`` costs O(batch) instead of an O(N) re-concatenation, while every
   query kernel routes global rows segment-wise with bit-identical results;
 * **versioned snapshots** (:mod:`repro.serving.snapshot`) — pickle-free
-  ``.npz`` archives that round-trip the whole index including the hash
-  family's RNG stream position, with optional compaction (merge segments,
-  drop tombstoned rows) at save time.  Writes are atomic (temp file +
-  fsync + rename) and every array member is CRC32-checksummed; malformed
-  archives raise :class:`~repro.serving.snapshot.SnapshotCorruptError`
-  instead of loading wrong data, and
-  :class:`~repro.serving.snapshot.SnapshotStore` adds a rolling directory
-  with a ``LATEST`` pointer and load-time rollback past corrupt files;
+  archives that round-trip the whole index including the hash family's RNG
+  stream position, with optional compaction (merge segments, drop
+  tombstoned rows) at save time.  Two on-disk layouts carry the same state:
+  the compressed ``.npz`` archive and the **flat layout**
+  (:mod:`repro.serving.storage`), a directory of raw array files plus a
+  CRC-manifested header that loads either into RAM or as read-only memory
+  maps (``storage="mmap"``) for out-of-core serving and millisecond cold
+  starts.  Writes are atomic (temp file + fsync + rename; the flat layout
+  commits through its manifest) and every array member is
+  CRC32-checksummed; malformed archives raise
+  :class:`~repro.serving.snapshot.SnapshotCorruptError` instead of loading
+  wrong data, and :class:`~repro.serving.snapshot.SnapshotStore` adds a
+  rolling directory with a ``LATEST`` pointer and load-time rollback past
+  corrupt files;
 * **resident daemon** (:mod:`repro.serving.daemon` /
   :mod:`repro.serving.client`) — a unix-socket server that coalesces
   concurrent single-query requests into batched index calls under a
@@ -47,6 +53,16 @@ from repro.serving.snapshot import (
     load_query_index,
     save_query_index,
 )
+from repro.serving.storage import (
+    FLAT_FORMAT,
+    FLAT_VERSION,
+    STORAGE_ENV,
+    default_layout,
+    default_storage,
+    is_flat_snapshot,
+    read_flat,
+    write_flat,
+)
 
 __all__ = [
     "CollectionSegment",
@@ -54,13 +70,21 @@ __all__ = [
     "DaemonError",
     "DeadlineExceeded",
     "Draining",
+    "FLAT_FORMAT",
+    "FLAT_VERSION",
     "Overloaded",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "STORAGE_ENV",
     "SegmentedCollection",
     "ServingDaemon",
     "SnapshotCorruptError",
     "SnapshotStore",
+    "default_layout",
+    "default_storage",
+    "is_flat_snapshot",
     "load_query_index",
+    "read_flat",
     "save_query_index",
+    "write_flat",
 ]

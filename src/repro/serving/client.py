@@ -153,9 +153,17 @@ class DaemonClient:
         """The daemon's serving counters, config and pool health dict."""
         return self._call({"op": "stats"})["stats"]
 
-    def snapshot(self) -> str:
-        """Trigger a crash-safe snapshot; returns the snapshot path."""
-        return self._call({"op": "snapshot"})["path"]
+    def snapshot(self, layout: str | None = None) -> str:
+        """Trigger a crash-safe snapshot; returns the snapshot path.
+
+        ``layout`` optionally picks the on-disk layout (``"npz"`` or
+        ``"flat"``); ``None`` leaves the choice to the daemon's snapshot
+        store (the ``REPRO_STORAGE`` environment default).
+        """
+        request: dict = {"op": "snapshot"}
+        if layout is not None:
+            request["layout"] = layout
+        return self._call(request)["path"]
 
     def drain(self) -> dict:
         """Graceful shutdown: finish admitted work, then stop the daemon.

@@ -426,7 +426,7 @@ class ServingDaemon:
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
         if op == "snapshot":
-            return await self._handle_snapshot()
+            return await self._handle_snapshot(request)
         if op == "drain":
             return await self._handle_drain()
         self._stats["bad_requests"] += 1
@@ -524,16 +524,24 @@ class ServingDaemon:
             "pool": self._index.pool_stats(),
         }
 
-    async def _handle_snapshot(self) -> dict:
+    async def _handle_snapshot(self, request: dict) -> dict:
         if self._snapshots is None:
             return {
                 "ok": False,
                 "error": "bad_request",
                 "message": "no snapshot store configured",
             }
+        layout = request.get("layout")
+        if layout is not None and layout not in ("npz", "flat"):
+            return {
+                "ok": False,
+                "error": "bad_request",
+                "message": f"layout must be 'npz' or 'flat', got {layout!r}",
+            }
         loop = asyncio.get_running_loop()
         path = await loop.run_in_executor(
-            self._executor, functools.partial(self._snapshots.save, self._index)
+            self._executor,
+            functools.partial(self._snapshots.save, self._index, layout=layout),
         )
         return {"ok": True, "path": str(path)}
 

@@ -63,6 +63,7 @@ reads are lock-free (per-store gather scratch is thread-local).  Stressed by
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -84,23 +85,112 @@ class CollectionSegment:
     :meth:`SegmentedCollection.append_restored` (snapshot load) and are
     never mutated afterwards, except for lazily extending the signature
     store with more hash *columns* (never rows) via :meth:`ensure_hashes`.
+
+    Restored segments may be built **deferred** (``prepared``/``family``
+    passed as ``None`` with the measure and master family in ``deferred``):
+    the prepared view and the family clone are then derived on first access
+    instead of at load time.  Both are deterministic functions of the raw
+    collection and the master's state — a clone taken later re-draws the
+    same hash functions by the determinism contract — so deferral changes
+    *when* the O(nnz) preparation cost is paid (first query touching the
+    segment), never what any kernel computes.  This is what makes a
+    memory-mapped snapshot load a millisecond cold start: nothing faults
+    the raw vectors in until a query actually needs them.
     """
 
     def __init__(
         self,
         collection: VectorCollection,
-        prepared: VectorCollection,
-        family: HashFamily,
+        prepared: VectorCollection | None,
+        family: HashFamily | None,
         store: SignatureStore,
         offset: int,
         ids: np.ndarray,
+        deferred: tuple[SimilarityMeasure, HashFamily] | None = None,
     ):
+        if (prepared is None or family is None) and deferred is None:
+            raise ValueError(
+                "a segment without a prepared view/family clone needs the "
+                "(measure, master family) pair to derive them from"
+            )
         self.collection = collection
-        self.prepared = prepared
-        self.family = family
+        self._prepared = prepared
+        self._family = family
+        self._deferred = deferred
+        self._materialize_lock = threading.Lock()
         self.store = store
         self.offset = int(offset)
         self.ids = ids
+
+    @property
+    def prepared(self) -> VectorCollection:
+        """The measure's prepared view of this segment (derived on first use)."""
+        prepared = self._prepared
+        if prepared is None:
+            self._materialize()
+            prepared = self._prepared
+        return prepared
+
+    @property
+    def family(self) -> HashFamily:
+        """This segment's hash-family clone (derived on first use)."""
+        family = self._family
+        if family is None:
+            self._materialize()
+            family = self._family
+        return family
+
+    def _materialize(self) -> None:
+        """Derive the deferred prepared view and family clone, exactly once.
+
+        Thread-safe: concurrent readers serialise on the segment's
+        materialisation lock, and the family is published after the prepared
+        view so a lock-free reader of either attribute always sees it fully
+        built.  The clone attaches the segment's restored store, resuming
+        lazy hash extension exactly where the snapshot left off.
+        """
+        with self._materialize_lock:
+            if self._family is not None:
+                return
+            measure, master = self._deferred
+            prepared = measure.prepare(self.collection)
+            family = master.clone_for(prepared)
+            family.attach_store(self.store)
+            self._prepared = prepared
+            self._family = family
+
+    def rebind_backing(
+        self,
+        components: tuple[np.ndarray, np.ndarray, np.ndarray],
+        shape: tuple[int, int],
+        ids: np.ndarray,
+        store_backing: np.ndarray,
+    ) -> None:
+        """Swap this segment's raw arrays for equal-valued replacements.
+
+        The spill path calls this after writing a flat snapshot: the CSR
+        components, external ids and signature words are rebound to the
+        read-only memory maps of the files just written, releasing the heap
+        copies.  The replacements must be bit-identical to the current
+        arrays (they were just serialised from them), so every kernel —
+        verification gathers, band-key gathers, id lookups — reads the same
+        values from the new backing.
+
+        The prepared view and family clone, if already materialised, are
+        intentionally left untouched: they are derived, query-hot state and
+        keep serving from RAM (for binary collections the prepared view *is*
+        the old collection object, which then stays resident — spill trades
+        only the raw backing, not derived views).
+        """
+        n_before = self.collection.n_vectors
+        self.collection = VectorCollection.restored(components, shape, ids=ids)
+        if self.collection.n_vectors != n_before:
+            raise ValueError(
+                f"replacement backing has {self.collection.n_vectors} rows, "
+                f"segment owns {n_before}"
+            )
+        self.ids = np.asarray(ids)
+        self.store.rebind(store_backing)
 
     @property
     def n_vectors(self) -> int:
@@ -276,10 +366,11 @@ class SegmentedCollection:
     def _seal(
         self,
         collection: VectorCollection,
-        prepared: VectorCollection,
-        family: HashFamily,
+        prepared: VectorCollection | None,
+        family: HashFamily | None,
         store: SignatureStore,
         ids,
+        deferred: tuple | None = None,
     ) -> CollectionSegment:
         ids = np.asarray(ids if ids is not None else collection.ids)
         if len(ids) != collection.n_vectors:
@@ -288,7 +379,13 @@ class SegmentedCollection:
                 f"{collection.n_vectors} rows"
             )
         segment = CollectionSegment(
-            collection, prepared, family, store, offset=self.n_vectors, ids=ids
+            collection,
+            prepared,
+            family,
+            store,
+            offset=self.n_vectors,
+            ids=ids,
+            deferred=deferred,
         )
         # Publication order matters for lock-free readers: the offsets table
         # (which defines n_vectors and hence which global rows exist) is
@@ -320,17 +417,35 @@ class SegmentedCollection:
         return self._seal(collection, prepared, family, store, ids)
 
     def append_restored(
-        self, collection: VectorCollection, store: SignatureStore, ids=None
+        self,
+        collection: VectorCollection,
+        store: SignatureStore,
+        ids=None,
+        defer: bool = False,
     ) -> CollectionSegment:
         """Re-attach a deserialised segment (snapshot load path).
 
         ``store`` already holds this segment's signature rows; the family
         clone adopts it and keeps extending lazily from where it left off.
+        With ``defer=True`` the O(nnz) preparation and the family clone are
+        postponed to the segment's first use (see
+        :class:`CollectionSegment`) — bit-identical either way, and the
+        reason a memory-mapped snapshot load need not touch the raw
+        vectors at all.
         """
         if collection.n_features != self._n_features:
             raise ValueError(
                 f"segment has {collection.n_features} features, collection "
                 f"holds {self._n_features}"
+            )
+        if defer:
+            return self._seal(
+                collection,
+                None,
+                None,
+                store,
+                ids,
+                deferred=(self._measure, self._family),
             )
         prepared = self._measure.prepare(collection)
         family = self._family.clone_for(prepared)

@@ -53,25 +53,50 @@ Version history
   the writer goes through a temp file + ``fsync`` + atomic ``os.replace``
   so a crash mid-save can never tear an existing snapshot.
 
+Layouts and storage backends
+----------------------------
+The logical payload above can be written in two **layouts** and read back
+through two **storage backends** (see :mod:`repro.serving.storage`):
+
+* ``layout="npz"`` (default) — the single compressed archive described
+  above; always deserialises fully into RAM.
+* ``layout="flat"`` — a directory with one raw binary file per array plus
+  a self-validating CRC-manifested JSON header.  Loading accepts
+  ``storage="ram"`` (full checksum audit, bit-identical to an ``.npz``
+  load) or ``storage="mmap"`` (read-only ``np.memmap`` views faulted in
+  lazily by the serving kernels' chunk-map reads — millisecond cold start,
+  out-of-core corpora).
+
+``save``/``load`` pick layouts automatically: :func:`save_query_index`
+defaults to the layout the ``REPRO_STORAGE`` environment variable selects,
+and :func:`load_query_index` detects the layout on disk (a directory is a
+flat snapshot, a file is an archive).  Both layouts carry the same ``meta``
+document and the same array members, so a load from either is bit-identical
+— proven by ``tests/property/test_storage_backends.py``.
+
 Durability contract
 -------------------
-:func:`save_query_index` either publishes a complete, checksummed archive
-or leaves the destination untouched — the archive is fully written and
-fsynced under a temporary name first, then renamed into place atomically
-(and the directory entry fsynced).  :func:`load_query_index` re-reads every
-array's CRC32 against the manifest; any torn, truncated or bit-flipped
-archive — and any archive missing the magic or expected members — raises
-:class:`SnapshotCorruptError` naming the offending path.  Wrong data is
-never returned silently, and no raw ``zipfile.BadZipFile``/``KeyError``
-escapes.  :class:`SnapshotStore` layers a rolling-directory convention on
-top: numbered snapshots, an atomically updated ``LATEST`` pointer, and
-load-time rollback to the newest snapshot that still verifies.
+:func:`save_query_index` either publishes a complete, checksummed snapshot
+or leaves the previous one loadable — the ``.npz`` archive is fully written
+and fsynced under a temporary name first, then renamed into place
+atomically (and the directory entry fsynced); the flat layout writes its
+data files first and commits them by atomically replacing the manifest
+(see :mod:`repro.serving.storage` for the generation scheme).
+:func:`load_query_index` re-reads every array's CRC32 against the manifest
+(structural + size verification on the ``mmap`` backend); any torn,
+truncated or bit-flipped snapshot — and any snapshot missing the magic or
+expected members — raises :class:`SnapshotCorruptError` naming the
+offending path.  Wrong data is never returned silently, and no raw
+``zipfile.BadZipFile``/``KeyError`` escapes.  :class:`SnapshotStore` layers
+a rolling-directory convention on top: numbered snapshots, an atomically
+updated ``LATEST`` pointer, and load-time rollback to the newest snapshot
+that still verifies.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import shutil
 import zipfile
 import zlib
 from pathlib import Path
@@ -79,11 +104,9 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
-from repro.datasets.io import collection_arrays, collection_from_arrays
+from repro.datasets.io import atomic_writer, collection_arrays, collection_from_arrays
 from repro.hashing.signatures import BitSignatures, IntSignatures
 from repro.similarity.vectors import VectorCollection
-from repro.testing import faults as _faults
-from repro.testing.faults import InjectedCrash
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -121,11 +144,29 @@ class SnapshotCorruptError(ValueError):
         super().__init__(f"corrupt QueryIndex snapshot {self.path}: {self.detail}")
 
 
-def _snapshot_path(path) -> Path:
+def _snapshot_path(path, layout: str = "npz") -> Path:
     path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    suffix = ".flat" if layout == "flat" else ".npz"
+    if path.suffix != suffix:
+        path = path.with_suffix(suffix)
     return path
+
+
+def _resolve_load_path(path) -> Path:
+    """The on-disk snapshot ``path`` refers to, whichever layout wrote it.
+
+    An exact match (file or flat-layout directory) wins; otherwise the
+    conventional ``.npz`` and ``.flat`` suffixes are tried in turn, so
+    ``load(p)`` finds whatever ``save(p)`` wrote regardless of the layout
+    the environment selected at save time.
+    """
+    path = Path(path)
+    if path.exists():
+        return path
+    for candidate in (path.with_suffix(".npz"), path.with_suffix(".flat")):
+        if candidate.exists():
+            return candidate
+    return _snapshot_path(path)
 
 
 def _store_parts(store) -> tuple[str, np.ndarray, int]:
@@ -167,7 +208,7 @@ def _segment_payload(index) -> tuple[list[dict], str, list[int], np.ndarray, np.
         packed["store"] = matrix
         arrays.append(packed)
     (kind,) = kinds or {"bits"}
-    return arrays, kind, widths, index._deleted, index._postings.members
+    return arrays, kind, widths, index._deleted, index._postings_members()
 
 
 def _store_matrix_at_width(segment, width: int) -> np.ndarray:
@@ -234,25 +275,11 @@ def _compacted_payload(index) -> tuple[list[dict], str, list[int], np.ndarray, n
 
     # Old global row -> new compacted row (only defined for alive rows).
     new_index = np.cumsum(alive, dtype=np.int64) - 1
-    members = index._postings.members
+    members = index._postings_members()
     members = new_index[members[alive[members]]]
 
     deleted = np.zeros(int(alive.sum()), dtype=bool)
     return [packed], kind, [int(width)], deleted, members
-
-
-def _fsync_directory(directory: Path) -> None:
-    """Flush a directory entry so a rename survives power loss (best effort)."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
 
 
 def _array_crc(value: np.ndarray) -> int:
@@ -260,26 +287,13 @@ def _array_crc(value: np.ndarray) -> int:
     return int(zlib.crc32(np.ascontiguousarray(value).tobytes()))
 
 
-def save_query_index(index, path, compact: bool = False) -> Path:
-    """Write ``index`` to ``path`` (``.npz`` appended if missing), atomically.
+def _snapshot_payload(index, compact: bool) -> tuple[dict, dict]:
+    """The layout-independent snapshot payload: ``(meta, arrays)``.
 
-    With ``compact=True`` the snapshot merges all segments and drops
-    tombstoned rows (see :func:`_compacted_payload`); the in-memory index is
-    left untouched either way.
-
-    The archive is written to a temp file in the destination directory,
-    fsynced, then renamed over ``path`` with ``os.replace`` — a crash at any
-    point leaves either the previous snapshot or the new one, never a torn
-    archive under the destination name.  Every array member's CRC32 is
-    recorded in ``meta["checksums"]`` and re-verified by
-    :func:`load_query_index`.
+    Both the ``.npz`` archive and the flat layout serialise exactly this —
+    the same meta document (checksums included) and the same array members —
+    which is what makes a load from either layout bit-identical.
     """
-    from repro.search.query import QueryIndex
-
-    if not isinstance(index, QueryIndex):
-        raise TypeError(f"expected a QueryIndex, got {type(index).__name__}")
-    path = _snapshot_path(path)
-
     family_state = index._family.state_dict()
     family_arrays: dict[str, np.ndarray] = {}
     family_scalars: dict[str, object] = {}
@@ -338,33 +352,65 @@ def save_query_index(index, path, compact: bool = False) -> Path:
         **family_arrays,
     }
     meta["checksums"] = {name: _array_crc(value) for name, value in arrays.items()}
+    return meta, arrays
 
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    try:
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(
-                handle,
-                format=np.array(SNAPSHOT_FORMAT),
-                version=np.array(SNAPSHOT_VERSION, dtype=np.int64),
-                meta=np.array(json.dumps(meta)),
-                **arrays,
-            )
-            handle.flush()
-            os.fsync(handle.fileno())
-        _faults.fire("snapshot_replace", tmp=tmp, path=path)
-        os.replace(tmp, path)
-        _fsync_directory(path.parent)
-    except InjectedCrash:
-        raise  # a real crash would not clean its temp file up either
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+
+def save_query_index(index, path, compact: bool = False, layout: str | None = None) -> Path:
+    """Write ``index`` to ``path`` atomically; returns the written path.
+
+    ``layout`` selects the on-disk format — ``"npz"`` (single compressed
+    archive, the conventional ``.npz`` suffix appended if missing) or
+    ``"flat"`` (a ``.flat`` directory of raw per-array files readable
+    through the mmap backend; see :mod:`repro.serving.storage`).  ``None``
+    defers first to an explicit layout suffix on ``path`` (``.npz`` /
+    ``.flat`` — a caller naming the format gets that format), then to the
+    ``REPRO_STORAGE`` environment variable (``npz`` unless it says
+    ``mmap``).
+
+    With ``compact=True`` the snapshot merges all segments and drops
+    tombstoned rows (see :func:`_compacted_payload`); the in-memory index is
+    left untouched either way.
+
+    Both layouts publish atomically: the archive is fully written and
+    fsynced under a temp name then renamed over ``path`` with
+    ``os.replace``; the flat layout writes its data files the same way and
+    commits them by atomically replacing its manifest.  A crash at any
+    point leaves either the previous snapshot or the new one, never a torn
+    snapshot under the destination name.  Every array member's CRC32 is
+    recorded in ``meta["checksums"]`` and re-verified by
+    :func:`load_query_index` (structurally, on the lazy mmap backend).
+    """
+    from repro.search.query import QueryIndex
+    from repro.serving import storage as flat_storage
+
+    if not isinstance(index, QueryIndex):
+        raise TypeError(f"expected a QueryIndex, got {type(index).__name__}")
+    if layout is None:
+        suffix = Path(path).suffix
+        if suffix in (".npz", ".flat"):
+            layout = suffix[1:]
+        else:
+            layout = flat_storage.default_layout()
+    if layout not in ("npz", "flat"):
+        raise ValueError(f"layout must be 'npz' or 'flat', got {layout!r}")
+    path = _snapshot_path(path, layout)
+    meta, arrays = _snapshot_payload(index, compact)
+    if layout == "flat":
+        return flat_storage.write_flat(path, SNAPSHOT_VERSION, meta, arrays)
+    with atomic_writer(path, event="snapshot_replace") as handle:
+        np.savez_compressed(
+            handle,
+            format=np.array(SNAPSHOT_FORMAT),
+            version=np.array(SNAPSHOT_VERSION, dtype=np.int64),
+            meta=np.array(json.dumps(meta)),
+            **arrays,
+        )
     return path
 
 
 def _load_segments_v1(archive, meta) -> list[tuple]:
     """Read the monolithic v1 layout as a single sealed segment."""
-    collection = collection_from_arrays(archive, prefix="collection_")
+    collection = collection_from_arrays(archive, prefix="collection_", trusted=True)
     store = _store_from_parts(
         meta["store_kind"], archive["store_matrix"], int(meta["store_n_hashes"])
     )
@@ -372,11 +418,18 @@ def _load_segments_v1(archive, meta) -> list[tuple]:
 
 
 def _load_segments_v2(archive, meta) -> list[tuple]:
-    """Read the segmented v2 layout."""
+    """Read the segmented v2 layout.
+
+    Collections are adopted through the trusted restore path — the arrays
+    were canonical when written, and skipping re-canonicalisation is what
+    keeps memory-mapped members lazy (nothing here forces a page in).
+    """
     widths = meta["store_n_hashes"]
     segments = []
     for i in range(int(meta["n_segments"])):
-        collection = collection_from_arrays(archive, prefix=f"seg{i}_collection_")
+        collection = collection_from_arrays(
+            archive, prefix=f"seg{i}_collection_", trusted=True
+        )
         store = _store_from_parts(
             meta["store_kind"], archive[f"seg{i}_store"], int(widths[i])
         )
@@ -446,28 +499,50 @@ def _read_verified(path: Path) -> tuple[int, dict, dict]:
     return version, meta, arrays
 
 
-def load_query_index(path):
+def load_query_index(path, storage: str | None = None):
     """Load an index snapshot written by :func:`save_query_index`.
+
+    The layout is detected on disk — a directory is a flat-layout snapshot,
+    a file is an ``.npz`` archive (the ``.npz``/``.flat`` suffixes are tried
+    when ``path`` itself does not exist).  ``storage`` selects the flat
+    layout's backend: ``"ram"`` deserialises and CRC-verifies every member
+    (bit-identical to an archive load), ``"mmap"`` opens read-only
+    ``np.memmap`` views whose pages fault in lazily — a millisecond cold
+    start independent of corpus size.  ``None`` defers to ``REPRO_STORAGE``
+    (``ram`` unless it says ``mmap``); archives always load into RAM.
 
     Reads the current checksummed v3 layout plus the legacy v2 (segmented,
     no checksums) and v1 (monolithic) layouts; anything else is rejected.
-    Every malformed-archive path — missing magic, truncated or bit-flipped
+    Every malformed-snapshot path — missing magic, truncated or bit-flipped
     data, missing members, checksum mismatch — raises
-    :class:`SnapshotCorruptError` with the offending path; an intact archive
-    of an unsupported version raises a plain ``ValueError``.  Wrong data is
-    never returned silently.
+    :class:`SnapshotCorruptError` with the offending path; an intact
+    snapshot of an unsupported version raises a plain ``ValueError``.
+    Wrong data is never returned silently.
     """
     from repro.search.query import QueryIndex
+    from repro.serving import storage as flat_storage
 
-    path = _snapshot_path(path)
-    version, meta, arrays = _read_verified(path)
+    path = _resolve_load_path(path)
+    if flat_storage.is_flat_snapshot(path):
+        version, meta, arrays = flat_storage.read_flat(
+            path,
+            storage=storage or flat_storage.default_storage(),
+            readable_versions=_READABLE_VERSIONS,
+        )
+    else:
+        version, meta, arrays = _read_verified(path)
     try:
-        deleted = np.asarray(arrays["deleted"], dtype=bool)
+        # The tombstone mask is mutated in place by ``delete`` and the
+        # family arrays may be grown by later draws — copy both out of any
+        # read-only mmap backing (they are O(N) and O(hashes), not O(nnz)).
+        deleted = np.array(arrays["deleted"], dtype=bool)
         postings_members = np.asarray(arrays["postings_members"], dtype=np.int64)
 
         family_state: dict[str, object] = dict(meta["family_scalars"])
         for name, value in arrays.items():
             if name.startswith("family_"):
+                if isinstance(value, np.memmap):
+                    value = np.array(value)
                 family_state[name[len("family_"):]] = value
 
         if version == 1:
@@ -528,10 +603,15 @@ class SnapshotStore:
         return self._directory / self.POINTER_NAME
 
     def snapshots(self) -> list[Path]:
-        """The numbered snapshot files, oldest first."""
-        return sorted(self._directory.glob("snapshot-*.npz"))
+        """The numbered snapshots (``.npz`` files and ``.flat`` directories),
+        oldest first."""
+        return sorted(
+            path
+            for path in self._directory.glob("snapshot-*")
+            if path.suffix in (".npz", ".flat")
+        )
 
-    def _next_path(self) -> Path:
+    def _next_path(self, layout: str) -> Path:
         last = -1
         for existing in self.snapshots():
             stem = existing.stem  # snapshot-NNNNNNNN
@@ -539,27 +619,26 @@ class SnapshotStore:
                 last = max(last, int(stem.split("-", 1)[1]))
             except (IndexError, ValueError):
                 continue
-        return self._directory / f"snapshot-{last + 1:08d}.npz"
+        suffix = ".flat" if layout == "flat" else ".npz"
+        return self._directory / f"snapshot-{last + 1:08d}{suffix}"
 
-    def save(self, index, compact: bool = False) -> Path:
+    def save(self, index, compact: bool = False, layout: str | None = None) -> Path:
         """Snapshot ``index`` as the next numbered file; update the pointer.
 
-        The data file is fully written (and fsynced) before the pointer
-        moves, so a crash anywhere in between leaves the previous pointer
-        target intact and loadable.
+        ``layout`` is forwarded to :func:`save_query_index` (``None`` defers
+        to ``REPRO_STORAGE``); the rolling numbering is shared between the
+        layouts, so a store may hold a mix of ``.npz`` and ``.flat``
+        snapshots and still roll back across all of them.  The snapshot is
+        fully committed before the pointer moves, so a crash anywhere in
+        between leaves the previous pointer target intact and loadable.
         """
-        path = save_query_index(index, self._next_path(), compact=compact)
-        tmp = self.pointer_path.with_name(f".{self.POINTER_NAME}.tmp.{os.getpid()}")
-        try:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(path.name + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, self.pointer_path)
-            _fsync_directory(self._directory)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+        from repro.serving import storage as flat_storage
+
+        if layout is None:
+            layout = flat_storage.default_layout()
+        path = save_query_index(index, self._next_path(layout), compact=compact, layout=layout)
+        with atomic_writer(self.pointer_path) as handle:
+            handle.write((path.name + "\n").encode("utf-8"))
         self._prune(current=path)
         return path
 
@@ -568,7 +647,11 @@ class SnapshotStore:
         snapshots = self.snapshots()
         excess = len(snapshots) - self._keep
         for stale in snapshots[:max(excess, 0)]:
-            if stale != current:
+            if stale == current:
+                continue
+            if stale.is_dir():
+                shutil.rmtree(stale, ignore_errors=True)
+            else:
                 stale.unlink(missing_ok=True)
 
     def _candidates(self) -> list[Path]:
@@ -587,10 +670,11 @@ class SnapshotStore:
                 ordered.append(path)
         return ordered
 
-    def load(self):
+    def load(self, storage: str | None = None):
         """Load the newest verifiable snapshot, rolling back past corrupt ones.
 
-        Raises ``FileNotFoundError`` for an empty store and
+        ``storage`` is forwarded to :func:`load_query_index` for flat-layout
+        candidates.  Raises ``FileNotFoundError`` for an empty store and
         :class:`SnapshotCorruptError` when every candidate fails
         verification (the error lists each rejected file).
         """
@@ -600,7 +684,7 @@ class SnapshotStore:
         failures: list[str] = []
         for path in candidates:
             try:
-                return load_query_index(path)
+                return load_query_index(path, storage=storage)
             except SnapshotCorruptError as exc:
                 failures.append(f"{path.name}: {exc.detail}")
         raise SnapshotCorruptError(

@@ -95,6 +95,40 @@ class VectorCollection:
         return cls(np.asarray(array, dtype=np.float64), ids=ids)
 
     @classmethod
+    def restored(
+        cls,
+        components: tuple[np.ndarray, np.ndarray, np.ndarray],
+        shape: tuple[int, int],
+        ids: Sequence | None = None,
+    ) -> "VectorCollection":
+        """Adopt canonical CSR ``(data, indices, indptr)`` components as-is.
+
+        The snapshot-restore twin of the constructor: the components must
+        have been produced by this class (so they are already float64,
+        index-sorted, zero-free and non-negative) and are adopted without
+        re-canonicalisation or copies.  That is what keeps memory-mapped
+        snapshot components *lazy* — the validating constructor would fault
+        in and copy every page.  Never pass untrusted input here.
+        """
+        instance = cls.__new__(cls)
+        instance._matrix = sp.csr_matrix(components, shape=shape, copy=False)
+        n = instance._matrix.shape[0]
+        if ids is None:
+            instance._ids = np.arange(n, dtype=np.int64)
+        else:
+            instance._ids = np.asarray(ids)
+            if len(instance._ids) != n:
+                raise ValueError(
+                    f"ids has length {len(instance._ids)} but the matrix has {n} rows"
+                )
+        instance._norms = None
+        instance._row_nnz = None
+        instance._max_weights = None
+        instance._binary = None
+        instance._normalized = None
+        return instance
+
+    @classmethod
     def from_sets(
         cls,
         sets: Iterable[Iterable[int]],

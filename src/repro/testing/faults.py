@@ -16,7 +16,12 @@ a :class:`FaultPlan` via :func:`inject`.  The seams are:
   of live requests) — killing a worker here is the canonical
   "kill mid-batch with waiting clients" scenario;
 * ``snapshot_replace`` — the window between a snapshot's temp-file write
-  and its atomic rename.
+  and its atomic rename (the ``.npz`` archive, the snapshot-store pointer
+  and the dataset archives all share this seam via
+  :func:`repro.datasets.io.atomic_writer`);
+* ``flat_replace`` — the same window for the flat layout's ``MANIFEST.json``
+  commit point (the data files are already on disk, unreferenced, when it
+  fires).
 
 A plan schedules faults against those seams:
 
@@ -179,40 +184,52 @@ class FaultPlan:
     # ------------------------------------------------------------------ #
     # snapshot faults (fire in the temp-write → atomic-rename window)
     # ------------------------------------------------------------------ #
-    def crash_before_replace(self) -> None:
+    def crash_before_replace(self, event: str = "snapshot_replace") -> None:
         """Abort the save between temp-file write and atomic rename.
 
         Raises :class:`InjectedCrash` out of ``save_query_index``; the temp
         file is left on disk and the destination is never touched —
         exactly the state a process crash at that point leaves behind.
+        ``event`` selects the atomic-writer seam: ``"snapshot_replace"``
+        (the ``.npz`` archive or any other single-file writer) or
+        ``"flat_replace"`` (the flat layout's manifest commit point).
         """
-        self._actions.append({"kind": "snapshot_crash", "event": "snapshot_replace"})
+        self._actions.append({"kind": "snapshot_crash", "event": event})
 
-    def truncate_snapshot(self, keep_fraction: float = 0.5) -> None:
+    def truncate_snapshot(
+        self, keep_fraction: float = 0.5, event: str = "snapshot_replace"
+    ) -> None:
         """Truncate the snapshot temp file before the rename goes through.
 
         The rename then publishes a torn archive — the load path must reject
-        it with ``SnapshotCorruptError``.
+        it with ``SnapshotCorruptError``.  ``event`` selects the seam as in
+        :meth:`crash_before_replace`.
         """
         self._actions.append(
             {
                 "kind": "snapshot_truncate",
-                "event": "snapshot_replace",
+                "event": event,
                 "keep_fraction": float(keep_fraction),
             }
         )
 
-    def corrupt_snapshot(self, offset: int | None = None, flip: int = 0xFF) -> None:
+    def corrupt_snapshot(
+        self,
+        offset: int | None = None,
+        flip: int = 0xFF,
+        event: str = "snapshot_replace",
+    ) -> None:
         """XOR one byte of the snapshot temp file before the rename.
 
         ``offset`` defaults to the middle of the file.  Publishes a
-        bit-flipped archive; the zip layer or the per-array checksums must
-        catch it on load.
+        bit-flipped archive; the zip layer or the per-array checksums (or,
+        for ``event="flat_replace"``, the manifest's self-CRC) must catch it
+        on load.
         """
         self._actions.append(
             {
                 "kind": "snapshot_corrupt",
-                "event": "snapshot_replace",
+                "event": event,
                 "offset": offset,
                 "flip": int(flip),
             }

@@ -7,17 +7,23 @@ small keeps the full suite fast enough to run on every change.
 
 from __future__ import annotations
 
+import gc
+import re
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.datasets.base import Dataset
+from repro.datasets.io import pending_temp_files
 from repro.datasets.synthetic import synthetic_graph, synthetic_text_corpus
 from repro.similarity.transforms import tfidf_weighting
 from repro.similarity.vectors import VectorCollection
 
 _SHM_DIR = Path("/dev/shm")
+_PROC_MAPS = Path("/proc/self/maps")
+#: flat-layout member files carry a generation stamp — ``name.g<N>.bin``
+_FLAT_MEMBER_RE = re.compile(r"\.g\d+\.bin$")
 
 
 @pytest.fixture(autouse=True)
@@ -39,6 +45,59 @@ def shm_leak_audit():
     after = {entry.name for entry in _SHM_DIR.iterdir()}
     leaked = sorted(name for name in after - before if name.startswith("psm_"))
     assert not leaked, f"test leaked shared-memory segments: {leaked}"
+
+
+def _mapped_flat_members() -> set[str]:
+    """Flat-layout member files currently memory-mapped into this process."""
+    try:
+        lines = _PROC_MAPS.read_text().splitlines()
+    except OSError:
+        return set()
+    mapped = set()
+    for line in lines:
+        parts = line.rsplit(maxsplit=1)
+        if len(parts) == 2 and _FLAT_MEMBER_RE.search(parts[1]):
+            mapped.add(parts[1])
+    return mapped
+
+
+@pytest.fixture(autouse=True)
+def mmap_leak_audit():
+    """Fail any test that leaves flat-layout member files mapped behind.
+
+    ``storage="mmap"`` loads publish snapshot arrays as ``np.memmap`` views;
+    the mapping lives exactly as long as the arrays do, so a test that drops
+    its index must drop the mappings with it.  Mappings a module-scoped
+    fixture holds across tests appear in the *before* snapshot (pytest
+    instantiates higher-scoped fixtures first) and are exempt.  A reference
+    cycle can delay the unmap past the test's end without being a leak, so a
+    mismatch is re-checked once after a full ``gc.collect()``.
+    """
+    if not _PROC_MAPS.exists():  # non-Linux dev boxes: nothing to audit
+        yield
+        return
+    before = _mapped_flat_members()
+    yield
+    leaked = _mapped_flat_members() - before
+    if leaked:
+        gc.collect()
+        leaked = _mapped_flat_members() - before
+    assert not leaked, f"test left flat-layout files mapped: {sorted(leaked)}"
+
+
+@pytest.fixture(autouse=True)
+def temp_file_leak_audit():
+    """Fail any test whose atomic writers abandoned a temp file.
+
+    Every on-disk artefact goes through
+    :func:`repro.datasets.io.atomic_writer`, which registers its temp file
+    until commit or cleanup.  The registry must be empty between tests; the
+    deliberate leftovers of injected crashes are exempt (the writer drops
+    them from the registry on ``InjectedCrash``, mirroring a real crash).
+    """
+    yield
+    pending = sorted(str(path) for path in pending_temp_files())
+    assert not pending, f"test leaked atomic-writer temp files: {pending}"
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,24 @@
-"""Unit tests for dataset persistence."""
+"""Unit tests for dataset persistence.
+
+Beyond round-trips, this module pins the durability contract dataset
+archives share with the serving snapshots: every write goes through the
+atomic writer (crash mid-save leaves the previous file, never a torn one)
+and every malformed archive raises the typed
+:class:`~repro.datasets.io.CollectionArchiveError` naming the path.
+"""
 
 import numpy as np
+import pytest
 
-from repro.datasets.io import load_collection, save_collection
+from repro.datasets.io import (
+    CollectionArchiveError,
+    load_collection,
+    pending_temp_files,
+    save_collection,
+)
 from repro.similarity.vectors import VectorCollection
+from repro.testing import faults
+from repro.testing.faults import InjectedCrash
 
 
 class TestRoundTrip:
@@ -29,3 +44,84 @@ class TestRoundTrip:
         loaded = load_collection(path)
         assert loaded.n_vectors == 3
         assert loaded.nnz == 0
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_file(self, tmp_path, tiny_collection):
+        path = save_collection(tiny_collection, tmp_path / "clean")
+        assert [entry.name for entry in tmp_path.iterdir()] == [path.name]
+        assert not pending_temp_files()
+
+    def test_crash_before_replace_keeps_previous_archive(
+        self, tmp_path, tiny_collection
+    ):
+        """The dataset writer shares the snapshot writer's crash seam."""
+        path = save_collection(tiny_collection, tmp_path / "stable")
+        before = path.read_bytes()
+        bigger = VectorCollection.from_dense(np.ones((8, 5)))
+        with faults.inject() as plan:
+            plan.crash_before_replace()
+            with pytest.raises(InjectedCrash):
+                save_collection(bigger, path)
+        assert any(fired[0] == "snapshot_crash" for fired in plan.fired)
+        assert path.read_bytes() == before
+        # The aborted temp file stays on disk like a real crash's would,
+        # but is deliberately dropped from the leak registry.
+        assert list(tmp_path.glob(".stable.npz.tmp.*"))
+        assert not pending_temp_files()
+
+    def test_failed_save_cleans_its_temp_file(self, tmp_path):
+        class Hostile:
+            """Breaks mid-serialisation, after the temp file opened."""
+
+            matrix = property(lambda self: (_ for _ in ()).throw(RuntimeError("boom")))
+            ids = np.arange(3)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            save_collection(Hostile(), tmp_path / "broken")
+        assert list(tmp_path.iterdir()) == []
+        assert not pending_temp_files()
+
+
+class TestTypedLoadErrors:
+    def test_truncated_archive_raises_typed_error(self, tmp_path, tiny_collection):
+        path = save_collection(tiny_collection, tmp_path / "torn")
+        data = path.read_bytes()
+        for cut in (0, 1, len(data) // 2, len(data) - 1):
+            path.write_bytes(data[:cut])
+            with pytest.raises(CollectionArchiveError) as excinfo:
+                load_collection(path)
+            assert excinfo.value.path == path
+            assert str(path) in str(excinfo.value)
+
+    def test_bitflipped_archive_raises_typed_error(self, tmp_path, tiny_collection):
+        path = save_collection(tiny_collection, tmp_path / "flipped")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CollectionArchiveError):
+            load_collection(path)
+
+    def test_non_archive_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"not an archive at all")
+        with pytest.raises(CollectionArchiveError, match="unreadable archive"):
+            load_collection(path)
+
+    def test_missing_member_raises_typed_error(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, data=np.zeros(3))  # indices/indptr/shape/ids absent
+        with pytest.raises(CollectionArchiveError, match="missing member"):
+            load_collection(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        """Absence is not corruption — the historical error type stands."""
+        with pytest.raises(FileNotFoundError):
+            load_collection(tmp_path / "never-written.npz")
+
+    def test_typed_error_is_a_value_error(self, tmp_path):
+        """Callers catching the historical ValueError keep working."""
+        path = tmp_path / "legacy.npz"
+        path.write_bytes(b"junk")
+        with pytest.raises(ValueError):
+            load_collection(path)

@@ -193,8 +193,8 @@ def test_unsupported_version_stays_plain_value_error(tmp_path, index):
 # --------------------------------------------------------------------- #
 def test_store_load_rolls_back_past_corrupt_latest(tmp_path, index, probe_queries):
     store = SnapshotStore(tmp_path / "snaps", keep=3)
-    store.save(index)
-    latest = store.save(index)
+    store.save(index, layout="npz")  # byte-level corruption below is .npz-specific
+    latest = store.save(index, layout="npz")
     reference = _answers(QueryIndex.load(store.snapshots()[0]), probe_queries)
     data = bytearray(latest.read_bytes())
     data[len(data) // 2] ^= 0xFF
@@ -206,12 +206,12 @@ def test_store_crash_between_data_and_pointer_keeps_previous(
     tmp_path, index, probe_queries
 ):
     store = SnapshotStore(tmp_path / "snaps", keep=3)
-    first = store.save(index)
+    first = store.save(index, layout="npz")
     reference = _answers(QueryIndex.load(first), probe_queries)
     with faults.inject() as plan:
         plan.crash_before_replace()
         with pytest.raises(InjectedCrash):
-            store.save(index)
+            store.save(index, layout="npz")
     assert any(fired[0] == "snapshot_crash" for fired in plan.fired)
     assert store.pointer_path.read_text().strip() == first.name
     assert _answers(store.load(), probe_queries) == reference
@@ -229,8 +229,8 @@ def test_store_prunes_to_keep_and_points_at_newest(tmp_path, index):
 
 def test_store_raises_aggregate_error_when_everything_is_corrupt(tmp_path, index):
     store = SnapshotStore(tmp_path / "snaps", keep=3)
-    store.save(index)
-    store.save(index)
+    store.save(index, layout="npz")  # write_bytes below needs file snapshots
+    store.save(index, layout="npz")
     for path in store.snapshots():
         path.write_bytes(b"garbage")
     with pytest.raises(SnapshotCorruptError, match="every snapshot failed"):

@@ -12,6 +12,7 @@ along the way bit-identical to the all-serial run.
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
@@ -143,7 +144,9 @@ def test_killed_worker_respawns_at_next_batch_boundary(index, batch):
         assert answers == oracle
         downgraded = index.pool_stats()
         assert downgraded["live_workers"] == 2
-        # Next batch heals the slot and serves from the full pool again.
+        # The next batch boundary heals the slot once the respawn backoff
+        # elapsed; outlive it so that boundary is the upcoming batch's.
+        time.sleep(0.3)
         assert index.query_many(batch, threshold=0.55) == oracle
         healed = index.pool_stats()
         assert healed["live_workers"] == 3
@@ -161,7 +164,14 @@ def test_crash_loop_quarantines_with_typed_warning(index, batch):
     try:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            for _ in range(2):
+            for attempt in range(2):
+                if attempt:
+                    # The killed slot respawns at the next batch boundary
+                    # only once its backoff elapsed; outlive the backoff
+                    # (without an intervening successful batch, which would
+                    # reset the slot's consecutive-failure count) so the
+                    # second kill hits a live worker, not a corpse.
+                    time.sleep(0.3)
                 with faults.inject() as plan:
                     plan.kill_worker(0, event="serving_round", round_index=0)
                     assert index.query_many(batch, threshold=0.55) == oracle
