@@ -414,6 +414,101 @@ def daemon_smoke(n_documents: int, n_queries: int, repeats: int) -> dict:
     }
 
 
+def wal_recovery_smoke(n_documents: int, n_queries: int, repeats: int) -> dict:
+    """Durable-ingest overhead and crash-recovery replay wall-clock.
+
+    The same insert stream runs three times — no WAL, ``fsync="batch"``
+    and ``fsync="always"`` — to measure what each durability policy costs
+    per acknowledged batch (the fsync matrix tabulated in
+    ``docs/serving.md``).  The ``always`` run's log is then replayed on top
+    of its pre-ingest snapshot and timed; the recovered index must answer
+    a probe batch bit-identically to the index that did the live ingest.
+    Wall-clock numbers are reported, not asserted.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.search.query import QueryIndex
+    from repro.serving.wal import WriteAheadLog
+
+    collection = build_workload(n_documents + n_queries, seed=43)
+    base = collection.subset(range(n_documents))
+    stream = collection.matrix[n_documents:]
+    n_batches = 16
+    step = max(1, stream.shape[0] // n_batches)
+    batches = [stream[i : i + step] for i in range(0, stream.shape[0], step)]
+    probes = collection.matrix[: min(32, n_documents)]
+
+    def build() -> QueryIndex:
+        return QueryIndex(
+            base, measure="cosine", threshold=0.7, verification="bayes", seed=13
+        )
+
+    report: dict = {
+        "n_documents": n_documents,
+        "n_batches": len(batches),
+        "batch_size": step,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        walls: dict = {}
+        reference = None
+        for label, policy in (("no_wal", None), ("batch", "batch"), ("always", "always")):
+            best_wall = float("inf")
+            for attempt in range(max(repeats, 1)):
+                index = build()
+                wal_dir = tmp / f"wal-{label}-{attempt}"
+                if policy is not None:
+                    index.attach_wal(WriteAheadLog(wal_dir, fsync=policy))
+                    snapshot = index.save(tmp / f"pre-{label}-{attempt}.npz")
+                start = time.perf_counter()
+                for batch in batches:
+                    index.insert(batch)
+                best_wall = min(best_wall, time.perf_counter() - start)
+                if policy is not None:
+                    index.wal.close()
+                if label == "always":
+                    reference = index.query_many(probes, threshold=0.7)
+                    replay_snapshot, replay_dir = snapshot, wal_dir
+            walls[label] = best_wall
+
+        start = time.perf_counter()
+        recovered = QueryIndex.load(replay_snapshot, wal=WriteAheadLog(replay_dir))
+        replay_wall = time.perf_counter() - start
+        replayed = recovered.replay_stats()["replayed_records"]
+        identical = recovered.query_many(probes, threshold=0.7) == reference
+        recovered.wal.close()
+
+    per_batch = lambda wall: wall / len(batches)  # noqa: E731
+    overhead = {
+        policy: walls[policy] / walls["no_wal"] if walls["no_wal"] > 0 else float("nan")
+        for policy in ("batch", "always")
+    }
+    print(
+        f"wal ingest: {len(batches)} batches of {step}, "
+        f"no-wal {walls['no_wal'] * 1000:7.1f}ms, "
+        f"fsync=batch {walls['batch'] * 1000:7.1f}ms (x{overhead['batch']:.2f}), "
+        f"fsync=always {walls['always'] * 1000:7.1f}ms (x{overhead['always']:.2f}); "
+        f"replay {replayed} records {replay_wall * 1000:7.1f}ms, "
+        f"identical: {identical}"
+    )
+    report.update(
+        {
+            "no_wal_s": walls["no_wal"],
+            "fsync_batch_s": walls["batch"],
+            "fsync_always_s": walls["always"],
+            "fsync_batch_overhead": overhead["batch"],
+            "fsync_always_overhead": overhead["always"],
+            "per_batch_no_wal_s": per_batch(walls["no_wal"]),
+            "per_batch_always_s": per_batch(walls["always"]),
+            "replayed_records": replayed,
+            "replay_s": replay_wall,
+            "identical_results": identical,
+        }
+    )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="multicore_timing.json", help="timing JSON path")
@@ -487,6 +582,9 @@ def main(argv=None) -> int:
     cold_start_report = cold_start_smoke(
         args.serving_documents, args.serving_queries // 8, args.repeats
     )
+    wal_report = wal_recovery_smoke(
+        args.serving_documents // 6, args.serving_queries // 2, args.repeats
+    )
 
     report = {
         "workload": {
@@ -509,6 +607,7 @@ def main(argv=None) -> int:
         "resident_pool": resident_report,
         "daemon": daemon_report,
         "cold_start": cold_start_report,
+        "wal_recovery": wal_report,
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -532,6 +631,9 @@ def main(argv=None) -> int:
         return 1
     if not cold_start_report["identical_results"]:
         print("error: snapshot loads differ from the index that saved them", file=sys.stderr)
+        return 1
+    if not wal_report["identical_results"]:
+        print("error: WAL replay diverged from the live ingest path", file=sys.stderr)
         return 1
     return 0
 

@@ -165,6 +165,20 @@ class QueryIndex:
         self._update_lock = threading.Lock()
         self._epoch = 0
         self._resident = None
+        self._wire_durability()
+
+    def _wire_durability(self) -> None:
+        """Initialise the (detached) write-ahead-log and replay state."""
+        self._wal = None
+        self._wal_position: int | None = None
+        self._mutations = 0
+        self._replaying = False
+        self._replay_counters = {
+            "replayed_records": 0,
+            "replayed_inserts": 0,
+            "replayed_deletes": 0,
+            "last_replayed_seq": 0,
+        }
 
     @property
     def _banding_hashes(self) -> int:
@@ -909,6 +923,122 @@ class QueryIndex:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # durability: write-ahead logging and crash recovery
+    # ------------------------------------------------------------------ #
+    @property
+    def wal(self):
+        """The attached :class:`~repro.serving.wal.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    @property
+    def replaying(self) -> bool:
+        """True while :meth:`recover` is re-applying WAL records.
+
+        The serving daemon's ``health``/``ready`` endpoints degrade to
+        not-ready while this is set — a recovering index is consistent at
+        every point (each replayed batch commits atomically under the
+        update lock) but not yet caught up to its acknowledged state.
+        """
+        return self._replaying
+
+    def attach_wal(self, wal) -> None:
+        """Start write-ahead logging every mutation to ``wal``.
+
+        ``wal`` is a :class:`~repro.serving.wal.WriteAheadLog` or a
+        directory path for one (opened with its default ``fsync="always"``
+        policy).  From this call on, ``insert``/``delete`` append a framed
+        record — under the update lock, before mutating any in-memory
+        state — so an acknowledged mutation is recoverable by
+        :meth:`load` with ``wal=`` (or :meth:`recover`) after a crash.
+        Attach either to a fresh index (log from the start) or right after
+        a snapshot load/recovery; attaching an out-of-sync log is the
+        caller's error and will surface as a replay mismatch.
+        """
+        from repro.serving.wal import WriteAheadLog
+
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        self._wal = wal
+
+    def wal_stats(self) -> dict | None:
+        """The attached WAL's durability counters (see
+        :meth:`~repro.serving.wal.WriteAheadLog.stats`), or ``None``."""
+        wal = self._wal
+        return None if wal is None else wal.stats()
+
+    def replay_stats(self) -> dict:
+        """Counters from the last :meth:`recover` run (zeros if never run)."""
+        return dict(self._replay_counters)
+
+    def recover(self, wal) -> "QueryIndex":
+        """Replay ``wal``'s tail on top of this freshly loaded snapshot.
+
+        Re-applies every record from the snapshot's checkpoint position
+        (the ``wal_segment`` its meta recorded at save time) through the
+        same ``insert``/``delete`` code paths the original mutations took —
+        with the logged *resolved* ids — so the recovered index is
+        bit-identical to the uncrashed one: same segment layout, same
+        hash-family RNG position, same answers.  A torn trailing record
+        (the residue of a crash mid-append) is truncated away; interior
+        corruption raises
+        :class:`~repro.serving.snapshot.SnapshotCorruptError`.  The WAL is
+        attached afterwards, so new mutations continue the same log.
+
+        Only meaningful on an index that has not been mutated since it was
+        loaded; an index whose snapshot carries no WAL position refuses a
+        non-empty log (replaying from an unknown offset could double-apply
+        mutations the snapshot already contains).  Sets :attr:`replaying`
+        for the duration; returns ``self``.
+        """
+        from repro.serving.wal import WriteAheadLog
+        from repro.testing import faults as _faults
+
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        if self._wal is not None:
+            raise RuntimeError("a write-ahead log is already attached")
+        if self._mutations:
+            raise ValueError(
+                "this index has been mutated since it was loaded — recover() "
+                "replays on top of a pristine snapshot, or it would interleave "
+                "logged and unlogged mutations"
+            )
+        start_segment = self._wal_position
+        if start_segment is None:
+            if wal.has_records():
+                raise ValueError(
+                    "this snapshot carries no WAL position but the log has "
+                    "records — replaying could double-apply mutations the "
+                    "snapshot already contains"
+                )
+            start_segment = wal.active_segment
+        counters = {
+            "replayed_records": 0,
+            "replayed_inserts": 0,
+            "replayed_deletes": 0,
+            "last_replayed_seq": 0,
+        }
+        self._replaying = True
+        try:
+            for seq, kind, arrays in wal.records(start_segment=start_segment):
+                if kind == "insert":
+                    collection = wal.replay_collection(arrays)
+                    self.insert(collection, ids=collection.ids)
+                    counters["replayed_inserts"] += 1
+                else:
+                    self.delete(arrays["rows"])
+                    counters["replayed_deletes"] += 1
+                counters["replayed_records"] += 1
+                counters["last_replayed_seq"] = seq
+                _faults.fire("wal_replay", index=self, seq=seq)
+        finally:
+            self._replaying = False
+            self._replay_counters = counters
+        self._wal = wal
+        self._wal_position = wal.active_segment
+        return self
+
+    # ------------------------------------------------------------------ #
     # incremental updates
     # ------------------------------------------------------------------ #
     def insert(self, data, ids=None) -> np.ndarray:
@@ -951,6 +1081,13 @@ class QueryIndex:
                     raise ValueError(
                         f"ids has length {len(ids)} but {n_new} rows were inserted"
                     )
+            # Write-ahead: the batch (with its *resolved* ids) is logged and
+            # made durable before any in-memory state changes — a failure
+            # here aborts the insert with the index untouched, and a crash
+            # after this line replays to exactly the state being built below.
+            if self._wal is not None:
+                self._wal.append_insert(new_collection, ids)
+            self._mutations += 1
             if len(ids) and np.issubdtype(ids.dtype, np.integer):
                 self._next_default_id = max(self._next_default_id, int(ids.max()) + 1)
             self._next_default_id = max(self._next_default_id, n_before + n_new)
@@ -983,6 +1120,12 @@ class QueryIndex:
                     f"row indices must lie in [0, {self._segments.n_vectors}), got "
                     f"[{rows[0]}, {rows[-1]}]"
                 )
+            # Write-ahead: log the validated row set before the tombstones
+            # land (delete is idempotent, so replaying the full set — not
+            # just the not-yet-deleted survivors — is equivalent).
+            if self._wal is not None:
+                self._wal.append_delete(rows)
+            self._mutations += 1
             fresh = rows[~self._deleted[rows]]
             self._deleted[fresh] = True
             self._n_stale_postings += int(np.sum(self._segments.row_nnz[fresh] > 0))
@@ -1057,6 +1200,11 @@ class QueryIndex:
         index._update_lock = threading.Lock()
         index._epoch = 0
         index._resident = None
+        index._wire_durability()
+        # The WAL segment this snapshot checkpointed at (None for snapshots
+        # saved without a WAL attached); recover() replays from here.
+        position = meta.get("wal_segment")
+        index._wal_position = None if position is None else int(position)
         return index
 
     def save(self, path, compact: bool = False, layout: str | None = None):
@@ -1086,7 +1234,7 @@ class QueryIndex:
         return save_query_index(self, path, compact=compact, layout=layout)
 
     @classmethod
-    def load(cls, path, storage: str | None = None) -> "QueryIndex":
+    def load(cls, path, storage: str | None = None, wal=None) -> "QueryIndex":
         """Load an index previously written by :meth:`save`.
 
         ``storage`` picks the backend for flat-layout snapshots: ``"ram"``
@@ -1096,10 +1244,16 @@ class QueryIndex:
         defers to the ``REPRO_STORAGE`` environment toggle; ``.npz``
         snapshots always load into RAM.  Either way the loaded index is
         bit-identical.
+
+        ``wal`` (a :class:`~repro.serving.wal.WriteAheadLog` or its
+        directory path) additionally replays the log's tail on top of the
+        snapshot and attaches it for continued logging — see
+        :meth:`recover` for the crash-recovery semantics and the
+        bit-identity guarantee.
         """
         from repro.serving.snapshot import load_query_index
 
-        return load_query_index(path, storage=storage)
+        return load_query_index(path, storage=storage, wal=wal)
 
     def spill(self, path) -> "QueryIndex":
         """Spill the sealed segment data to a flat snapshot and serve it mmap.

@@ -28,7 +28,16 @@ into something a long-running process can operate:
   latency window, with bounded-queue admission control (typed
   :class:`~repro.serving.daemon.Overloaded` rejection), per-request
   deadlines propagated into ``round_timeout``, exact→estimate shedding
-  under pressure, and health/readiness/stats/snapshot/drain ops endpoints.
+  under pressure, and health/readiness/stats/snapshot/drain ops endpoints;
+* **durable ingest** (:mod:`repro.serving.wal`) — a write-ahead log of
+  CRC-framed insert/delete records appended under the index's update lock
+  before each mutation, so a crash between snapshots loses nothing: a
+  restart replays the tail on top of the latest snapshot bit-identically.
+  Checkpoints (snapshot + segment roll) bound replay; the daemon speaks
+  the same log through ``insert``/``delete``/``checkpoint``/``wal_stats``
+  ops, and :class:`~repro.serving.client.DaemonClient` retries transient
+  transport failures with idempotency-keyed (at-most-once) mutations,
+  raising :class:`~repro.serving.client.RetriesExhausted` past the budget.
 
 See ``docs/serving.md`` for the operational guide (snapshot format and
 version history, staleness budget, compaction semantics, the batched-query
@@ -36,7 +45,7 @@ API, the estimate-vs-exact top-k trade-off, the operational-robustness
 contract, and the daemon runbook).
 """
 
-from repro.serving.client import DaemonClient
+from repro.serving.client import DaemonClient, RetriesExhausted
 from repro.serving.daemon import (
     DaemonError,
     DeadlineExceeded,
@@ -63,6 +72,7 @@ from repro.serving.storage import (
     read_flat,
     write_flat,
 )
+from repro.serving.wal import WriteAheadLog
 
 __all__ = [
     "CollectionSegment",
@@ -73,6 +83,7 @@ __all__ = [
     "FLAT_FORMAT",
     "FLAT_VERSION",
     "Overloaded",
+    "RetriesExhausted",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "STORAGE_ENV",
@@ -80,6 +91,7 @@ __all__ = [
     "ServingDaemon",
     "SnapshotCorruptError",
     "SnapshotStore",
+    "WriteAheadLog",
     "default_layout",
     "default_storage",
     "is_flat_snapshot",

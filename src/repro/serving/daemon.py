@@ -28,10 +28,20 @@ Operational behaviour, in the order a request experiences it:
   ``round_timeout`` (a hung worker cannot stall past the tightest
   deadline), and re-checked at completion; a missed deadline is the typed
   :class:`DeadlineExceeded` error;
-* **ops endpoints** — ``health``, ``ready``, ``stats`` (including the
-  resident pool's health dict), ``snapshot`` (through a configured
-  :class:`~repro.serving.snapshot.SnapshotStore`) and ``drain`` (reject
-  new work, finish everything admitted, then shut down).
+* **durable ingest** — ``insert``/``delete`` ops run through the index's
+  mutators on the daemon's single executor thread (serialising with query
+  batches); with a WAL attached to the index every acknowledged mutation
+  is recoverable after a SIGKILL (see :mod:`repro.serving.wal`), and an
+  ``idempotency_key`` on the request makes client retries apply at most
+  once (replayed responses come from a bounded in-daemon cache);
+* **ops endpoints** — ``health``/``ready`` (degraded to not-ready while a
+  WAL replay is recovering the index), ``stats`` (including the resident
+  pool's health dict and the durability block: WAL bytes/records, fsync
+  policy, last checkpoint, replay counters), ``snapshot`` and
+  ``checkpoint`` (through a configured
+  :class:`~repro.serving.snapshot.SnapshotStore`; a checkpoint seals and
+  prunes the WAL), ``wal_stats`` and ``drain`` (reject new work, finish
+  everything admitted, then shut down).
 
 The wire protocol is JSON lines (one request object per line, one response
 object per line) — see :class:`~repro.serving.client.DaemonClient` for the
@@ -45,6 +55,7 @@ import asyncio
 import functools
 import json
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -257,6 +268,12 @@ class ServingDaemon:
         self._stopped = threading.Event()
         self._draining = False
         self._inflight = 0
+        self._last_checkpoint: str | None = None
+        # Idempotency-key → response future; a retried mutation with the
+        # same key awaits (or replays) the first execution instead of
+        # re-applying.  Bounded FIFO — old keys age out.
+        self._idempotency: OrderedDict[str, asyncio.Future] = OrderedDict()
+        self._idempotency_limit = 1024
         self._stats = {
             "requests": 0,
             "batches": 0,
@@ -267,6 +284,10 @@ class ServingDaemon:
             "rejected_draining": 0,
             "deadline_misses": 0,
             "bad_requests": 0,
+            "inserts": 0,
+            "deletes": 0,
+            "idempotent_hits": 0,
+            "checkpoints": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -414,19 +435,36 @@ class ServingDaemon:
         op = request.get("op")
         if op in ("query", "top_k"):
             return await self._handle_query(op, request)
+        if op in ("insert", "delete"):
+            return await self._handle_ingest(op, request)
         if op == "health":
+            replaying = bool(self._index.replaying)
             return {
                 "ok": True,
-                "serving": not self._draining,
+                "serving": not self._draining and not replaying,
                 "draining": self._draining,
+                "replaying": replaying,
             }
         if op == "ready":
-            ready = self._batcher_task is not None and not self._batcher_task.done()
-            return {"ok": ready, "ready": ready, "draining": self._draining}
+            ready = (
+                self._batcher_task is not None
+                and not self._batcher_task.done()
+                and not self._index.replaying
+            )
+            return {
+                "ok": ready,
+                "ready": ready,
+                "draining": self._draining,
+                "replaying": bool(self._index.replaying),
+            }
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
         if op == "snapshot":
             return await self._handle_snapshot(request)
+        if op == "checkpoint":
+            return await self._handle_checkpoint(request)
+        if op == "wal_stats":
+            return {"ok": True, "wal": self._index.wal_stats()}
         if op == "drain":
             return await self._handle_drain()
         self._stats["bad_requests"] += 1
@@ -501,6 +539,102 @@ class ServingDaemon:
         }
 
     # ------------------------------------------------------------------ #
+    # durable ingest
+    # ------------------------------------------------------------------ #
+    async def _handle_ingest(self, op: str, request: dict) -> dict:
+        """Apply one ``insert``/``delete`` request, at most once per key.
+
+        Mutations run on the single executor thread, so they serialise
+        naturally with query batches.  With an ``idempotency_key`` on the
+        request, the first execution parks a future in a bounded FIFO map:
+        a retry that arrives *mid-execution* awaits that future (never
+        re-applying), and a retry after completion replays the cached
+        response.  Failed executions drop the key so a later retry can
+        run the mutation for real.
+        """
+        if self._draining:
+            self._stats["rejected_draining"] += 1
+            return {
+                "ok": False,
+                "error": "draining",
+                "message": "daemon is draining; no new requests admitted",
+            }
+        key = request.get("idempotency_key")
+        if key is not None:
+            cached = self._idempotency.get(key)
+            if cached is not None:
+                self._stats["idempotent_hits"] += 1
+                return dict(await asyncio.shield(cached))
+        try:
+            call = self._ingest_call(op, request)
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            self._stats["bad_requests"] += 1
+            return {"ok": False, "error": "bad_request", "message": str(exc)}
+        loop = asyncio.get_running_loop()
+        holder = None
+        if key is not None:
+            holder = loop.create_future()
+            self._idempotency[str(key)] = holder
+            while len(self._idempotency) > self._idempotency_limit:
+                self._idempotency.popitem(last=False)
+        _faults.fire("daemon_ingest", daemon=self, op=op)
+        try:
+            response = await loop.run_in_executor(self._executor, call)
+        except Exception as exc:
+            response = {"ok": False, "error": "error", "message": f"{op} failed: {exc}"}
+            if holder is not None:
+                # A failed mutation must not be "remembered" as done — drop
+                # the key so a genuine retry re-executes; duplicates already
+                # awaiting the holder still get this error response.
+                self._idempotency.pop(str(key), None)
+                holder.set_result(response)
+            return response
+        if holder is not None:
+            holder.set_result(response)
+        return response
+
+    def _ingest_call(self, op: str, request: dict):
+        """Validate an ingest request; return the executor-thread callable.
+
+        Validation happens *before* any idempotency holder is created, so a
+        malformed request is rejected without poisoning its key.
+        """
+        if op == "insert":
+            vectors = request.get("vectors")
+            if not isinstance(vectors, list) or not vectors:
+                raise ValueError("insert needs a non-empty 'vectors' list")
+            n_features = self._index._segments.n_features
+            matrix = sp.vstack(
+                [decode_vector(v, n_features) for v in vectors], format="csr"
+            )
+            ids = request.get("ids")
+            if ids is not None:
+                ids = [int(i) for i in ids]
+                if len(ids) != matrix.shape[0]:
+                    raise ValueError(
+                        f"ids length {len(ids)} does not match "
+                        f"{matrix.shape[0]} vectors"
+                    )
+
+            def call() -> dict:
+                rows = self._index.insert(matrix, ids=ids)
+                self._stats["inserts"] += 1
+                return {"ok": True, "rows": [int(r) for r in rows]}
+
+            return call
+        rows_spec = request.get("rows")
+        if not isinstance(rows_spec, list) or not rows_spec:
+            raise ValueError("delete needs a non-empty 'rows' list")
+        rows = np.asarray([int(r) for r in rows_spec], dtype=np.int64)
+
+        def call() -> dict:
+            deleted = self._index.delete(rows)
+            self._stats["deletes"] += 1
+            return {"ok": True, "deleted": int(deleted)}
+
+        return call
+
+    # ------------------------------------------------------------------ #
     # ops endpoints
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
@@ -522,6 +656,11 @@ class ServingDaemon:
                 ),
             },
             "pool": self._index.pool_stats(),
+            "durability": {
+                "wal": self._index.wal_stats(),
+                "replay": self._index.replay_stats(),
+                "last_checkpoint": self._last_checkpoint,
+            },
         }
 
     async def _handle_snapshot(self, request: dict) -> dict:
@@ -543,7 +682,30 @@ class ServingDaemon:
             self._executor,
             functools.partial(self._snapshots.save, self._index, layout=layout),
         )
+        self._last_checkpoint = str(path)
         return {"ok": True, "path": str(path)}
+
+    async def _handle_checkpoint(self, request: dict) -> dict:
+        """Persist a snapshot and (with a WAL attached) seal+prune the log.
+
+        The snapshot machinery does the real work — ``save_query_index``
+        rolls the WAL atomically with the payload capture and
+        ``SnapshotStore.save`` prunes segments no retained snapshot needs —
+        so this endpoint is ``snapshot`` plus the post-checkpoint WAL view
+        in the response.
+        """
+        if self._index.wal is None:
+            return {
+                "ok": False,
+                "error": "bad_request",
+                "message": "no WAL attached to the index; use 'snapshot' instead",
+            }
+        response = await self._handle_snapshot(request)
+        if not response.get("ok"):
+            return response
+        self._stats["checkpoints"] += 1
+        response["wal"] = self._index.wal_stats()
+        return response
 
     async def _handle_drain(self) -> dict:
         """Reject new work, finish everything admitted, then shut down."""

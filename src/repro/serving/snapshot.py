@@ -91,6 +91,13 @@ offending path.  Wrong data is never returned silently, and no raw
 a rolling-directory convention on top: numbered snapshots, an atomically
 updated ``LATEST`` pointer, and load-time rollback to the newest snapshot
 that still verifies.
+
+A snapshot of a WAL-attached index is additionally a **checkpoint**: the
+save rolls the write-ahead log (:mod:`repro.serving.wal`) and records the
+fresh segment number as ``meta["wal_segment"]``, so
+:func:`load_query_index` with ``wal=`` replays exactly the mutations the
+snapshot does not already contain.  :class:`SnapshotStore` prunes WAL
+segments only past what its retained snapshots reference.
 """
 
 from __future__ import annotations
@@ -394,7 +401,28 @@ def save_query_index(index, path, compact: bool = False, layout: str | None = No
     if layout not in ("npz", "flat"):
         raise ValueError(f"layout must be 'npz' or 'flat', got {layout!r}")
     path = _snapshot_path(path, layout)
-    meta, arrays = _snapshot_payload(index, compact)
+    wal = getattr(index, "_wal", None)
+    if wal is not None:
+        if compact:
+            # Compaction renumbers rows; WAL delete records reference the
+            # *old* numbering, so a compacted checkpoint could misapply a
+            # replayed tail.  Detach the WAL (checkpoint + fresh log) to
+            # compact.
+            raise ValueError(
+                "compact=True cannot checkpoint a WAL-attached index — "
+                "row renumbering would invalidate the log's row references"
+            )
+        # Checkpoint: roll the log and capture the payload atomically with
+        # respect to mutators, so the stamped segment number marks exactly
+        # the boundary between state inside the snapshot and records that
+        # must replay on top of it.  (If the save fails after the roll, the
+        # previous snapshot's older position still covers the new segment.)
+        with index._update_lock:
+            wal_segment = wal.roll()
+            meta, arrays = _snapshot_payload(index, compact)
+        meta["wal_segment"] = int(wal_segment)
+    else:
+        meta, arrays = _snapshot_payload(index, compact)
     if layout == "flat":
         return flat_storage.write_flat(path, SNAPSHOT_VERSION, meta, arrays)
     with atomic_writer(path, event="snapshot_replace") as handle:
@@ -499,7 +527,7 @@ def _read_verified(path: Path) -> tuple[int, dict, dict]:
     return version, meta, arrays
 
 
-def load_query_index(path, storage: str | None = None):
+def load_query_index(path, storage: str | None = None, wal=None):
     """Load an index snapshot written by :func:`save_query_index`.
 
     The layout is detected on disk — a directory is a flat-layout snapshot,
@@ -510,6 +538,14 @@ def load_query_index(path, storage: str | None = None):
     ``np.memmap`` views whose pages fault in lazily — a millisecond cold
     start independent of corpus size.  ``None`` defers to ``REPRO_STORAGE``
     (``ram`` unless it says ``mmap``); archives always load into RAM.
+
+    ``wal`` (a :class:`~repro.serving.wal.WriteAheadLog` or a directory
+    path for one) replays the log's tail — every mutation logged at or
+    after this snapshot's checkpoint — on top of the loaded index and
+    attaches the log for continued writes; see
+    :meth:`~repro.search.query.QueryIndex.recover`.  A torn trailing
+    record is truncated; interior log corruption raises
+    :class:`SnapshotCorruptError` like any other corrupt artefact.
 
     Reads the current checksummed v3 layout plus the legacy v2 (segmented,
     no checksums) and v1 (monolithic) layouts; anything else is rejected.
@@ -558,7 +594,7 @@ def load_query_index(path, storage: str | None = None):
     if n_features is None:  # v1 archives predate the explicit field
         n_features = segments_data[0][0].n_features
 
-    return QueryIndex._from_snapshot(
+    index = QueryIndex._from_snapshot(
         segments_data=segments_data,
         n_features=int(n_features),
         meta=meta,
@@ -566,6 +602,34 @@ def load_query_index(path, storage: str | None = None):
         deleted=deleted,
         postings_members=postings_members,
     )
+    if wal is not None:
+        index.recover(wal)
+    return index
+
+
+def _snapshot_wal_segment(path) -> int | None:
+    """Read just the ``wal_segment`` checkpoint position from a snapshot.
+
+    Cheap by construction — the flat layout answers from its manifest, the
+    archive from its ``meta`` member alone — because :class:`SnapshotStore`
+    consults every retained snapshot on each checkpoint to compute the WAL
+    prune cutoff.  ``None`` for snapshots saved without a WAL attached.
+    """
+    from repro.serving import storage as flat_storage
+
+    path = Path(path)
+    if flat_storage.is_flat_snapshot(path):
+        meta = flat_storage._parse_manifest(path).get("meta")
+        if not isinstance(meta, dict):
+            raise SnapshotCorruptError(path, "manifest payload is missing its meta table")
+    else:
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                meta = json.loads(str(archive["meta"][()]))
+        except (zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError, ValueError) as exc:
+            raise SnapshotCorruptError(path, f"unreadable meta document ({exc})") from exc
+    position = meta.get("wal_segment")
+    return None if position is None else int(position)
 
 
 # --------------------------------------------------------------------- #
@@ -631,6 +695,13 @@ class SnapshotStore:
         snapshots and still roll back across all of them.  The snapshot is
         fully committed before the pointer moves, so a crash anywhere in
         between leaves the previous pointer target intact and loadable.
+
+        On a WAL-attached index this is the **checkpoint** operation: the
+        save rolls the log (sealing everything the snapshot contains into
+        segments before the stamped ``wal_segment``), and afterwards WAL
+        segments older than what the *retained* snapshots reference are
+        pruned — rollback to any snapshot still in the store always finds
+        the log tail it needs.
         """
         from repro.serving import storage as flat_storage
 
@@ -640,7 +711,31 @@ class SnapshotStore:
         with atomic_writer(self.pointer_path) as handle:
             handle.write((path.name + "\n").encode("utf-8"))
         self._prune(current=path)
+        self._prune_wal(index)
         return path
+
+    def _prune_wal(self, index) -> None:
+        """Drop WAL segments no retained snapshot references.
+
+        The cutoff is the minimum ``wal_segment`` across every snapshot
+        still in the store; snapshots without a position (saved before a
+        WAL was attached) do not constrain pruning — they cannot replay a
+        tail anyway.  Best effort: an unreadable retained snapshot blocks
+        pruning rather than risking a needed segment.
+        """
+        wal = getattr(index, "_wal", None)
+        if wal is None:
+            return
+        positions: list[int] = []
+        for path in self.snapshots():
+            try:
+                position = _snapshot_wal_segment(path)
+            except Exception:
+                return  # cannot prove the segment is unreferenced — keep it
+            if position is not None:
+                positions.append(position)
+        if positions:
+            wal.prune(min(positions))
 
     def _prune(self, current: Path) -> None:
         """Drop numbered snapshots beyond ``keep`` (never the current one)."""
@@ -670,13 +765,16 @@ class SnapshotStore:
                 ordered.append(path)
         return ordered
 
-    def load(self, storage: str | None = None):
+    def load(self, storage: str | None = None, wal=None):
         """Load the newest verifiable snapshot, rolling back past corrupt ones.
 
-        ``storage`` is forwarded to :func:`load_query_index` for flat-layout
-        candidates.  Raises ``FileNotFoundError`` for an empty store and
-        :class:`SnapshotCorruptError` when every candidate fails
-        verification (the error lists each rejected file).
+        ``storage`` and ``wal`` are forwarded to :func:`load_query_index`;
+        with a ``wal``, whichever candidate verifies replays the log tail
+        from *its own* checkpoint position — rollback to an older snapshot
+        simply replays a longer tail (the prune policy keeps every segment
+        a retained snapshot references).  Raises ``FileNotFoundError`` for
+        an empty store and :class:`SnapshotCorruptError` when every
+        candidate fails verification (the error lists each rejected file).
         """
         candidates = self._candidates()
         if not candidates:
@@ -684,7 +782,7 @@ class SnapshotStore:
         failures: list[str] = []
         for path in candidates:
             try:
-                return load_query_index(path, storage=storage)
+                return load_query_index(path, storage=storage, wal=wal)
             except SnapshotCorruptError as exc:
                 failures.append(f"{path.name}: {exc.detail}")
         raise SnapshotCorruptError(

@@ -21,7 +21,20 @@ a :class:`FaultPlan` via :func:`inject`.  The seams are:
   :func:`repro.datasets.io.atomic_writer`);
 * ``flat_replace`` — the same window for the flat layout's ``MANIFEST.json``
   commit point (the data files are already on disk, unreferenced, when it
-  fires).
+  fires);
+* ``wal_append`` — a write-ahead-log record's bytes just hit the segment
+  file, *before* any fsync (``wal``/``path``/``seq`` in the info dict) — a
+  kill here loses an unacknowledged record or not, both legal;
+* ``wal_fsync`` — the WAL just fsynced the segment (record durable, the
+  in-memory apply and the acknowledgement still pending) — a kill here is
+  the durable-but-unacked case replay must re-apply;
+* ``wal_replace`` — the torn-tail repair's write→rename window (the WAL's
+  :func:`~repro.datasets.io.atomic_writer` seam, like ``snapshot_replace``);
+* ``wal_replay`` — one WAL record was just re-applied during recovery
+  (``index``/``seq`` in the info dict) — lets tests observe or block a
+  replay in progress;
+* ``daemon_ingest`` — the daemon admitted one ``insert``/``delete`` op
+  (fires before the index call executes).
 
 A plan schedules faults against those seams:
 
@@ -38,7 +51,13 @@ A plan schedules faults against those seams:
   replies, so recovery requires ``round_timeout``);
 * :meth:`FaultPlan.crash_before_replace` / :meth:`FaultPlan.truncate_snapshot`
   / :meth:`FaultPlan.corrupt_snapshot` — abort, truncate or bit-flip a
-  snapshot in the write→rename window, driving the crash-safety tests.
+  snapshot in the write→rename window, driving the crash-safety tests;
+* :meth:`FaultPlan.kill_process` — SIGKILL the *current process* when a
+  chosen event fires for the n-th time (run it in a sacrificial fork!) —
+  the primitive behind the WAL's SIGKILL-at-every-seam recovery matrix;
+* :meth:`FaultPlan.on_event` — run an arbitrary callback when an event
+  fires (e.g. block ``wal_replay`` to observe a daemon degrading its
+  readiness while recovery is in progress).
 
 Usage::
 
@@ -236,6 +255,51 @@ class FaultPlan:
         )
 
     # ------------------------------------------------------------------ #
+    # process faults and callbacks
+    # ------------------------------------------------------------------ #
+    def kill_process(
+        self, event: str, after: int = 0, round_index: int | None = None
+    ) -> None:
+        """SIGKILL the current process on the ``after``-th later firing of ``event``.
+
+        ``after=0`` dies on the first matching firing, ``after=1`` on the
+        second, and so on — the knob that moves a crash to *every* armed
+        seam occurrence in turn.  The signal is delivered to ``os.getpid()``
+        and is not catchable, so this must only ever be armed inside a
+        sacrificial child process (the WAL recovery matrix forks one per
+        crash point); nothing after the firing runs, exactly like a real
+        OOM kill.
+        """
+        self._actions.append(
+            {
+                "kind": "kill_process",
+                "event": event,
+                "after": int(after),
+                "round_index": round_index,
+            }
+        )
+
+    def on_event(
+        self, event: str, callback, count: int = 1, round_index: int | None = None
+    ) -> None:
+        """Invoke ``callback(info)`` when ``event`` fires (``count`` times).
+
+        The callback runs synchronously inside the production code's seam —
+        on whatever thread fired it — so it can block (stalling a WAL replay
+        while a test probes daemon health), raise, or record the seam's
+        ``info`` dict for later assertions.
+        """
+        self._actions.append(
+            {
+                "kind": "callback",
+                "event": event,
+                "callback": callback,
+                "count": int(count),
+                "round_index": round_index,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
     def _matches(self, action: dict, event: str, info: dict) -> bool:
@@ -256,6 +320,13 @@ class FaultPlan:
             if action["kind"] == "drop" or not self._matches(action, event, info):
                 remaining.append(action)
                 continue
+            if action["kind"] == "kill_process" and action["after"] > 0:
+                action["after"] -= 1
+                remaining.append(action)
+                continue
+            if action["kind"] == "callback" and action["count"] > 1:
+                action["count"] -= 1
+                remaining.append(action)
             self._execute(action, info)
         self._actions = remaining
 
@@ -292,6 +363,12 @@ class FaultPlan:
                 else:  # hang
                     os.kill(process.pid, signal.SIGSTOP)
                     self.fired.append(("hang", worker))
+        elif kind == "kill_process":
+            self.fired.append(("kill_process", action["event"]))
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "callback":
+            self.fired.append(("callback", action["event"]))
+            action["callback"](info)
         elif kind == "snapshot_crash":
             self.fired.append(("snapshot_crash", str(info["tmp"])))
             raise InjectedCrash(f"injected crash before replacing {info['path']}")

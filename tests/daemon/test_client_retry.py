@@ -1,0 +1,122 @@
+"""Client-side retry: transient transport failures never surface raw.
+
+The contract (see ``repro/serving/client.py``): refused connects and
+dropped connections are retried with capped exponential backoff and
+jitter, reconnecting each time; the budget's end is the typed
+:class:`RetriesExhausted` with the last transport error chained; and every
+mutating request carries an idempotency key, so a retry that crosses an
+execution applies the mutation at most once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.client import DaemonClient, RetriesExhausted
+from repro.serving.daemon import ServingDaemon
+
+from .conftest import as_pairs
+
+
+def test_connect_retries_until_the_daemon_appears(index, socket_path, batch):
+    """A client racing the daemon's startup connects on a later attempt."""
+    daemon = ServingDaemon(index, socket_path)
+    starter = threading.Timer(0.15, daemon.start)
+    starter.start()
+    try:
+        client = DaemonClient(socket_path, retries=20, backoff_ms=20)
+        assert client.retry_stats["retries"] >= 1
+        assert client.query(batch[0], threshold=0.55) == as_pairs(
+            index.query_many(batch[:1], threshold=0.55)[0]
+        )
+        client.close()
+    finally:
+        starter.join()
+        daemon.stop()
+
+
+def test_retries_exhausted_is_typed_and_chained(socket_path):
+    with pytest.raises(RetriesExhausted) as excinfo:
+        DaemonClient(socket_path, retries=2, backoff_ms=1)
+    assert "3 attempt" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, OSError)
+
+
+def test_zero_retries_fails_on_first_transport_error(socket_path):
+    with pytest.raises(RetriesExhausted, match="1 attempt"):
+        DaemonClient(socket_path, retries=0)
+
+
+def test_reconnects_across_a_daemon_restart(index, socket_path, batch):
+    """A connection severed by a restart is re-established transparently."""
+    first = ServingDaemon(index, socket_path)
+    first.start()
+    client = DaemonClient(socket_path, retries=20, backoff_ms=20)
+    reference = client.query(batch[0], threshold=0.55)
+    first.stop()
+    second = ServingDaemon(index, socket_path)
+    second.start()
+    try:
+        assert client.query(batch[0], threshold=0.55) == reference
+        assert client.retry_stats["reconnects"] >= 1
+    finally:
+        client.close()
+        second.stop()
+
+
+def test_negative_retries_rejected(socket_path):
+    with pytest.raises(ValueError, match="retries"):
+        DaemonClient(socket_path, retries=-1)
+
+
+def test_idempotency_key_applies_a_mutation_at_most_once(index, socket_path):
+    """Resending a keyed insert replays the response, never the mutation."""
+    with ServingDaemon(index, socket_path) as daemon:
+        with DaemonClient(socket_path) as client:
+            before = index.n_indexed
+            request = {
+                "op": "insert",
+                "vectors": [{"tokens": [1, 5, 9]}, {"tokens": [2, 6]}],
+                "idempotency_key": "retry-key-1",
+            }
+            first = client._call(request)
+            replayed = client._call(request)  # the retry path resends verbatim
+            assert replayed["rows"] == first["rows"]
+            assert index.n_indexed == before + 2
+            stats = client.stats()
+            assert stats["inserts"] == 1
+            assert stats["idempotent_hits"] == 1
+            client.drain()
+
+
+def test_mutating_methods_generate_fresh_keys(index, socket_path):
+    """Two logical inserts are two mutations — keys are per-call, not per-client."""
+    with ServingDaemon(index, socket_path) as daemon:
+        with DaemonClient(socket_path) as client:
+            before = index.n_indexed
+            rows_a = client.insert([{"tokens": [3, 7]}])
+            rows_b = client.insert([{"tokens": [3, 7]}])
+            assert rows_a != rows_b
+            assert index.n_indexed == before + 2
+            assert client.stats()["idempotent_hits"] == 0
+            client.drain()
+
+
+def test_bad_ingest_request_does_not_poison_its_key(index, socket_path):
+    """A rejected request leaves its key free for a corrected retry."""
+    from repro.serving.daemon import DaemonError
+
+    with ServingDaemon(index, socket_path) as daemon:
+        with DaemonClient(socket_path) as client:
+            bad = {
+                "op": "insert",
+                "vectors": [{"tokens": [10**9]}],  # out of feature range
+                "idempotency_key": "poisoned?",
+            }
+            with pytest.raises(DaemonError):
+                client._call(bad)
+            good = dict(bad, vectors=[{"tokens": [4, 8]}])
+            assert len(client._call(good)["rows"]) == 1
+            client.drain()
